@@ -1,0 +1,54 @@
+"""Exact-vs-approximate comparison (Section 5 related-work context).
+
+Not a paper figure — the paper *excludes* approximate methods from its
+evaluation precisely because they trade accuracy away.  This bench
+quantifies that trade on a stand-in: NB_LIN's error against the exact
+BePI scores as a function of rank, and the memory each pays.
+
+The shape that motivates the paper: to reach errors anywhere near an exact
+method, the low-rank approximation needs a rank (and memory) that grows
+with the graph, while BePI stays exact at a similar footprint.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BePI, NBLinSolver
+from repro.datasets import build as build_dataset
+
+from .conftest import RESTART_PROBABILITY, TOLERANCE, record_result
+
+DATASET = "baidu_sim"
+RANKS = (10, 40, 160)
+
+
+@pytest.mark.parametrize("rank", RANKS)
+def test_nb_lin_accuracy_tradeoff(benchmark, rank):
+    graph = build_dataset(DATASET)
+    exact = BePI(c=RESTART_PROBABILITY, tol=TOLERANCE).preprocess(graph)
+
+    def run():
+        solver = NBLinSolver(rank=rank, c=RESTART_PROBABILITY)
+        solver.preprocess(graph)
+        return solver
+
+    approx = benchmark.pedantic(run, rounds=1, iterations=1)
+    rng = np.random.default_rng(0)
+    seeds = rng.choice(graph.n_nodes, size=10, replace=False)
+    error = approx.approximation_error(exact, seeds)
+    row = {
+        "rank": rank,
+        "mean_l2_error": error,
+        "memory_bytes": approx.memory_bytes(),
+        "exact_memory_bytes": exact.memory_bytes(),
+    }
+    record_result("approximate_nb_lin", row)
+    print(f"\nNB_LIN rank {rank}: mean L2 error {error:.3e}, "
+          f"memory {approx.memory_bytes() / 1e6:.2f} MB "
+          f"(BePI exact: {exact.memory_bytes() / 1e6:.2f} MB)")
+
+    # The error is real (approximate method) but shrinks with rank.
+    assert error > 1e-12
+    if rank == RANKS[-1]:
+        small = NBLinSolver(rank=RANKS[0], c=RESTART_PROBABILITY).preprocess(graph)
+        assert error < small.approximation_error(exact, seeds)

@@ -1,0 +1,65 @@
+"""Figure 4 — Schur-complement sparsity vs hub selection ratio ``k``.
+
+Paper claims (Section 3.4, Figure 4):
+
+- ``|H22|`` grows with ``k`` (more hubs), the correction term
+  ``|H21 H11^{-1} H12|`` shrinks with ``k``,
+- their sum — and hence ``|S|`` — is minimized at a moderate ``k``
+  (0.2-0.3 on the paper's datasets); both very small and very large ``k``
+  inflate ``|S|``.
+"""
+
+import pytest
+
+from repro.datasets import FIG4_DATASETS
+from repro.datasets import build as build_dataset
+from repro import sweep_hub_ratios
+
+from .conftest import RESTART_PROBABILITY, record_result
+
+SWEEP_KS = (0.05, 0.1, 0.2, 0.3, 0.5)
+
+
+@pytest.mark.parametrize("dataset", FIG4_DATASETS)
+def test_fig4_schur_sparsity_tradeoff(benchmark, dataset):
+    graph = build_dataset(dataset)
+
+    records = benchmark.pedantic(
+        lambda: sweep_hub_ratios(graph, RESTART_PROBABILITY, SWEEP_KS),
+        rounds=1,
+        iterations=1,
+    )
+
+    print(f"\n[{dataset}]  (Figure 4 series)")
+    print(f"{'k':>5} {'n2':>7} {'|S|':>10} {'|H22|':>10} {'|H21 H11^-1 H12|':>17}")
+    for rec in records:
+        print(f"{rec.k:>5.2f} {rec.n2:>7} {rec.nnz_schur:>10} "
+              f"{rec.nnz_h22:>10} {rec.nnz_correction:>17}")
+
+    for rec in records:
+        record_result("fig04_schur_tradeoff", {
+            "dataset": dataset, "k": rec.k, "nnz_schur": rec.nnz_schur,
+            "nnz_h22": rec.nnz_h22, "nnz_correction": rec.nnz_correction,
+            "n2": rec.n2,
+        })
+
+    # |H22| is monotone non-decreasing in k.
+    h22 = [rec.nnz_h22 for rec in records]
+    assert all(a <= b * 1.05 for a, b in zip(h22, h22[1:])), h22
+
+    # The correction term is monotone non-increasing in k (small slack for
+    # SlashBurn's discrete hub choices).
+    corr = [rec.nnz_correction for rec in records]
+    assert all(b <= a * 1.05 for a, b in zip(corr, corr[1:])), corr
+
+    # |S| <= |H22| + |correction| everywhere (the Section 3.4 bound).
+    for rec in records:
+        assert rec.nnz_schur <= rec.nnz_h22 + rec.nnz_correction
+
+    # The minimizing k is interior-or-moderate: a moderate k never loses to
+    # the extremes by more than parity (the trade-off exists).
+    schur = [rec.nnz_schur for rec in records]
+    best = min(range(len(SWEEP_KS)), key=lambda i: schur[i])
+    assert SWEEP_KS[best] <= 0.5
+    assert schur[best] <= schur[0]
+    assert schur[best] <= schur[-1]

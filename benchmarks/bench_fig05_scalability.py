@@ -1,0 +1,138 @@
+"""Figure 5 — scalability in the number of edges.
+
+Paper claims (Section 4.4, Figure 5): on principal submatrices of the
+WikiLink dataset,
+
+- BePI's preprocessing time, preprocessed-data memory and query time scale
+  near-linearly with the edge count (fitted log-log slopes 1.01 / 0.99 /
+  1.1),
+- the other preprocessing methods stop scaling: BePI processes a 100x
+  larger graph than Bear / LU manage.
+
+Here the submatrix sweep runs BePI at every size, and Bear at every size
+under the scaled memory budget, reproducing the cut-off behaviour; slopes
+are fitted on BePI's series.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import BearSolver, MemoryBudget
+from repro.datasets import build as build_dataset
+from repro.exceptions import MemoryBudgetExceededError
+
+from .conftest import BUDGET_BYTES, RESTART_PROBABILITY, TOLERANCE, record_result, make_solver
+
+FRACTIONS = (0.125, 0.25, 0.5, 1.0)
+_series = {}
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_fig5_bepi_scaling(benchmark, fraction):
+    base = build_dataset("wikilink_sim")
+    graph = base.principal_submatrix(int(base.n_nodes * fraction))
+
+    def run():
+        solver = make_solver("BePI", "wikilink_sim")
+        solver.preprocess(graph)
+        return solver
+
+    solver = benchmark.pedantic(run, rounds=1, iterations=1)
+    rng = np.random.default_rng(0)
+    seeds = rng.choice(graph.n_nodes, size=10, replace=False)
+    start = time.perf_counter()
+    for seed in seeds:
+        solver.query(int(seed))
+    avg_query = (time.perf_counter() - start) / len(seeds)
+
+    _series[fraction] = {
+        "edges": graph.n_edges,
+        "preprocess_seconds": solver.stats["preprocess_seconds"],
+        "memory_bytes": solver.memory_bytes(),
+        "avg_query_seconds": avg_query,
+    }
+    record_result("fig05_scalability", dict(_series[fraction], fraction=fraction))
+
+    if fraction == FRACTIONS[-1]:
+        points = [_series[f] for f in FRACTIONS if f in _series]
+        assert len(points) == len(FRACTIONS), "earlier fractions must run first"
+        log_edges = np.log([p["edges"] for p in points])
+        slopes = {}
+        for key in ("preprocess_seconds", "memory_bytes", "avg_query_seconds"):
+            slopes[key] = float(np.polyfit(log_edges, np.log([p[key] for p in points]), 1)[0])
+        print(f"\nFig 5 fitted log-log slopes vs edges: "
+              f"preprocessing {slopes['preprocess_seconds']:.2f} (paper 1.01), "
+              f"memory {slopes['memory_bytes']:.2f} (paper 0.99), "
+              f"query {slopes['avg_query_seconds']:.2f} (paper 1.1)")
+        record_result("fig05_slopes", slopes)
+        # Near-linear scaling: well below quadratic, clearly growing.
+        assert 0.5 < slopes["preprocess_seconds"] < 1.7
+        assert 0.5 < slopes["memory_bytes"] < 1.5
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_fig5_lu_growth(benchmark, fraction):
+    """LU's factor fill grows super-linearly with the edge count — the slope
+    that eventually removes it from the race in the paper's Fig. 5."""
+    base = build_dataset("wikilink_sim")
+    graph = base.principal_submatrix(int(base.n_nodes * fraction))
+
+    def run():
+        solver = make_solver("LU", "wikilink_sim")
+        solver.preprocess(graph)
+        return solver
+
+    solver = benchmark.pedantic(run, rounds=1, iterations=1)
+    _lu_series[fraction] = {
+        "edges": graph.n_edges,
+        "memory_bytes": solver.memory_bytes(),
+    }
+    record_result("fig05_lu", dict(_lu_series[fraction], fraction=fraction))
+    if fraction == FRACTIONS[-1] and len(_lu_series) == len(FRACTIONS):
+        points = [_lu_series[f] for f in FRACTIONS]
+        log_edges = np.log([p["edges"] for p in points])
+        slope = float(np.polyfit(log_edges, np.log([p["memory_bytes"] for p in points]), 1)[0])
+        bepi_points = [_series[f] for f in FRACTIONS if f in _series]
+        print(f"\nFig 5 memory slope: LU {slope:.2f}")
+        record_result("fig05_lu_slope", {"memory_slope": slope})
+        if len(bepi_points) == len(FRACTIONS):
+            bepi_slope = float(np.polyfit(
+                log_edges, np.log([p["memory_bytes"] for p in bepi_points]), 1
+            )[0])
+            # LU's factor memory grows at least as fast as BePI's near-linear
+            # footprint (at full scale it grows much faster).
+            assert slope >= bepi_slope - 0.15
+
+
+_lu_series = {}
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_fig5_bear_cutoff(benchmark, fraction):
+    """Bear under the same budget: succeeds on small prefixes, dies on large
+    ones — the paper's '100x larger graphs' gap."""
+    base = build_dataset("wikilink_sim")
+    graph = base.principal_submatrix(int(base.n_nodes * fraction))
+
+    def run():
+        solver = BearSolver(
+            c=RESTART_PROBABILITY,
+            tol=TOLERANCE,
+            memory_budget=MemoryBudget(limit_bytes=BUDGET_BYTES // 8),
+        )
+        try:
+            solver.preprocess(graph)
+            return {"status": "ok", "memory": solver.memory_bytes()}
+        except MemoryBudgetExceededError:
+            return {"status": "oom"}
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result("fig05_bear", {"fraction": fraction, **outcome})
+    if fraction == FRACTIONS[0]:
+        assert outcome["status"] == "ok", "Bear must handle the smallest prefix"
+    if fraction == FRACTIONS[-1]:
+        assert outcome["status"] == "oom", (
+            "Bear must hit the budget on the full graph (the Fig 5 cut-off)"
+        )

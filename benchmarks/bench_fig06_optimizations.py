@@ -1,0 +1,160 @@
+"""Figure 6 + Tables 3-4 — effect of the two optimizations.
+
+Paper claims (Section 4.5):
+
+- Fig 6a/6b: sparsifying the Schur complement (BePI-B -> BePI-S) cuts
+  preprocessing time (up to 10x) and preprocessed memory (up to 5x);
+  BePI pays only slightly more than BePI-S for its ILU factors.
+- Fig 6c: BePI-S answers queries up to 5x faster than BePI-B, and BePI
+  up to 4x faster than BePI-S (13x combined).
+- Table 3: |S| shrinks by 1.3x-9.8x from BePI-B to BePI-S.
+- Table 4: preconditioning cuts GMRES iterations by 2.3x-6.5x.
+
+The size-dependent effects need the bigger stand-ins, so the dataset list
+skips the two smallest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import HEADLINE_DATASETS
+from repro.datasets import build as build_dataset
+
+from .conftest import record_result
+
+VARIANTS = ("BePI-B", "BePI-S", "BePI")
+DATASETS = HEADLINE_DATASETS[2:]  # baidu .. friendster
+
+#: Table 4 reference ratios (iterations BePI-S / BePI) from the paper.
+PAPER_ITERATION_RATIOS = {
+    "baidu_sim": 2.9, "flickr_sim": 3.9, "livejournal_sim": 3.0,
+    "wikilink_sim": 4.3, "twitter_sim": 3.2, "friendster_sim": 2.3,
+}
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig6a_preprocessing(benchmark, run_cache, dataset, variant):
+    graph = build_dataset(dataset)
+
+    def run():
+        from .conftest import make_solver
+
+        solver = make_solver(variant, dataset)
+        solver.preprocess(graph)
+        return {
+            "dataset": dataset,
+            "method": variant,
+            "status": "ok",
+            "solver": solver,
+            "preprocess_seconds": solver.stats["preprocess_seconds"],
+            "memory_bytes": solver.memory_bytes(),
+            "nnz_schur": solver.stats["nnz_schur"],
+        }
+
+    record = benchmark.pedantic(run, rounds=1, iterations=1)
+    run_cache.store(dataset, variant, record)
+    record_result("fig06a_preprocessing",
+                  {k: v for k, v in record.items() if k != "solver"})
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig6c_query(benchmark, run_cache, query_seeds, dataset, variant):
+    record = run_cache.get(dataset, variant)
+    assert record["status"] == "ok"
+    solver = record["solver"]
+    seeds = query_seeds(dataset, 10)
+    state = {"i": 0, "iterations": []}
+
+    def one_query():
+        seed = int(seeds[state["i"] % len(seeds)])
+        state["i"] += 1
+        result = solver.query_detailed(seed)
+        state["iterations"].append(result.iterations)
+        return result
+
+    benchmark.pedantic(one_query, rounds=5, iterations=1, warmup_rounds=1)
+    record["avg_query_seconds"] = benchmark.stats.stats.mean
+    record["avg_iterations"] = float(np.mean(state["iterations"]))
+    record_result("fig06c_query", {
+        "dataset": dataset, "method": variant,
+        "avg_query_seconds": record["avg_query_seconds"],
+        "avg_iterations": record["avg_iterations"],
+    })
+
+
+def test_zz_fig6_and_tables34_summary(benchmark, run_cache, query_seeds):
+    rows = {}
+    for dataset in DATASETS:
+        for variant in VARIANTS:
+            record = run_cache.get(dataset, variant)
+            if "avg_iterations" not in record and record["status"] == "ok":
+                solver = record["solver"]
+                iters = [solver.query_detailed(int(s)).iterations
+                         for s in query_seeds(dataset, 5)]
+                record["avg_iterations"] = float(np.mean(iters))
+            rows[(dataset, variant)] = record
+
+    def table():
+        lines = [f"{'dataset':<16} {'variant':<7} {'pre(s)':>8} {'mem(MB)':>8} "
+                 f"{'|S|':>9} {'iters':>6}"]
+        for dataset in DATASETS:
+            for variant in VARIANTS:
+                rec = rows[(dataset, variant)]
+                lines.append(
+                    f"{dataset:<16} {variant:<7} "
+                    f"{rec['preprocess_seconds']:>8.3f} "
+                    f"{rec['memory_bytes'] / 1e6:>8.2f} "
+                    f"{rec['nnz_schur']:>9} {rec['avg_iterations']:>6.1f}"
+                )
+        return "\n".join(lines)
+
+    print("\n" + benchmark(table))
+
+    for dataset in DATASETS:
+        basic = rows[(dataset, "BePI-B")]
+        sparse = rows[(dataset, "BePI-S")]
+        full = rows[(dataset, "BePI")]
+
+        # Table 3: sparsification shrinks |S|.
+        ratio_s = basic["nnz_schur"] / max(sparse["nnz_schur"], 1)
+        assert sparse["nnz_schur"] <= basic["nnz_schur"], dataset
+        record_result("table3_schur_nnz", {
+            "dataset": dataset,
+            "nnz_bepib": basic["nnz_schur"],
+            "nnz_bepis": sparse["nnz_schur"],
+            "ratio": ratio_s,
+        })
+
+        # Fig 6b: BePI-S retains no more memory than BePI-B; BePI adds only
+        # its ILU factors (bounded by one extra copy of S).
+        assert sparse["memory_bytes"] <= basic["memory_bytes"] * 1.05, dataset
+        assert full["memory_bytes"] <= sparse["memory_bytes"] * 2.2, dataset
+
+        # Table 4 / Fig 6c: preconditioning cuts iterations.
+        ratio_it = sparse["avg_iterations"] / max(full["avg_iterations"], 1e-9)
+        assert full["avg_iterations"] < sparse["avg_iterations"], dataset
+        record_result("table4_iterations", {
+            "dataset": dataset,
+            "iterations_bepis": sparse["avg_iterations"],
+            "iterations_bepi": full["avg_iterations"],
+            "ratio": ratio_it,
+            "paper_ratio": PAPER_ITERATION_RATIOS.get(dataset),
+        })
+
+    # Fig 6c, wall clock: the iteration savings translate into end-to-end
+    # wins on about half the stand-ins.  At laptop scale (n2 of a few
+    # thousand) the fixed per-application cost of a triangular solve is
+    # several matvecs, which eats the margin on the mid-size datasets; the
+    # paper's regime (n2 in the millions) amortizes it.  Assert the shape
+    # that does transfer: BePI wins somewhere and is never far behind.
+    wins = sum(
+        rows[(d, "BePI")]["avg_query_seconds"]
+        < rows[(d, "BePI-S")]["avg_query_seconds"]
+        for d in DATASETS
+    )
+    assert wins >= len(DATASETS) // 2, f"preconditioner won on only {wins} datasets"
+    for d in DATASETS:
+        assert (rows[(d, "BePI")]["avg_query_seconds"]
+                < rows[(d, "BePI-S")]["avg_query_seconds"] * 1.6), d

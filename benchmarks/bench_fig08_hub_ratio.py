@@ -1,0 +1,72 @@
+"""Figure 8 — effect of the hub selection ratio ``k`` on BePI.
+
+Paper claims (Section 4.6, Figure 8):
+
+- preprocessing time and memory usage *improve* as ``k`` grows away from
+  very small values (fewer SlashBurn rounds, sparser ``S``),
+- query time is best for moderate ``k`` (0.2-0.3); very large ``k`` grows
+  the Schur system again.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import BePI
+from repro.datasets import FIG8_DATASETS
+from repro.datasets import build as build_dataset
+
+from .conftest import RESTART_PROBABILITY, TOLERANCE, record_result
+
+SWEEP_KS = (0.02, 0.1, 0.2, 0.3, 0.5)
+
+
+@pytest.mark.parametrize("dataset", FIG8_DATASETS)
+def test_fig8_hub_ratio_effects(benchmark, dataset):
+    graph = build_dataset(dataset)
+
+    def sweep():
+        rows = []
+        rng = np.random.default_rng(0)
+        seeds = rng.choice(graph.n_nodes, size=5, replace=False)
+        for k in SWEEP_KS:
+            solver = BePI(c=RESTART_PROBABILITY, tol=TOLERANCE, hub_ratio=k)
+            solver.preprocess(graph)
+            start = time.perf_counter()
+            for seed in seeds:
+                solver.query(int(seed))
+            avg_query = (time.perf_counter() - start) / len(seeds)
+            rows.append({
+                "k": k,
+                "preprocess_seconds": solver.stats["preprocess_seconds"],
+                "memory_bytes": solver.memory_bytes(),
+                "avg_query_seconds": avg_query,
+                "slashburn_iterations": solver.stats["slashburn_iterations"],
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print(f"\n[{dataset}] (Figure 8 series)")
+    print(f"{'k':>5} {'pre(s)':>8} {'mem(MB)':>8} {'query(ms)':>10} {'sb iters':>9}")
+    for row in rows:
+        print(f"{row['k']:>5.2f} {row['preprocess_seconds']:>8.3f} "
+              f"{row['memory_bytes'] / 1e6:>8.2f} "
+              f"{row['avg_query_seconds'] * 1e3:>10.2f} "
+              f"{row['slashburn_iterations']:>9}")
+        record_result("fig08_hub_ratio", {"dataset": dataset, **row})
+
+    # SlashBurn rounds drop as k grows — the mechanism behind the
+    # preprocessing-time improvement.
+    iters = [row["slashburn_iterations"] for row in rows]
+    assert iters[0] >= iters[-1]
+
+    # Preprocessing is faster at moderate k than at the smallest k.
+    pre = [row["preprocess_seconds"] for row in rows]
+    assert min(pre[1:]) < pre[0] * 1.2
+
+    # Memory at the smallest k is not the minimum (the sparsification
+    # argument of Section 3.4).
+    mem = [row["memory_bytes"] for row in rows]
+    assert min(mem[1:4]) <= mem[0]

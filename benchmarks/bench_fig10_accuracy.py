@@ -1,0 +1,87 @@
+"""Figure 10 (Appendix I) — accuracy vs iterations against the exact solution.
+
+Paper claims:
+
+- BePI reaches the highest accuracy and converges in by far the fewest
+  iterations, power iteration and GMRES converge slowly,
+- BePI's error decreases monotonically and ends below the requested
+  tolerance (it is an exact method up to ``eps``).
+
+Protocol: the Physicians-scale graph, exact scores from the dense inverse,
+average L2 error over random seeds as a function of the inner-iteration
+budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BePI, DenseSolver, GMRESSolver, PowerSolver
+from repro.datasets import build as build_dataset
+
+from .conftest import RESTART_PROBABILITY, record_result
+
+N_SEEDS = 20
+BUDGETS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _error_curve(make_solver_at, graph, exact, seeds):
+    errors = []
+    for budget in BUDGETS:
+        solver = make_solver_at(budget)
+        solver.preprocess(graph)
+        errs = [
+            float(np.linalg.norm(solver.query(int(s)) - exact[int(s)]))
+            for s in seeds
+        ]
+        errors.append(float(np.mean(errs)))
+    return errors
+
+
+def test_fig10_accuracy_vs_iterations(benchmark):
+    graph = build_dataset("physicians_sim")
+    oracle = DenseSolver(c=RESTART_PROBABILITY).preprocess(graph)
+    rng = np.random.default_rng(1)
+    seeds = rng.choice(graph.n_nodes, size=N_SEEDS, replace=False)
+    exact = {int(s): oracle.query(int(s)) for s in seeds}
+
+    def run():
+        curves = {}
+        curves["BePI"] = _error_curve(
+            lambda it: BePI(c=RESTART_PROBABILITY, tol=1e-16, max_iterations=it,
+                            hub_ratio=0.2),
+            graph, exact, seeds,
+        )
+        curves["GMRES"] = _error_curve(
+            lambda it: GMRESSolver(c=RESTART_PROBABILITY, tol=1e-16,
+                                   max_iterations=it),
+            graph, exact, seeds,
+        )
+        curves["Power"] = _error_curve(
+            lambda it: PowerSolver(c=RESTART_PROBABILITY, tol=1e-16,
+                                   max_iterations=it),
+            graph, exact, seeds,
+        )
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nFig 10: mean L2 error vs inner-iteration budget")
+    print(f"{'iters':>6} {'BePI':>12} {'GMRES':>12} {'Power':>12}")
+    for i, budget in enumerate(BUDGETS):
+        print(f"{budget:>6} {curves['BePI'][i]:>12.3e} "
+              f"{curves['GMRES'][i]:>12.3e} {curves['Power'][i]:>12.3e}")
+    record_result("fig10_accuracy", {
+        "budgets": list(BUDGETS), **{k: v for k, v in curves.items()},
+    })
+
+    # BePI is at least as accurate as both baselines at every budget...
+    for i in range(len(BUDGETS)):
+        assert curves["BePI"][i] <= curves["GMRES"][i] * 1.01
+        assert curves["BePI"][i] <= curves["Power"][i] * 1.01
+    # ...and converges to (near) machine precision while Power has not.
+    assert curves["BePI"][-1] < 1e-10
+    assert curves["BePI"][-1] < curves["Power"][-1]
+
+    # Errors decrease monotonically (tiny slack for round-off plateaus).
+    bepi = curves["BePI"]
+    assert all(b <= a * 1.5 + 1e-14 for a, b in zip(bepi, bepi[1:]))

@@ -1,0 +1,67 @@
+"""Table 2 — dataset summary: n, m, k, n1, n2, n3 per method policy.
+
+The paper's Table 2 reports, per dataset, the spoke / hub / deadend counts
+produced by the reordering under the BePI-B policy (small ``k``) and the
+BePI / BePI-S policy (``k`` from the sparsity sweep).  This bench computes
+the same columns for the stand-ins, printing the paper's node/edge counts
+alongside for scale calibration.
+
+Shape assertions: the partition tiles the graph, hubs are the minority,
+``n2`` grows with ``k`` (the Table 2 pattern: ``n2`` under BePI > under
+BePI-B).
+"""
+
+import pytest
+
+from repro.core.pipeline import build_artifacts
+from repro.datasets import HEADLINE_DATASETS
+from repro.datasets import build as build_dataset
+from repro.datasets import get as get_spec
+
+from .conftest import RESTART_PROBABILITY, record_result
+
+SMALL_K = 0.05  # the BePI-B policy at stand-in scale
+
+
+@pytest.mark.parametrize("dataset", HEADLINE_DATASETS)
+def test_table2_partition_stats(benchmark, dataset):
+    graph = build_dataset(dataset)
+    spec = get_spec(dataset)
+
+    def compute():
+        basic = build_artifacts(graph, RESTART_PROBABILITY, SMALL_K)
+        tuned = build_artifacts(graph, RESTART_PROBABILITY, spec.hub_ratio)
+        return basic, tuned
+
+    basic, tuned = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    row = {
+        "dataset": dataset,
+        "paper_name": spec.paper_name,
+        "n": graph.n_nodes,
+        "m": graph.n_edges,
+        "paper_n": spec.paper_nodes,
+        "paper_m": spec.paper_edges,
+        "k": spec.hub_ratio,
+        "n1_bepib": basic.n1,
+        "n1_bepi": tuned.n1,
+        "n2_bepib": basic.n2,
+        "n2_bepi": tuned.n2,
+        "n3": tuned.n3,
+    }
+    record_result("table2_datasets", row)
+    print(f"\n{dataset}: n={row['n']:,} m={row['m']:,} k={row['k']} | "
+          f"n1 {row['n1_bepib']}/{row['n1_bepi']} "
+          f"n2 {row['n2_bepib']}/{row['n2_bepi']} n3 {row['n3']} "
+          f"(paper n={row['paper_n']:,} m={row['paper_m']:,})")
+
+    # Partition tiles the node set under both policies.
+    assert basic.n1 + basic.n2 + basic.n3 == graph.n_nodes
+    assert tuned.n1 + tuned.n2 + tuned.n3 == graph.n_nodes
+    # Same deadend count regardless of k.
+    assert basic.n3 == tuned.n3
+    # The Table 2 pattern: the sparsifying k selects more hubs than the
+    # concentrating k.
+    assert tuned.n2 >= basic.n2
+    # Hubs are a minority of the non-deadend nodes under the small k.
+    assert basic.n2 < basic.n1

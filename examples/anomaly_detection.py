@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Anomaly detection on a bipartite ratings graph (Sun et al., cited [39]).
+
+Builds an (undirected) user-item graph with two well-separated communities
+plus a handful of "bridge" items rated from both sides.  Items whose
+co-raters are unrelated under RWR receive high anomaly scores.
+
+Run:  python examples/anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro import BePI, Graph
+from repro.applications import anomaly_scores
+
+
+def ratings_graph(n_users_per_side=25, n_items_per_side=15, ratings_per_user=6,
+                  n_bridge_items=3, seed=0):
+    """Two user-item communities plus bridge items rated by both."""
+    rng = np.random.default_rng(seed)
+    n_users = 2 * n_users_per_side
+    n_items = 2 * n_items_per_side + n_bridge_items
+    edges = []
+    for user in range(n_users):
+        side = user // n_users_per_side
+        base = n_users + side * n_items_per_side
+        items = rng.choice(n_items_per_side, size=ratings_per_user, replace=False)
+        for item in items:
+            edges.append((user, base + int(item)))
+    bridge_start = n_users + 2 * n_items_per_side
+    for b in range(n_bridge_items):
+        raters = rng.choice(n_users, size=4, replace=False)
+        for user in raters:
+            edges.append((int(user), bridge_start + b))
+    edges += [(v, u) for u, v in edges]  # undirected bipartite walk
+    return Graph.from_edges(edges, n_nodes=n_users + n_items), bridge_start
+
+
+def main() -> None:
+    graph, bridge_start = ratings_graph(seed=3)
+    n_users = 50
+    print(f"bipartite ratings graph: {graph.n_nodes} nodes "
+          f"({n_users} users, {graph.n_nodes - n_users} items)")
+
+    solver = BePI(c=0.05, tol=1e-9, hub_ratio=0.3).preprocess(graph)
+
+    item_ids = range(n_users, graph.n_nodes)
+    scores = anomaly_scores(solver, item_ids, seed=1)
+
+    ranked = sorted(scores.items(), key=lambda kv: -kv[1])
+    print("\nmost anomalous items (bridge items marked *):")
+    for item, score in ranked[:8]:
+        marker = " *" if item >= bridge_start else ""
+        print(f"  item {item:3d}  anomaly {score:.3f}{marker}")
+
+    bridge = [scores[i] for i in range(bridge_start, graph.n_nodes)]
+    normal = [scores[i] for i in range(n_users, bridge_start)]
+    print(f"\nmean anomaly: bridge items {np.mean(bridge):.3f} "
+          f"vs normal items {np.mean(normal):.3f}")
+    top3 = {item for item, _score in ranked[:3]}
+    found = len([i for i in top3 if i >= bridge_start])
+    print(f"bridge items in the top 3: {found} of 3")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Exact vs approximate RWR: when is "close enough" actually close?
+
+The paper's evaluation deliberately excludes approximate methods — every
+compared solver computes exact scores.  This example shows why that
+matters: it runs the two classic approximate approaches from the related
+work (NB_LIN low-rank preprocessing and Monte-Carlo walk simulation)
+against exact BePI, comparing L2 error, top-10 retrieval and rank
+correlation on the same queries.
+
+Run:  python examples/approximate_methods.py
+"""
+
+import numpy as np
+
+from repro import BePI, NBLinSolver
+from repro.applications import precision_at_k, spearman_rho
+from repro.approximate import MonteCarloSolver
+from repro.datasets import build
+
+
+def main() -> None:
+    graph = build("baidu_sim")
+    print(f"graph: {graph.n_nodes:,} nodes, {graph.n_edges:,} edges")
+
+    exact = BePI(c=0.05, tol=1e-9).preprocess(graph)
+    contenders = {
+        "NB_LIN (rank 20)": NBLinSolver(rank=20).preprocess(graph),
+        "NB_LIN (rank 100)": NBLinSolver(rank=100).preprocess(graph),
+        "Monte Carlo (10k walks)": MonteCarloSolver(n_walks=10_000, seed=1).preprocess(graph),
+        "Monte Carlo (100k walks)": MonteCarloSolver(n_walks=100_000, seed=1).preprocess(graph),
+    }
+
+    rng = np.random.default_rng(0)
+    seeds = rng.choice(np.flatnonzero(~graph.deadend_mask()), size=5, replace=False)
+
+    print(f"\n{'method':<26} {'mean L2 err':>12} {'precision@10':>13} "
+          f"{'spearman':>9} {'memory(MB)':>11}")
+    reference = {int(s): exact.query(int(s)) for s in seeds}
+    for name, solver in contenders.items():
+        errs, precs, rhos = [], [], []
+        for s in seeds:
+            scores = solver.query(int(s))
+            ref = reference[int(s)]
+            errs.append(np.linalg.norm(scores - ref))
+            precs.append(precision_at_k(ref, scores, 10))
+            rhos.append(spearman_rho(ref, scores))
+        print(f"{name:<26} {np.mean(errs):>12.3e} {np.mean(precs):>13.2f} "
+              f"{np.mean(rhos):>9.3f} {solver.memory_bytes() / 1e6:>11.2f}")
+
+    print(f"\n{'BePI (exact)':<26} {'0':>12} {'1.00':>13} {'1.000':>9} "
+          f"{exact.memory_bytes() / 1e6:>11.2f}")
+    print("\nTakeaway: the approximations spend comparable (or more) memory "
+          "than exact BePI\nand still miss part of the top-10 — the gap the "
+          "paper's exact hybrid closes.")
+
+
+if __name__ == "__main__":
+    main()

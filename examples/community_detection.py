@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Local community detection with RWR + conductance sweep.
+
+Plants four dense communities connected by sparse bridges, seeds the
+detector inside one of them, and checks the sweep cut recovers the planted
+block — the Andersen-Chung-Lang use case the paper cites.
+
+Run:  python examples/community_detection.py
+"""
+
+import numpy as np
+
+from repro import BePI, Graph
+from repro.applications import conductance, local_community
+
+
+def planted_partition(n_blocks=4, block_size=30, p_in=0.35, p_out=0.004, seed=0):
+    """Directed planted-partition graph: dense blocks, sparse cross edges."""
+    rng = np.random.default_rng(seed)
+    n = n_blocks * block_size
+    block_of = np.repeat(np.arange(n_blocks), block_size)
+    edges = []
+    for u in range(n):
+        for v in range(n):
+            if u == v:
+                continue
+            p = p_in if block_of[u] == block_of[v] else p_out
+            if rng.random() < p:
+                edges.append((u, v))
+    return Graph.from_edges(edges, n_nodes=n), block_of
+
+
+def main() -> None:
+    graph, block_of = planted_partition(seed=11)
+    print(f"planted-partition graph: {graph.n_nodes} nodes, "
+          f"{graph.n_edges:,} edges, 4 blocks of 30")
+
+    solver = BePI(c=0.05, tol=1e-10, hub_ratio=0.3).preprocess(graph)
+
+    seed_node = 5  # inside block 0
+    community = local_community(solver, seed=seed_node)
+    members = set(community.members.tolist())
+    truth = set(np.flatnonzero(block_of == block_of[seed_node]).tolist())
+
+    precision = len(members & truth) / len(members)
+    recall = len(members & truth) / len(truth)
+    print(f"\nseed node {seed_node} (block {block_of[seed_node]}):")
+    print(f"  detected community size : {len(members)}")
+    print(f"  conductance             : {community.conductance:.4f}")
+    print(f"  precision / recall      : {precision:.2f} / {recall:.2f}")
+
+    whole_block_phi = conductance(graph, np.array(sorted(truth)))
+    print(f"  planted block conductance: {whole_block_phi:.4f}")
+
+    print("\nsweep curve (conductance of the first k nodes by normalized score):")
+    sweep = community.sweep_conductances
+    for k in (5, 10, 20, 30, 40, 60):
+        if k <= sweep.size:
+            marker = "  <- minimum region" if abs(k - len(members)) <= 5 else ""
+            print(f"  k={k:3d}  phi={sweep[k - 1]:.4f}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Amortizing preprocessing over many queries (the paper's core trade-off).
+
+Iterative methods pay the full solve per query; preprocessing methods pay
+once and answer queries cheaply.  This example simulates a ranking service
+answering a batch of queries and reports when BePI's preprocessing pays for
+itself against GMRES and power iteration (cf. Figure 12, total time).
+
+Run:  python examples/query_server.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import BePI, GMRESSolver, PowerSolver
+from repro.datasets import build
+
+
+def measure(solver, graph, seeds):
+    start = time.perf_counter()
+    solver.preprocess(graph)
+    preprocess = time.perf_counter() - start
+    per_query = []
+    for seed in seeds:
+        result = solver.query_detailed(int(seed))
+        per_query.append(result.seconds)
+    return preprocess, float(np.mean(per_query))
+
+
+def main() -> None:
+    graph = build("baidu_sim")
+    print(f"graph: {graph.n_nodes:,} nodes, {graph.n_edges:,} edges")
+    rng = np.random.default_rng(0)
+    seeds = rng.choice(graph.n_nodes, size=20, replace=False)
+
+    rows = {}
+    for factory in (lambda: BePI(tol=1e-9),
+                    lambda: GMRESSolver(tol=1e-9),
+                    lambda: PowerSolver(tol=1e-9)):
+        solver = factory()
+        preprocess, query = measure(solver, graph, seeds)
+        rows[solver.name] = (preprocess, query)
+        print(f"{solver.name:6s}: preprocess {preprocess:8.3f}s, "
+              f"avg query {query * 1e3:8.2f} ms")
+
+    bepi_pre, bepi_q = rows["BePI"]
+    print("\nbreak-even query counts (when BePI's total time wins):")
+    for name in ("GMRES", "Power"):
+        _, other_q = rows[name]
+        if other_q <= bepi_q:
+            print(f"  vs {name}: never (baseline queries are not slower here)")
+            continue
+        breakeven = int(np.ceil(bepi_pre / (other_q - bepi_q)))
+        print(f"  vs {name}: {breakeven} queries")
+
+    for n_queries in (1, 10, 100, 1000):
+        line = ", ".join(
+            f"{name} {pre + q * n_queries:8.2f}s"
+            for name, (pre, q) in rows.items()
+        )
+        print(f"  total for {n_queries:5d} queries: {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Mini scalability study (a laptop-scale Figure 5).
+
+Takes principal submatrices of the largest stand-in graph and measures
+BePI's preprocessing time, preprocessed-data memory, and query time as the
+edge count grows, fitting log-log slopes.  The paper reports slopes of
+1.01 / 0.99 / 1.1 — near-linear scaling.
+
+Run:  python examples/scaling_demo.py
+"""
+
+import numpy as np
+
+from repro import BePI
+from repro.datasets import build
+
+
+def main() -> None:
+    base = build("wikilink_sim")
+    print(f"base graph: {base.n_nodes:,} nodes, {base.n_edges:,} edges\n")
+
+    fractions = (0.125, 0.25, 0.5, 1.0)
+    edges, pre_times, memories, query_times = [], [], [], []
+    rng = np.random.default_rng(0)
+
+    print(f"{'nodes':>8s} {'edges':>9s} {'preproc(s)':>11s} "
+          f"{'memory(MB)':>11s} {'query(ms)':>10s}")
+    for fraction in fractions:
+        size = int(base.n_nodes * fraction)
+        graph = base.principal_submatrix(size)
+        if graph.n_edges == 0:
+            continue
+        solver = BePI(c=0.05, tol=1e-9).preprocess(graph)
+        seeds = rng.choice(graph.n_nodes, size=10, replace=False)
+        q_times = [solver.query_detailed(int(s)).seconds for s in seeds]
+        edges.append(graph.n_edges)
+        pre_times.append(solver.stats["preprocess_seconds"])
+        memories.append(solver.memory_bytes())
+        query_times.append(float(np.mean(q_times)))
+        print(f"{graph.n_nodes:>8,} {graph.n_edges:>9,} {pre_times[-1]:>11.3f} "
+              f"{memories[-1] / 1e6:>11.2f} {query_times[-1] * 1e3:>10.2f}")
+
+    log_edges = np.log(edges)
+    for label, series in (("preprocessing time", pre_times),
+                          ("memory", memories),
+                          ("query time", query_times)):
+        slope = np.polyfit(log_edges, np.log(series), 1)[0]
+        print(f"\nlog-log slope of {label} vs edges: {slope:.2f} "
+              f"(paper: ~1, near-linear)")
+
+
+if __name__ == "__main__":
+    main()

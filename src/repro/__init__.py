@@ -1,0 +1,103 @@
+"""BePI reproduction: fast and memory-efficient Random Walk with Restart.
+
+A from-scratch Python implementation of
+
+    Jung, Park, Sael, Kang.
+    "BePI: Fast and Memory-Efficient Method for Billion-Scale Random Walk
+    with Restart."  SIGMOD 2017.
+
+Quickstart
+----------
+>>> from repro import BePI, generate_rmat
+>>> graph = generate_rmat(8, 1500, seed=7)
+>>> solver = BePI(c=0.05).preprocess(graph)
+>>> scores = solver.query(0)          # RWR scores of every node w.r.t. node 0
+>>> ranking = scores.argsort()[::-1]  # personalized ranking for node 0
+
+Package map
+-----------
+- :mod:`repro.core` — BePI / BePI-S / BePI-B and the solver interface,
+- :mod:`repro.baselines` — Bear, LU, GMRES, power iteration, dense inverse,
+- :mod:`repro.graph` — graph container, generators, I/O, components,
+- :mod:`repro.reorder` — deadend + SlashBurn hub-and-spoke reordering,
+- :mod:`repro.linalg` — GMRES, ILU(0), triangular solves, block LU,
+- :mod:`repro.datasets` — seeded stand-ins for the paper's datasets,
+- :mod:`repro.applications` — ranking, link prediction, community detection,
+- :mod:`repro.bench` — experiment harness and memory accounting.
+"""
+
+from repro import datasets
+from repro.approximate import NBLinSolver
+from repro.baselines import BearSolver, DenseSolver, GMRESSolver, LUSolver, PowerSolver
+from repro.bench.memory import MemoryBudget
+from repro.core.accuracy import AccuracyBound, accuracy_bound, tolerance_for_target
+from repro.core.base import QueryResult, RWRSolver
+from repro.core.bepi import BePI, BePIB, BePIS
+from repro.core.dynamic import DynamicRWR
+from repro.core.hub_ratio import choose_hub_ratio, sweep_hub_ratios
+from repro.persistence import load_solver, save_solver
+from repro.exceptions import (
+    ConvergenceError,
+    GraphFormatError,
+    InvalidParameterError,
+    MemoryBudgetExceededError,
+    NotPreprocessedError,
+    ReproError,
+    SingularMatrixError,
+    TimeBudgetExceededError,
+)
+from repro.graph import (
+    Graph,
+    add_deadends,
+    generate_bipartite,
+    generate_erdos_renyi,
+    generate_hub_and_spoke,
+    generate_preferential_attachment,
+    generate_rmat,
+    load_edge_list,
+    save_edge_list,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccuracyBound",
+    "BePI",
+    "BePIB",
+    "BePIS",
+    "BearSolver",
+    "ConvergenceError",
+    "DenseSolver",
+    "DynamicRWR",
+    "GMRESSolver",
+    "Graph",
+    "GraphFormatError",
+    "InvalidParameterError",
+    "LUSolver",
+    "MemoryBudget",
+    "MemoryBudgetExceededError",
+    "NBLinSolver",
+    "NotPreprocessedError",
+    "PowerSolver",
+    "QueryResult",
+    "RWRSolver",
+    "ReproError",
+    "SingularMatrixError",
+    "TimeBudgetExceededError",
+    "accuracy_bound",
+    "add_deadends",
+    "choose_hub_ratio",
+    "datasets",
+    "generate_bipartite",
+    "generate_erdos_renyi",
+    "generate_hub_and_spoke",
+    "generate_preferential_attachment",
+    "generate_rmat",
+    "load_edge_list",
+    "load_solver",
+    "save_edge_list",
+    "save_solver",
+    "sweep_hub_ratios",
+    "tolerance_for_target",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""Graph-mining applications built on RWR scores.
+
+The paper motivates RWR with four applications (Section 1); each gets a
+module here, all solver-agnostic (anything implementing
+:class:`~repro.core.base.RWRSolver` works):
+
+- :mod:`repro.applications.ranking` — personalized ranking (Tong et al.),
+- :mod:`repro.applications.link_prediction` — link recommendation with AUC
+  evaluation (Backstrom & Leskovec),
+- :mod:`repro.applications.community` — local community detection by
+  conductance sweep over RWR scores (Andersen, Chung & Lang),
+- :mod:`repro.applications.anomaly` — neighborhood-formation anomaly
+  scores on bipartite graphs (Sun et al.).
+"""
+
+from repro.applications.anomaly import (
+    anomaly_scores,
+    neighborhood_relevance,
+    normality_scores,
+)
+from repro.applications.community import Community, conductance, local_community
+from repro.applications.evaluation import (
+    kendall_tau,
+    ndcg_at_k,
+    precision_at_k,
+    ranking_agreement,
+    spearman_rho,
+)
+from repro.applications.link_prediction import (
+    LinkPredictionEvaluation,
+    auc_score,
+    evaluate_link_prediction,
+    recommend_links,
+    sample_negative_edges,
+    split_edges,
+)
+from repro.applications.ranking import multi_seed_ranking, personalized_ranking, top_k
+
+__all__ = [
+    "Community",
+    "LinkPredictionEvaluation",
+    "anomaly_scores",
+    "auc_score",
+    "conductance",
+    "evaluate_link_prediction",
+    "kendall_tau",
+    "local_community",
+    "ndcg_at_k",
+    "precision_at_k",
+    "ranking_agreement",
+    "sample_negative_edges",
+    "spearman_rho",
+    "multi_seed_ranking",
+    "neighborhood_relevance",
+    "normality_scores",
+    "personalized_ranking",
+    "recommend_links",
+    "split_edges",
+    "top_k",
+]

@@ -1,0 +1,140 @@
+"""Ranking-comparison metrics, implemented from scratch.
+
+When an approximate solver (NB_LIN, Monte Carlo) or a tighter tolerance is
+being considered, the question is rarely "how large is the L2 error" but
+"does the *ranking* change".  This module provides the standard rank
+metrics — precision@k, Kendall's tau, Spearman's rho, NDCG@k — with exact
+tie handling, so solver outputs can be compared without extra
+dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+def _validate_pair(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape or a.ndim != 1:
+        raise InvalidParameterError(
+            f"score vectors must be 1-D with equal shapes, got {a.shape} and {b.shape}"
+        )
+    if a.shape[0] == 0:
+        raise InvalidParameterError("score vectors must be non-empty")
+
+
+def precision_at_k(reference_scores: np.ndarray, test_scores: np.ndarray, k: int) -> float:
+    """Overlap fraction of the two top-``k`` sets.
+
+    1.0 means the test ranking retrieves exactly the reference's top-``k``
+    nodes (in any order).
+    """
+    ref = np.asarray(reference_scores, dtype=np.float64)
+    test = np.asarray(test_scores, dtype=np.float64)
+    _validate_pair(ref, test)
+    if not 1 <= k <= ref.shape[0]:
+        raise InvalidParameterError(f"k must be in [1, {ref.shape[0]}], got {k}")
+    # Deterministic tie-break toward smaller node id (same as the ranking app).
+    ids = np.arange(ref.shape[0])
+    top_ref = set(np.lexsort((ids, -ref))[:k].tolist())
+    top_test = set(np.lexsort((ids, -test))[:k].tolist())
+    return len(top_ref & top_test) / k
+
+
+def kendall_tau(reference_scores: np.ndarray, test_scores: np.ndarray) -> float:
+    """Kendall's tau-b rank correlation (tie-corrected), in ``[-1, 1]``.
+
+    Computed exactly in ``O(n^2)`` pairs — fine for the few-thousand-node
+    comparisons this library makes; raises for vectors above 5,000 entries
+    to avoid accidental quadratic blow-ups.
+    """
+    ref = np.asarray(reference_scores, dtype=np.float64)
+    test = np.asarray(test_scores, dtype=np.float64)
+    _validate_pair(ref, test)
+    n = ref.shape[0]
+    if n > 5000:
+        raise InvalidParameterError(
+            "kendall_tau is O(n^2); subsample the score vectors below 5,000 entries"
+        )
+    # Pairwise sign agreement, vectorized over the upper triangle.
+    du = np.sign(ref[:, None] - ref[None, :])
+    dv = np.sign(test[:, None] - test[None, :])
+    upper = np.triu_indices(n, k=1)
+    du, dv = du[upper], dv[upper]
+    concordant_minus_discordant = float(np.sum(du * dv))
+    ties_u = float(np.sum(du == 0))
+    ties_v = float(np.sum(dv == 0))
+    n_pairs = du.shape[0]
+    denominator = np.sqrt((n_pairs - ties_u) * (n_pairs - ties_v))
+    if denominator == 0:
+        return 0.0
+    return concordant_minus_discordant / denominator
+
+
+def _average_ranks(scores: np.ndarray) -> np.ndarray:
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(scores.shape[0], dtype=np.float64)
+    sorted_scores = scores[order]
+    positions = np.arange(1, scores.shape[0] + 1, dtype=np.float64)
+    start = 0
+    while start < scores.shape[0]:
+        stop = start
+        while stop + 1 < scores.shape[0] and sorted_scores[stop + 1] == sorted_scores[start]:
+            stop += 1
+        positions[start : stop + 1] = 0.5 * (start + 1 + stop + 1)
+        start = stop + 1
+    ranks[order] = positions
+    return ranks
+
+
+def spearman_rho(reference_scores: np.ndarray, test_scores: np.ndarray) -> float:
+    """Spearman rank correlation (Pearson correlation of average ranks)."""
+    ref = np.asarray(reference_scores, dtype=np.float64)
+    test = np.asarray(test_scores, dtype=np.float64)
+    _validate_pair(ref, test)
+    ranks_ref = _average_ranks(ref)
+    ranks_test = _average_ranks(test)
+    ref_centered = ranks_ref - ranks_ref.mean()
+    test_centered = ranks_test - ranks_test.mean()
+    denominator = np.sqrt((ref_centered**2).sum() * (test_centered**2).sum())
+    if denominator == 0:
+        return 0.0
+    return float((ref_centered * test_centered).sum() / denominator)
+
+
+def ndcg_at_k(reference_scores: np.ndarray, test_scores: np.ndarray, k: int) -> float:
+    """NDCG@k of the test ranking, using the reference scores as gains.
+
+    1.0 means the test ranking orders the top-``k`` positions as profitably
+    as the reference itself.
+    """
+    ref = np.asarray(reference_scores, dtype=np.float64)
+    test = np.asarray(test_scores, dtype=np.float64)
+    _validate_pair(ref, test)
+    if not 1 <= k <= ref.shape[0]:
+        raise InvalidParameterError(f"k must be in [1, {ref.shape[0]}], got {k}")
+    if np.any(ref < 0):
+        raise InvalidParameterError("reference scores (gains) must be non-negative")
+    ids = np.arange(ref.shape[0])
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    test_order = np.lexsort((ids, -test))[:k]
+    ideal_order = np.lexsort((ids, -ref))[:k]
+    dcg = float((ref[test_order] * discounts).sum())
+    ideal = float((ref[ideal_order] * discounts).sum())
+    if ideal == 0:
+        return 0.0
+    return dcg / ideal
+
+
+def ranking_agreement(
+    reference_scores: np.ndarray,
+    test_scores: np.ndarray,
+    k: int = 10,
+) -> dict:
+    """Bundle of all metrics for one pair of score vectors."""
+    return {
+        "precision_at_k": precision_at_k(reference_scores, test_scores, k),
+        "ndcg_at_k": ndcg_at_k(reference_scores, test_scores, k),
+        "spearman_rho": spearman_rho(reference_scores, test_scores),
+    }

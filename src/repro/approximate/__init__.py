@@ -1,0 +1,14 @@
+"""Approximate RWR methods from the paper's related work (Section 5).
+
+The paper's evaluation excludes approximate methods because every compared
+method computes *exact* scores, but it discusses them at length: NB_LIN
+(Tong et al. 2008) approximates ``H^{-1}`` from a low-rank decomposition of
+the normalized adjacency.  This subpackage implements it so users can
+trade accuracy for speed — and so the accuracy gap against the exact
+solvers is measurable.
+"""
+
+from repro.approximate.monte_carlo import MonteCarloSolver
+from repro.approximate.nb_lin import NBLinSolver
+
+__all__ = ["MonteCarloSolver", "NBLinSolver"]

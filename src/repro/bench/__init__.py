@@ -1,0 +1,30 @@
+"""Benchmark support: memory accounting, budgets, and the experiment harness.
+
+The paper's evaluation compares methods on three axes — preprocessing time,
+memory for preprocessed data, and query time — under a machine memory limit
+and a 24-hour preprocessing time limit.  This subpackage provides the
+laptop-scale equivalents:
+
+- :mod:`repro.bench.memory` — byte accounting of preprocessed sparse/dense
+  matrices, and :class:`~repro.bench.memory.MemoryBudget` which makes
+  over-budget methods fail fast ("o.o.m." bars in Figure 1),
+- :mod:`repro.bench.harness` — runs a (dataset x method) experiment matrix
+  and collects the rows the benchmark suite prints.
+"""
+
+from repro.bench.harness import ExperimentRecord, ExperimentRunner
+from repro.bench.memory import MemoryBudget, dense_memory_bytes, sparse_memory_bytes
+from repro.bench.profile import format_preprocess_profile
+from repro.bench.spy import block_diagonal_fraction, density_grid, spy_text
+
+__all__ = [
+    "ExperimentRecord",
+    "ExperimentRunner",
+    "MemoryBudget",
+    "block_diagonal_fraction",
+    "dense_memory_bytes",
+    "density_grid",
+    "format_preprocess_profile",
+    "sparse_memory_bytes",
+    "spy_text",
+]

@@ -1,0 +1,205 @@
+"""Experiment harness: run (dataset x method) matrices and collect rows.
+
+This is the code behind every figure/table bench: it preprocesses a solver
+on a graph under memory/time budgets, times a batch of random-seed queries,
+and records one :class:`ExperimentRecord` — the row format the paper's
+plots are drawn from (preprocessing time, preprocessed-data memory, average
+query time).
+
+Failure semantics mirror the paper: a method that exceeds the memory budget
+is recorded with status ``"oom"``; one that exceeds the preprocessing time
+budget is recorded ``"oot"``; both keep the harness running so the rest of
+the matrix still completes (the "missing bars" of Figure 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.base import RWRSolver
+from repro.exceptions import (
+    ConvergenceError,
+    MemoryBudgetExceededError,
+    ReproError,
+    TimeBudgetExceededError,
+)
+from repro.graph.graph import Graph
+
+SolverFactory = Callable[[], RWRSolver]
+
+
+@dataclass
+class ExperimentRecord:
+    """One (dataset, method) measurement row.
+
+    ``status`` is ``"ok"``, ``"oom"`` (memory budget exceeded), ``"oot"``
+    (time budget exceeded) or ``"error"``; non-``ok`` rows have ``NaN``
+    measurements, mirroring the omitted bars in the paper's figures.
+    """
+
+    dataset: str
+    method: str
+    status: str = "ok"
+    preprocess_seconds: float = float("nan")
+    memory_bytes: float = float("nan")
+    avg_query_seconds: float = float("nan")
+    avg_iterations: float = float("nan")
+    total_seconds: float = float("nan")
+    n_queries: int = 0
+    detail: str = ""
+    solver_stats: Dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class ExperimentRunner:
+    """Runs solver measurements with shared query seeds and budgets.
+
+    Parameters
+    ----------
+    n_queries:
+        Number of random seed nodes per query measurement (paper: 30).
+    seed:
+        RNG seed for choosing query nodes (shared across methods so every
+        method answers the same queries).
+    time_budget_seconds:
+        Preprocessing budget; exceeding it marks the row ``"oot"``.  The
+        check is post-hoc (pure-Python preprocessing cannot be safely
+        interrupted), which is sufficient at laptop scale.
+    """
+
+    def __init__(
+        self,
+        n_queries: int = 30,
+        seed: int = 0,
+        time_budget_seconds: Optional[float] = None,
+    ):
+        self.n_queries = n_queries
+        self.seed = seed
+        self.time_budget_seconds = time_budget_seconds
+
+    def query_seeds(self, graph: Graph) -> np.ndarray:
+        """The shared random query nodes for ``graph``."""
+        rng = np.random.default_rng(self.seed)
+        n = graph.n_nodes
+        size = min(self.n_queries, n)
+        return rng.choice(n, size=size, replace=False)
+
+    def run(
+        self,
+        dataset: str,
+        graph: Graph,
+        factory: SolverFactory,
+        method_name: Optional[str] = None,
+    ) -> ExperimentRecord:
+        """Measure one method on one graph.
+
+        Parameters
+        ----------
+        dataset:
+            Label recorded in the row.
+        graph:
+            The graph to preprocess and query.
+        factory:
+            Zero-argument callable building a fresh solver.
+        method_name:
+            Override for the row's method label (default: the solver's
+            ``name``).
+        """
+        solver = factory()
+        record = ExperimentRecord(dataset=dataset, method=method_name or solver.name)
+        try:
+            start = time.perf_counter()
+            solver.preprocess(graph)
+            preprocess_seconds = time.perf_counter() - start
+            if (
+                self.time_budget_seconds is not None
+                and preprocess_seconds > self.time_budget_seconds
+            ):
+                raise TimeBudgetExceededError(
+                    f"preprocessing took {preprocess_seconds:.1f}s "
+                    f"(budget {self.time_budget_seconds:.1f}s)",
+                    elapsed_seconds=preprocess_seconds,
+                    budget_seconds=self.time_budget_seconds,
+                )
+        except MemoryBudgetExceededError as exc:
+            record.status = "oom"
+            record.detail = str(exc)
+            return record
+        except TimeBudgetExceededError as exc:
+            record.status = "oot"
+            record.detail = str(exc)
+            return record
+        except ReproError as exc:
+            record.status = "error"
+            record.detail = str(exc)
+            return record
+
+        seeds = self.query_seeds(graph)
+        query_seconds: List[float] = []
+        iterations: List[int] = []
+        try:
+            for node in seeds:
+                result = solver.query_detailed(int(node))
+                query_seconds.append(result.seconds)
+                iterations.append(result.iterations)
+        except (ConvergenceError, ReproError) as exc:
+            record.status = "error"
+            record.detail = f"query failed: {exc}"
+            return record
+
+        record.preprocess_seconds = preprocess_seconds
+        record.memory_bytes = float(solver.memory_bytes())
+        record.avg_query_seconds = float(np.mean(query_seconds))
+        record.avg_iterations = float(np.mean(iterations))
+        record.total_seconds = preprocess_seconds + float(np.sum(query_seconds))
+        record.n_queries = len(seeds)
+        record.solver_stats = dict(solver.stats)
+        return record
+
+    def run_matrix(
+        self,
+        datasets: Sequence[Union[str, "tuple[str, Graph]"]],
+        factories: Dict[str, SolverFactory],
+        graphs: Optional[Dict[str, Graph]] = None,
+    ) -> List[ExperimentRecord]:
+        """Run every method on every dataset.
+
+        ``datasets`` entries are either registry names (resolved through
+        :func:`repro.datasets.build`) or ``(label, graph)`` pairs.
+        """
+        from repro.datasets import build as build_dataset
+
+        records: List[ExperimentRecord] = []
+        for entry in datasets:
+            if isinstance(entry, tuple):
+                label, graph = entry
+            else:
+                label = entry
+                graph = (graphs or {}).get(label) or build_dataset(label)
+            for method, factory in factories.items():
+                records.append(self.run(label, graph, factory, method_name=method))
+        return records
+
+
+def format_records(records: Sequence[ExperimentRecord]) -> str:
+    """Human-readable table of experiment rows (used by the benches' output)."""
+    header = (
+        f"{'dataset':<18} {'method':<10} {'status':<6} "
+        f"{'preproc(s)':>10} {'memory(MB)':>10} {'query(ms)':>10} {'iters':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for rec in records:
+        mem_mb = rec.memory_bytes / 1e6 if rec.memory_bytes == rec.memory_bytes else float("nan")
+        lines.append(
+            f"{rec.dataset:<18} {rec.method:<10} {rec.status:<6} "
+            f"{rec.preprocess_seconds:>10.3f} {mem_mb:>10.2f} "
+            f"{rec.avg_query_seconds * 1e3:>10.2f} {rec.avg_iterations:>7.1f}"
+        )
+    return "\n".join(lines)

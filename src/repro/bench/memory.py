@@ -1,0 +1,96 @@
+"""Byte accounting for preprocessed data, and memory budgets.
+
+The paper reports "memory space for preprocessed data" (Figure 1b) as the
+size of the matrices each method must keep around for the query phase,
+stored in a compressed sparse format.  We use the same convention:
+
+- sparse matrix: 8 bytes per non-zero value + 4 bytes per non-zero index
+  + 4 bytes per row/column pointer (compressed column storage, as in the
+  paper's Section 3.1),
+- dense matrix: 8 bytes per entry.
+
+:class:`MemoryBudget` emulates the machine limit: preprocessing that would
+retain more than the budget raises
+:class:`~repro.exceptions.MemoryBudgetExceededError`, reproducing the
+missing bars of Figure 1 without actually exhausting RAM.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import MemoryBudgetExceededError
+
+_VALUE_BYTES = 8
+_INDEX_BYTES = 4
+_POINTER_BYTES = 4
+
+MatrixLike = Union[sp.spmatrix, np.ndarray]
+
+
+def sparse_memory_bytes(matrix: sp.spmatrix) -> int:
+    """Bytes to store a sparse matrix in compressed row/column format."""
+    # Pointer array length is dim + 1; a storage-conscious implementation
+    # picks the cheaper of the CSR/CSC orientations.
+    n_pointers = min(matrix.shape[0], matrix.shape[1]) + 1
+    return int(
+        matrix.nnz * (_VALUE_BYTES + _INDEX_BYTES) + n_pointers * _POINTER_BYTES
+    )
+
+
+def dense_memory_bytes(shape: Iterable[int]) -> int:
+    """Bytes to store a dense float64 matrix of the given shape."""
+    total = 1
+    for dim in shape:
+        total *= int(dim)
+    return total * _VALUE_BYTES
+
+
+def matrix_memory_bytes(matrix: MatrixLike) -> int:
+    """Bytes for either a sparse or a dense matrix."""
+    if sp.issparse(matrix):
+        return sparse_memory_bytes(matrix)
+    return dense_memory_bytes(np.asarray(matrix).shape)
+
+
+class MemoryBudget:
+    """A byte budget for preprocessed data.
+
+    Parameters
+    ----------
+    limit_bytes:
+        Maximum bytes of preprocessed data a method may retain, or ``None``
+        for unlimited.
+
+    Examples
+    --------
+    >>> budget = MemoryBudget(limit_bytes=1024)
+    >>> budget.check(512, what="Schur complement")
+    >>> budget.check(4096, what="dense inverse")
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.MemoryBudgetExceededError: ...
+    """
+
+    def __init__(self, limit_bytes: Optional[int] = None):
+        if limit_bytes is not None and limit_bytes <= 0:
+            raise ValueError(f"limit_bytes must be positive or None, got {limit_bytes}")
+        self.limit_bytes = limit_bytes
+
+    def check(self, required_bytes: int, what: str = "preprocessed data") -> None:
+        """Raise if ``required_bytes`` exceeds the budget."""
+        if self.limit_bytes is not None and required_bytes > self.limit_bytes:
+            raise MemoryBudgetExceededError(
+                f"{what} needs {required_bytes:,} bytes but the budget is "
+                f"{self.limit_bytes:,} bytes",
+                required_bytes=required_bytes,
+                budget_bytes=self.limit_bytes,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.limit_bytes is None:
+            return "MemoryBudget(unlimited)"
+        return f"MemoryBudget(limit_bytes={self.limit_bytes:,})"

@@ -1,0 +1,78 @@
+"""Human-readable breakdowns of a solver's preprocessing cost.
+
+Theorem 1 decomposes BePI's preprocessing into SlashBurn rounds, the
+block-diagonal factorization, the Schur complement and the ILU step; this
+module renders the measured per-stage timings next to the structural
+quantities each stage's complexity depends on, so users can see *where*
+their graph spends preprocessing time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.base import RWRSolver
+from repro.exceptions import NotPreprocessedError
+
+#: Display order and labels for the pipeline stages.
+_STAGE_LABELS = (
+    ("deadend_reorder", "deadend reordering"),
+    ("hub_and_spoke_reorder", "SlashBurn + partition"),
+    ("build_and_partition_h", "H assembly + blocks"),
+    ("factorize_h11", "H11 block LU inverse"),
+    ("schur_complement", "Schur complement S"),
+)
+
+
+def format_preprocess_profile(solver: RWRSolver) -> str:
+    """A text table of the solver's preprocessing stage timings.
+
+    Works with any solver exposing ``stats['stage_timings']`` (the BePI
+    family and Bear); other solvers get the total only.
+
+    Raises
+    ------
+    NotPreprocessedError
+        If the solver has not been preprocessed.
+    """
+    if not solver.is_preprocessed:
+        raise NotPreprocessedError("preprocess() the solver before profiling it")
+    stats = solver.stats
+    total = float(stats.get("preprocess_seconds", 0.0))
+    lines: List[str] = [
+        f"{solver.name} preprocessing profile "
+        f"({solver.graph.n_nodes:,} nodes, {solver.graph.n_edges:,} edges)",
+        f"{'stage':<24} {'seconds':>9} {'share':>7}",
+    ]
+    stage_timings = stats.get("stage_timings", {})
+    accounted = 0.0
+    for key, label in _STAGE_LABELS:
+        if key not in stage_timings:
+            continue
+        seconds = float(stage_timings[key])
+        accounted += seconds
+        share = seconds / total if total > 0 else 0.0
+        lines.append(f"{label:<24} {seconds:>9.4f} {share:>6.1%}")
+    for key, label in (("ilu_seconds", "ILU preconditioner"),
+                       ("invert_schur_seconds", "dense S^-1 (Bear)"),
+                       ("hub_ratio_sweep_seconds", "hub-ratio sweep")):
+        seconds = float(stats.get(key, 0.0))
+        if seconds > 0.0:
+            accounted += seconds
+            share = seconds / total if total > 0 else 0.0
+            lines.append(f"{label:<24} {seconds:>9.4f} {share:>6.1%}")
+    other = max(total - accounted, 0.0)
+    if total > 0 and other / total > 0.01:
+        lines.append(f"{'(other)':<24} {other:>9.4f} {other / total:>6.1%}")
+    lines.append(f"{'total':<24} {total:>9.4f} {'100.0%':>7}")
+
+    structure = []
+    for key, label in (("n1", "n1 spokes"), ("n2", "n2 hubs"),
+                       ("n3", "n3 deadends"), ("n_blocks", "H11 blocks"),
+                       ("nnz_schur", "|S|"),
+                       ("slashburn_iterations", "SlashBurn rounds")):
+        if key in stats:
+            structure.append(f"{label} = {stats[key]:,}")
+    if structure:
+        lines.append("structure: " + ", ".join(structure))
+    return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``stats``       structural statistics of an edge-list graph
+``preprocess``  preprocess a graph with BePI and save the solver
+``query``       top-k RWR ranking for a seed (from an edge list or a saved solver)
+``compare``     run the method comparison matrix on one graph
+``datasets``    list the built-in stand-in datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    BePI,
+    BePIB,
+    BePIS,
+    BearSolver,
+    GMRESSolver,
+    LUSolver,
+    NBLinSolver,
+    PowerSolver,
+    load_edge_list,
+)
+from repro.approximate import MonteCarloSolver
+from repro.applications import top_k
+from repro.bench.harness import ExperimentRunner, format_records
+from repro.graph.stats import compute_stats
+from repro.persistence import load_solver, save_solver
+
+_METHODS = {
+    "bepi": BePI,
+    "bepi-s": BePIS,
+    "bepi-b": BePIB,
+    "bear": BearSolver,
+    "lu": LUSolver,
+    "gmres": GMRESSolver,
+    "power": PowerSolver,
+    "nblin": NBLinSolver,
+    "montecarlo": MonteCarloSolver,
+}
+
+
+def _add_solver_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--method", choices=sorted(_METHODS), default="bepi",
+                        help="RWR method (default: bepi)")
+    parser.add_argument("--c", type=float, default=0.05,
+                        help="restart probability (default: 0.05)")
+    parser.add_argument("--tol", type=float, default=1e-9,
+                        help="error tolerance (default: 1e-9)")
+    parser.add_argument("--hub-ratio", type=float, default=None,
+                        help="SlashBurn hub selection ratio k (BePI family)")
+
+
+def _build_solver(args: argparse.Namespace):
+    cls = _METHODS[args.method]
+    kwargs = {"c": args.c, "tol": args.tol}
+    if args.hub_ratio is not None and args.method.startswith("bepi"):
+        kwargs["hub_ratio"] = args.hub_ratio
+    if args.hub_ratio is not None and args.method == "bear":
+        kwargs["hub_ratio"] = args.hub_ratio
+    return cls(**kwargs)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.graph)
+    stats = compute_stats(graph)
+    print(f"nodes            {stats.n_nodes:,}")
+    print(f"edges            {stats.n_edges:,}")
+    print(f"deadends         {stats.n_deadends:,} "
+          f"({stats.n_deadends / max(stats.n_nodes, 1):.1%})")
+    print(f"max out-degree   {stats.max_out_degree:,}")
+    print(f"max in-degree    {stats.max_in_degree:,}")
+    print(f"mean out-degree  {stats.mean_out_degree:.2f}")
+    print(f"degree tail slope {stats.degree_tail_slope:.2f}")
+    return 0
+
+
+def _cmd_preprocess(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.graph)
+    solver = _build_solver(args)
+    if not isinstance(solver, BePI):
+        print("error: only the BePI family supports saving", file=sys.stderr)
+        return 2
+    solver.preprocess(graph)
+    save_solver(solver, args.output)
+    print(f"preprocessed {graph.n_nodes:,} nodes / {graph.n_edges:,} edges "
+          f"in {solver.stats['preprocess_seconds']:.3f}s")
+    print(f"partition: n1={solver.stats['n1']} n2={solver.stats['n2']} "
+          f"n3={solver.stats['n3']}")
+    print(f"saved {solver.memory_bytes():,} bytes of preprocessed data "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if str(args.graph).endswith(".npz"):
+        solver = load_solver(args.graph)
+    else:
+        graph = load_edge_list(args.graph)
+        solver = _build_solver(args)
+        solver.preprocess(graph)
+    result = solver.query_detailed(args.seed)
+    print(f"query answered in {result.seconds * 1e3:.2f} ms "
+          f"({result.iterations} iterations)")
+    ranking = top_k(solver, args.seed, args.top)
+    print(f"top {args.top} nodes for seed {args.seed}:")
+    for rank, (node, score) in enumerate(ranking, start=1):
+        print(f"  {rank:3d}. node {node:8d}  score {score:.8f}")
+    if ranking and ranking[0][1] == 0.0:
+        print("note: every other node scores 0 — the seed has no outgoing "
+              "edges (deadend) or its component is unreachable")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.graph)
+    runner = ExperimentRunner(n_queries=args.queries, seed=0)
+    factories = {
+        name.upper() if name in ("lu", "gmres") else name.capitalize():
+            (lambda cls=cls: cls(c=args.c, tol=args.tol))
+        for name, cls in _METHODS.items()
+        if name in args.methods.split(",")
+    }
+    records = [
+        runner.run(args.graph, graph, factory, method_name=name)
+        for name, factory in factories.items()
+    ]
+    print(format_records(records))
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    import os
+
+    from repro import datasets, save_edge_list
+
+    print(f"{'name':<18} {'stands in for':<12} {'k':>5}  description")
+    for name in datasets.names():
+        spec = datasets.get(name)
+        print(f"{spec.name:<18} {spec.paper_name:<12} {spec.hub_ratio:>5.2f}  "
+              f"{spec.description}")
+    if args.export:
+        os.makedirs(args.export, exist_ok=True)
+        for name in datasets.names():
+            graph = datasets.build(name)
+            destination = os.path.join(args.export, f"{name}.tsv")
+            save_edge_list(
+                graph, destination,
+                header=f"stand-in for {datasets.get(name).paper_name} "
+                       f"(BePI SIGMOD'17 reproduction)",
+            )
+            print(f"exported {name} -> {destination} "
+                  f"({graph.n_nodes:,} nodes, {graph.n_edges:,} edges)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BePI (SIGMOD 2017) — Random Walk with Restart toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="graph statistics")
+    p_stats.add_argument("graph", help="edge-list file")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_pre = sub.add_parser("preprocess", help="preprocess and save a solver")
+    p_pre.add_argument("graph", help="edge-list file")
+    p_pre.add_argument("-o", "--output", required=True, help="output .npz path")
+    _add_solver_options(p_pre)
+    p_pre.set_defaults(func=_cmd_preprocess)
+
+    p_query = sub.add_parser("query", help="top-k RWR ranking for a seed")
+    p_query.add_argument("graph", help="edge-list file or saved solver (.npz)")
+    p_query.add_argument("--seed", type=int, required=True, help="seed node id")
+    p_query.add_argument("--top", type=int, default=10, help="ranking size")
+    _add_solver_options(p_query)
+    p_query.set_defaults(func=_cmd_query)
+
+    p_cmp = sub.add_parser("compare", help="compare methods on one graph")
+    p_cmp.add_argument("graph", help="edge-list file")
+    p_cmp.add_argument("--methods", default="bepi,gmres,power",
+                       help="comma-separated method list")
+    p_cmp.add_argument("--queries", type=int, default=10,
+                       help="random queries per method")
+    p_cmp.add_argument("--c", type=float, default=0.05)
+    p_cmp.add_argument("--tol", type=float, default=1e-9)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_ds = sub.add_parser("datasets", help="list built-in stand-in datasets")
+    p_ds.add_argument("--export", metavar="DIR", default=None,
+                      help="also write every dataset as an edge list into DIR")
+    p_ds.set_defaults(func=_cmd_datasets)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

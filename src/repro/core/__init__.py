@@ -1,0 +1,30 @@
+"""The paper's contribution: BePI and its supporting machinery.
+
+- :mod:`repro.core.base` — the :class:`~repro.core.base.RWRSolver` interface
+  all methods (BePI and baselines) implement,
+- :mod:`repro.core.schur` — Schur complement of ``H11``,
+- :mod:`repro.core.hub_ratio` — the ``k``-selection sweep of Section 3.4,
+- :mod:`repro.core.bepi` — BePI-B, BePI-S and BePI (Algorithms 1-4),
+- :mod:`repro.core.accuracy` — the accuracy bounds of Theorem 4.
+"""
+
+from repro.core.accuracy import AccuracyBound, accuracy_bound, tolerance_for_target
+from repro.core.base import QueryResult, RWRSolver
+from repro.core.bepi import BePI, BePIB, BePIS
+from repro.core.hub_ratio import SchurSweepRecord, choose_hub_ratio, sweep_hub_ratios
+from repro.core.schur import compute_schur_complement
+
+__all__ = [
+    "AccuracyBound",
+    "BePI",
+    "BePIB",
+    "BePIS",
+    "QueryResult",
+    "RWRSolver",
+    "SchurSweepRecord",
+    "accuracy_bound",
+    "choose_hub_ratio",
+    "compute_schur_complement",
+    "sweep_hub_ratios",
+    "tolerance_for_target",
+]

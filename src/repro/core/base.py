@@ -1,0 +1,196 @@
+"""The common interface of every RWR method in this package.
+
+Both the paper's contribution (BePI) and all baselines (Bear, LU, GMRES,
+power iteration, dense inverse) implement :class:`RWRSolver`, so the
+benchmark harness and the applications can treat them interchangeably:
+
+    solver = BePI(c=0.05)
+    solver.preprocess(graph)
+    scores = solver.query(seed)
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.bench.memory import MemoryBudget, matrix_memory_bytes
+from repro.exceptions import InvalidParameterError, NotPreprocessedError
+from repro.graph.graph import Graph
+from repro.linalg.rwr_matrix import seed_vector
+
+
+@dataclass
+class QueryResult:
+    """A scored query with solver-side metadata.
+
+    Attributes
+    ----------
+    scores:
+        RWR score vector in original node order.
+    seconds:
+        Wall-clock time of the query.
+    iterations:
+        Iterations the solver's inner iterative method used (0 for purely
+        direct methods).
+    """
+
+    scores: np.ndarray
+    seconds: float
+    iterations: int = 0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+
+class RWRSolver(abc.ABC):
+    """Abstract base class for Random Walk with Restart solvers.
+
+    Parameters
+    ----------
+    c:
+        Restart probability, strictly in ``(0, 1)``.  The paper uses 0.05.
+    tol:
+        Error tolerance of the inner iterative method (ignored by direct
+        methods).  The paper uses 1e-9.
+    memory_budget:
+        Optional cap on preprocessed-data bytes; exceeding it raises
+        :class:`~repro.exceptions.MemoryBudgetExceededError` during
+        preprocessing, emulating the paper's out-of-memory failures.
+
+    Subclass contract
+    -----------------
+    Implement :meth:`_preprocess` (store whatever the query phase needs and
+    register retained matrices via :meth:`_retain`), and :meth:`_query`
+    (given a starting vector in *original* node order, return scores in
+    original order).
+    """
+
+    #: Human-readable method name used by the benchmark harness.
+    name: str = "rwr"
+
+    def __init__(
+        self,
+        c: float = 0.05,
+        tol: float = 1e-9,
+        memory_budget: Optional[MemoryBudget] = None,
+    ):
+        if not 0.0 < c < 1.0:
+            raise InvalidParameterError(f"restart probability c must be in (0, 1), got {c}")
+        if tol <= 0.0:
+            raise InvalidParameterError(f"tol must be positive, got {tol}")
+        self.c = c
+        self.tol = tol
+        self.memory_budget = memory_budget if memory_budget is not None else MemoryBudget()
+        self._graph: Optional[Graph] = None
+        self._retained: Dict[str, Any] = {}
+        self.stats: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_preprocessed(self) -> bool:
+        return self._graph is not None
+
+    @property
+    def graph(self) -> Graph:
+        """The preprocessed graph."""
+        self._require_preprocessed()
+        return self._graph  # type: ignore[return-value]
+
+    def preprocess(self, graph: Graph) -> "RWRSolver":
+        """Run the preprocessing phase on ``graph``.
+
+        Returns ``self`` so construction and preprocessing chain:
+        ``scores = BePI().preprocess(g).query(0)``.
+        """
+        self._retained = {}
+        self.stats = {}
+        start = time.perf_counter()
+        self._preprocess(graph)
+        elapsed = time.perf_counter() - start
+        self._graph = graph
+        self.stats["preprocess_seconds"] = elapsed
+        self.stats["memory_bytes"] = self.memory_bytes()
+        self.memory_budget.check(self.stats["memory_bytes"], what=f"{self.name} preprocessed data")
+        return self
+
+    def query(self, seed: int) -> np.ndarray:
+        """RWR scores of every node with respect to ``seed`` (original ids)."""
+        return self.query_detailed(seed).scores
+
+    def query_detailed(self, seed: int) -> QueryResult:
+        """Like :meth:`query` but returns timing and iteration metadata."""
+        self._require_preprocessed()
+        q = seed_vector(self.graph.n_nodes, seed)
+        return self.query_vector(q)
+
+    def query_vector(self, q: np.ndarray) -> QueryResult:
+        """Solve ``H r = c q`` for an arbitrary starting vector ``q``.
+
+        With several non-zero entries summing to one this computes
+        Personalized PageRank, of which single-seed RWR is the special case
+        (Section 2.1).
+        """
+        self._require_preprocessed()
+        q_arr = np.asarray(q, dtype=np.float64)
+        if q_arr.shape != (self.graph.n_nodes,):
+            raise InvalidParameterError(
+                f"starting vector must have shape ({self.graph.n_nodes},), "
+                f"got {q_arr.shape}"
+            )
+        start = time.perf_counter()
+        scores, iterations = self._query(q_arr)
+        elapsed = time.perf_counter() - start
+        return QueryResult(scores=scores, seconds=elapsed, iterations=iterations)
+
+    def query_many(self, seeds) -> np.ndarray:
+        """RWR scores for several seeds; returns an ``(len(seeds), n)`` matrix.
+
+        Row ``i`` equals ``query(seeds[i])``.  This is the bulk-serving
+        pattern preprocessing methods exist for: one preprocessing pass,
+        arbitrarily many cheap queries.
+        """
+        self._require_preprocessed()
+        seed_list = [int(s) for s in seeds]
+        n = self.graph.n_nodes
+        out = np.empty((len(seed_list), n), dtype=np.float64)
+        for i, seed in enumerate(seed_list):
+            out[i] = self.query(seed)
+        return out
+
+    def memory_bytes(self) -> int:
+        """Bytes of preprocessed data retained for the query phase."""
+        return int(sum(matrix_memory_bytes(m) for m in self._retained.values()))
+
+    def retained_matrices(self) -> Dict[str, Any]:
+        """Name -> matrix mapping of everything kept for the query phase."""
+        return dict(self._retained)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _preprocess(self, graph: Graph) -> None:
+        """Build and retain the method's preprocessed data."""
+
+    @abc.abstractmethod
+    def _query(self, q: np.ndarray) -> "tuple[np.ndarray, int]":
+        """Solve for ``q`` (original order); return ``(scores, iterations)``."""
+
+    def _retain(self, name: str, matrix: Any) -> None:
+        """Register a matrix as part of the preprocessed data (for memory accounting)."""
+        self._retained[name] = matrix
+
+    def _require_preprocessed(self) -> None:
+        if self._graph is None:
+            raise NotPreprocessedError(
+                f"{type(self).__name__}.preprocess(graph) must be called before querying"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "preprocessed" if self.is_preprocessed else "unfitted"
+        return f"{type(self).__name__}(c={self.c}, tol={self.tol}, {state})"

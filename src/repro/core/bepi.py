@@ -1,0 +1,321 @@
+"""BePI, BePI-S and BePI-B — the paper's proposed solvers (Algorithms 1-4).
+
+All three share one preprocessing pipeline (deadend reorder, SlashBurn
+hub-and-spoke reorder, block elimination with the Schur complement solved
+iteratively); they differ only in two policies:
+
+========  =======================================  ==================
+variant   hub ratio policy                          preconditioner
+========  =======================================  ==================
+BePI-B    small ``k`` (concentrate non-zeros)       none
+BePI-S    ``k`` minimizing ``|S|`` (Section 3.4)    none
+BePI      ``k`` minimizing ``|S|``                  ILU(0) (Sec. 3.5)
+========  =======================================  ==================
+
+The query phase follows Algorithm 4 exactly: a (preconditioned) GMRES solve
+on the Schur system for ``r2``, two sparse products through the inverted LU
+factors of ``H11`` for ``r1``, and a back-substitution for the deadend
+scores ``r3``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.bench.memory import MemoryBudget
+from repro.core.base import RWRSolver
+from repro.core.hub_ratio import DEFAULT_CANDIDATES, choose_hub_ratio
+from repro.core.pipeline import PreprocessArtifacts, build_artifacts
+from repro.exceptions import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.linalg.bicgstab import bicgstab
+from repro.linalg.gmres import gmres
+from repro.linalg.ilu import ILUFactors, ilu0, ilut, spilu_factors
+from repro.linalg.preconditioners import JacobiPreconditioner
+
+HubRatio = Union[float, str]
+
+#: Default "small k" for the basic variant.  The paper uses 0.001 on graphs
+#: with 1e5-7e7 nodes; on the ~1e3-3e4-node stand-in datasets the same
+#: *policy* (a few dozen hubs per SlashBurn round) corresponds to a larger
+#: ratio.
+DEFAULT_SMALL_HUB_RATIO = 0.05
+
+#: Default sparsifying ratio: the paper selects 0.2-0.3 for every dataset.
+DEFAULT_SPARSE_HUB_RATIO = 0.2
+
+
+class BePI(RWRSolver):
+    """Best of Preprocessing and Iterative approaches for RWR.
+
+    Parameters
+    ----------
+    c:
+        Restart probability (paper default 0.05).
+    tol:
+        Error tolerance ``eps`` of the GMRES solve (paper default 1e-9).
+    hub_ratio:
+        SlashBurn hub selection ratio ``k`` in ``(0, 1]``, or ``"auto"`` to
+        sweep :data:`~repro.core.hub_ratio.DEFAULT_CANDIDATES` and pick the
+        ``|S|``-minimizing value (the BePI-S policy, Section 3.4).
+    use_preconditioner:
+        Precompute a preconditioner for ``S`` and run preconditioned GMRES
+        (Section 3.5).  Disable to obtain BePI-S behaviour.
+    ilu_engine:
+        Preconditioner engine: ``"ilu0"`` for the from-scratch ILU(0) (the
+        paper's choice, default), ``"ilut"`` for the threshold-based ILUT
+        (stronger, allows fill), ``"spilu"`` for scipy's SuperLU-based
+        incomplete factorization, or ``"jacobi"`` for the cheap diagonal
+        preconditioner (ablation lower bar).
+    iterative_method:
+        Krylov solver for the Schur system: ``"gmres"`` (the paper's
+        choice, default) or ``"bicgstab"`` (Section 2.2 notes any
+        non-symmetric Krylov method applies).
+    gmres_restart:
+        Restart length for GMRES; ``None`` = full GMRES (the paper's
+        setting — iteration counts stay below ~70, Table 4).  Ignored by
+        BiCGSTAB.
+    max_iterations:
+        Iteration budget for the Schur solve (default: its dimension).
+    memory_budget:
+        Optional byte cap on preprocessed data.
+    deadend_reorder:
+        Disable the deadend separation of Section 3.2.1 (ablation only;
+        results remain exact, preprocessing just works on a larger system).
+    hub_selection:
+        ``"slashburn"`` (paper) or ``"degree"`` — single highest-degree cut
+        instead of the iterative shattering (ablation only).
+
+    Examples
+    --------
+    >>> from repro import BePI, generate_rmat
+    >>> graph = generate_rmat(8, 1500, seed=7)
+    >>> solver = BePI(c=0.05, tol=1e-9, hub_ratio=0.2).preprocess(graph)
+    >>> scores = solver.query(0)
+    >>> bool(scores[0] > 0)
+    True
+    """
+
+    name = "BePI"
+
+    def __init__(
+        self,
+        c: float = 0.05,
+        tol: float = 1e-9,
+        hub_ratio: HubRatio = DEFAULT_SPARSE_HUB_RATIO,
+        use_preconditioner: bool = True,
+        ilu_engine: str = "ilu0",
+        iterative_method: str = "gmres",
+        gmres_restart: Optional[int] = None,
+        max_iterations: Optional[int] = None,
+        memory_budget: Optional[MemoryBudget] = None,
+        deadend_reorder: bool = True,
+        hub_selection: str = "slashburn",
+        ilut_drop_tolerance: float = 1e-4,
+        ilut_fill_factor: int = 20,
+    ):
+        super().__init__(c=c, tol=tol, memory_budget=memory_budget)
+        if isinstance(hub_ratio, str):
+            if hub_ratio != "auto":
+                raise InvalidParameterError(
+                    f"hub_ratio must be a float in (0, 1] or 'auto', got {hub_ratio!r}"
+                )
+        elif not 0.0 < float(hub_ratio) <= 1.0:
+            raise InvalidParameterError(
+                f"hub_ratio must be in (0, 1], got {hub_ratio}"
+            )
+        if ilu_engine not in ("ilu0", "ilut", "spilu", "jacobi"):
+            raise InvalidParameterError(
+                f"ilu_engine must be 'ilu0', 'ilut', 'spilu' or 'jacobi', "
+                f"got {ilu_engine!r}"
+            )
+        if iterative_method not in ("gmres", "bicgstab"):
+            raise InvalidParameterError(
+                f"iterative_method must be 'gmres' or 'bicgstab', "
+                f"got {iterative_method!r}"
+            )
+        if hub_selection not in ("slashburn", "degree"):
+            raise InvalidParameterError(
+                f"hub_selection must be 'slashburn' or 'degree', got {hub_selection!r}"
+            )
+        self.hub_ratio = hub_ratio
+        self.use_preconditioner = use_preconditioner
+        self.ilu_engine = ilu_engine
+        self.iterative_method = iterative_method
+        self.gmres_restart = gmres_restart
+        self.max_iterations = max_iterations
+        self.deadend_reorder = deadend_reorder
+        self.hub_selection = hub_selection
+        self.ilut_drop_tolerance = ilut_drop_tolerance
+        self.ilut_fill_factor = ilut_fill_factor
+        self._artifacts: Optional[PreprocessArtifacts] = None
+        self._ilu = None  # ILUFactors or JacobiPreconditioner
+
+    # ------------------------------------------------------------------
+    # Preprocessing phase (Algorithm 3)
+    # ------------------------------------------------------------------
+    def _preprocess(self, graph: Graph) -> None:
+        if isinstance(self.hub_ratio, str):  # "auto"
+            start = time.perf_counter()
+            k = choose_hub_ratio(graph, self.c, DEFAULT_CANDIDATES)
+            sweep_seconds = time.perf_counter() - start
+        else:
+            k = float(self.hub_ratio)
+            sweep_seconds = 0.0
+
+        artifacts = build_artifacts(
+            graph,
+            self.c,
+            k,
+            deadend_reordering=self.deadend_reorder,
+            hub_selection=self.hub_selection,
+        )
+        self._artifacts = artifacts
+
+        self._ilu = None
+        ilu_seconds = 0.0
+        if self.use_preconditioner and artifacts.schur.shape[0] > 0:
+            start = time.perf_counter()
+            if self.ilu_engine == "ilu0":
+                self._ilu = ilu0(artifacts.schur)
+            elif self.ilu_engine == "ilut":
+                self._ilu = ilut(
+                    artifacts.schur,
+                    drop_tolerance=self.ilut_drop_tolerance,
+                    fill_factor=self.ilut_fill_factor,
+                )
+            elif self.ilu_engine == "spilu":
+                self._ilu = spilu_factors(artifacts.schur)
+            else:
+                self._ilu = JacobiPreconditioner(artifacts.schur)
+            ilu_seconds = time.perf_counter() - start
+
+        # Retained matrices, exactly the output list of Algorithm 3:
+        # L1^{-1}, U1^{-1}, S, (L2, U2,) H12, H21, H31, H32.
+        self._retain("L1_inv", artifacts.h11_factors.l_inv)
+        self._retain("U1_inv", artifacts.h11_factors.u_inv)
+        self._retain("S", artifacts.schur)
+        self._retain("H12", artifacts.blocks["H12"])
+        self._retain("H21", artifacts.blocks["H21"])
+        self._retain("H31", artifacts.blocks["H31"])
+        self._retain("H32", artifacts.blocks["H32"])
+        if isinstance(self._ilu, ILUFactors):
+            self._retain("L2", self._ilu.l)
+            self._retain("U2", self._ilu.u)
+        elif self._ilu is not None:  # Jacobi: one value per row of S
+            self._retain("M_diag", self._ilu._inv_diag)
+
+        self.stats.update(
+            {
+                "hub_ratio": k,
+                "hub_ratio_sweep_seconds": sweep_seconds,
+                "n1": artifacts.n1,
+                "n2": artifacts.n2,
+                "n3": artifacts.n3,
+                "n_blocks": int(artifacts.block_sizes.shape[0]),
+                "slashburn_iterations": artifacts.hubspoke.slashburn_iterations,
+                "nnz_schur": int(artifacts.schur.nnz),
+                "ilu_seconds": ilu_seconds,
+                "stage_timings": dict(artifacts.timings),
+                "preconditioned": self._ilu is not None,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Query phase (Algorithm 4)
+    # ------------------------------------------------------------------
+    def _query(self, q: np.ndarray) -> Tuple[np.ndarray, int]:
+        artifacts = self._artifacts
+        assert artifacts is not None  # guarded by RWRSolver._require_preprocessed
+        c = self.c
+        n1, n2 = artifacts.n1, artifacts.n2
+        blocks = artifacts.blocks
+
+        qp = artifacts.permutation.apply_to_vector(q)
+        q1 = qp[:n1]
+        q2 = qp[n1 : n1 + n2]
+        q3 = qp[n1 + n2 :]
+
+        # Line 3: q2~ = c q2 - H21 (U1^{-1} (L1^{-1} (c q1))).
+        if n1 > 0:
+            h11_inv_q1 = artifacts.h11_factors.solve(c * q1)
+            q2_tilde = c * q2 - blocks["H21"] @ h11_inv_q1
+        else:
+            q2_tilde = c * q2
+
+        # Line 4: solve S r2 = q2~ with the (preconditioned) Krylov method.
+        iterations = 0
+        if n2 > 0:
+            if self.iterative_method == "gmres":
+                result = gmres(
+                    artifacts.schur,
+                    q2_tilde,
+                    tol=self.tol,
+                    max_iterations=self.max_iterations,
+                    restart=self.gmres_restart,
+                    preconditioner=self._ilu,
+                )
+            else:
+                result = bicgstab(
+                    artifacts.schur,
+                    q2_tilde,
+                    tol=self.tol,
+                    max_iterations=self.max_iterations,
+                    preconditioner=self._ilu,
+                )
+            r2 = result.x
+            iterations = result.n_iterations
+        else:
+            r2 = np.zeros(0, dtype=np.float64)
+
+        # Line 5: r1 = U1^{-1} (L1^{-1} (c q1 - H12 r2)).
+        if n1 > 0:
+            r1 = artifacts.h11_factors.solve(c * q1 - blocks["H12"] @ r2)
+        else:
+            r1 = np.zeros(0, dtype=np.float64)
+
+        # Line 6: r3 = c q3 - H31 r1 - H32 r2.
+        r3 = c * q3 - blocks["H31"] @ r1 - blocks["H32"] @ r2
+
+        r = np.concatenate([r1, r2, r3])
+        return artifacts.permutation.unapply_to_vector(r), iterations
+
+    # ------------------------------------------------------------------
+    # Introspection used by benchmarks and the accuracy analysis
+    # ------------------------------------------------------------------
+    @property
+    def artifacts(self) -> PreprocessArtifacts:
+        """The preprocessing artifacts (requires :meth:`preprocess`)."""
+        self._require_preprocessed()
+        assert self._artifacts is not None
+        return self._artifacts
+
+    @property
+    def ilu_factors(self) -> Optional[ILUFactors]:
+        """The ILU(0) preconditioner factors, if any."""
+        return self._ilu
+
+
+class BePIS(BePI):
+    """BePI-S: sparsified Schur complement, no preconditioner (Section 3.4)."""
+
+    name = "BePI-S"
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("hub_ratio", DEFAULT_SPARSE_HUB_RATIO)
+        kwargs["use_preconditioner"] = False
+        super().__init__(**kwargs)
+
+
+class BePIB(BePI):
+    """BePI-B: basic variant — small hub ratio, no preconditioner (Section 3.3)."""
+
+    name = "BePI-B"
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("hub_ratio", DEFAULT_SMALL_HUB_RATIO)
+        kwargs["use_preconditioner"] = False
+        super().__init__(**kwargs)

@@ -1,0 +1,90 @@
+"""Hub selection ratio sweep (Section 3.4, Figure 4).
+
+The number of non-zeros of the Schur complement is bounded by
+``|S| <= |H22| + |H21 H11^{-1} H12|``; growing ``k`` grows ``|H22|`` but
+shrinks the correction term, so there is a sweet spot (empirically
+``k ~ 0.2-0.3`` in the paper).  :func:`sweep_hub_ratios` measures all three
+quantities per candidate ``k`` and :func:`choose_hub_ratio` picks the
+minimizer — the policy that turns BePI-B into BePI-S.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.pipeline import build_artifacts
+from repro.exceptions import InvalidParameterError
+from repro.graph.graph import Graph
+
+#: Candidate ratios used when a solver is asked to auto-select ``k``.
+DEFAULT_CANDIDATES = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+@dataclass(frozen=True)
+class SchurSweepRecord:
+    """Measurements for one candidate hub selection ratio.
+
+    Mirrors the series of Figure 4: ``nnz_schur`` (= ``|S|``),
+    ``nnz_h22`` and ``nnz_correction`` (= ``|H21 H11^{-1} H12|``).
+    """
+
+    k: float
+    n1: int
+    n2: int
+    n_blocks: int
+    nnz_schur: int
+    nnz_h22: int
+    nnz_correction: int
+    slashburn_iterations: int
+
+
+def sweep_hub_ratios(
+    graph: Graph,
+    c: float,
+    candidates: Sequence[float] = DEFAULT_CANDIDATES,
+) -> List[SchurSweepRecord]:
+    """Measure Schur-complement sparsity for each candidate ``k``.
+
+    Runs the full Algorithm-1 pipeline (reorder, factorize, Schur) per
+    candidate; this is exactly the preprocessing work, so the sweep's cost
+    is ``len(candidates)`` preprocessing passes.
+    """
+    if not candidates:
+        raise InvalidParameterError("need at least one candidate hub ratio")
+    records: List[SchurSweepRecord] = []
+    for k in candidates:
+        artifacts = build_artifacts(graph, c, k)
+        h12 = artifacts.blocks["H12"]
+        h21 = artifacts.blocks["H21"]
+        h22 = artifacts.blocks["H22"]
+        if h12.shape[0] == 0 or h12.shape[1] == 0:
+            nnz_correction = 0
+        else:
+            correction = h21 @ artifacts.h11_factors.solve_matrix(h12)
+            correction.eliminate_zeros()
+            nnz_correction = int(correction.nnz)
+        records.append(
+            SchurSweepRecord(
+                k=float(k),
+                n1=artifacts.n1,
+                n2=artifacts.n2,
+                n_blocks=artifacts.hubspoke.n_blocks,
+                nnz_schur=int(artifacts.schur.nnz),
+                nnz_h22=int(h22.nnz),
+                nnz_correction=nnz_correction,
+                slashburn_iterations=artifacts.hubspoke.slashburn_iterations,
+            )
+        )
+    return records
+
+
+def choose_hub_ratio(
+    graph: Graph,
+    c: float,
+    candidates: Sequence[float] = DEFAULT_CANDIDATES,
+) -> float:
+    """The candidate ``k`` minimizing ``|S|`` (ties toward the smaller ``k``)."""
+    records = sweep_hub_ratios(graph, c, candidates)
+    best = min(records, key=lambda rec: (rec.nnz_schur, rec.k))
+    return best.k

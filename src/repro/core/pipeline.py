@@ -1,0 +1,138 @@
+"""Shared preprocessing pipeline (Algorithm 1 / 3, lines 1-6).
+
+Both the BePI solver variants and the hub-ratio sweep of Section 3.4 need
+the same sequence — deadend reorder, hub-and-spoke reorder, ``H`` assembly
+and partitioning, block-diagonal LU of ``H11``, Schur complement — so it
+lives here once, producing a :class:`PreprocessArtifacts` bundle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.schur import compute_schur_complement
+from repro.graph.graph import Graph
+from repro.linalg.block_lu import BlockDiagonalLU, factorize_block_diagonal
+from repro.linalg.rwr_matrix import build_h_matrix, partition_h
+from repro.reorder.deadend import deadend_reorder
+from repro.reorder.hubspoke import HubSpokePartition, hub_and_spoke_partition
+from repro.reorder.permutation import Permutation
+
+
+@dataclass
+class PreprocessArtifacts:
+    """Everything Algorithm 1 computes before the (optional) ILU step.
+
+    Attributes
+    ----------
+    permutation:
+        Total node ordering (spokes, hubs, deadends) over original ids.
+    n1, n2, n3:
+        Spoke / hub / deadend counts.
+    block_sizes:
+        Diagonal block sizes of ``H11``.
+    blocks:
+        The six ``H`` blocks of Eq. 5, in reordered coordinates.
+    h11_factors:
+        Inverted LU factors of ``H11``.
+    schur:
+        The Schur complement ``S``.
+    hubspoke:
+        The hub-and-spoke partition metadata (SlashBurn iterations, ``k``).
+    timings:
+        Per-stage wall-clock seconds.
+    """
+
+    permutation: Permutation
+    n1: int
+    n2: int
+    n3: int
+    block_sizes: np.ndarray
+    blocks: Dict[str, sp.csr_matrix]
+    h11_factors: BlockDiagonalLU
+    schur: sp.csr_matrix
+    hubspoke: HubSpokePartition
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
+def build_artifacts(
+    graph: Graph,
+    c: float,
+    hub_ratio: float,
+    deadend_reordering: bool = True,
+    hub_selection: str = "slashburn",
+) -> PreprocessArtifacts:
+    """Run Algorithm 1 lines 1-6 on ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Input graph in original node order.
+    c:
+        Restart probability.
+    hub_ratio:
+        SlashBurn hub selection ratio ``k``.
+    deadend_reordering:
+        Disable to keep deadends inside the hub-and-spoke blocks (the
+        Section 3.2.1 ablation); the result is still correct, just with
+        ``n3 = 0`` and a larger non-deadend system.
+    hub_selection:
+        ``"slashburn"`` or ``"degree"`` (ordering ablation; see
+        :func:`repro.reorder.hubspoke.hub_and_spoke_partition`).
+    """
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    if deadend_reordering:
+        dead = deadend_reorder(graph)
+        dead_permutation = dead.permutation
+        n_nd, n3 = dead.n_non_deadends, dead.n_deadends
+    else:
+        dead_permutation = Permutation.identity(graph.n_nodes)
+        n_nd, n3 = graph.n_nodes, 0
+    timings["deadend_reorder"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    graph_d = graph.permute(dead_permutation.order)
+    # Hub-and-spoke reordering runs on the non-deadend subgraph A_nn only
+    # (Algorithm 1, line 2); the adjacency pattern is all SlashBurn needs.
+    ann = Graph(graph_d.adjacency[:n_nd, :n_nd])
+    hubspoke = hub_and_spoke_partition(ann, hub_ratio, method=hub_selection)
+    timings["hub_and_spoke_reorder"] = time.perf_counter() - start
+
+    # Lift the non-deadend permutation to the full graph and compose with
+    # the deadend split: total order = deadend order refined by hub/spoke.
+    embedded = hubspoke.permutation.extend_with_offset(graph.n_nodes, 0)
+    total = Permutation(dead_permutation.order[embedded.order])
+
+    start = time.perf_counter()
+    reordered = graph.permute(total.order)
+    h = build_h_matrix(reordered.adjacency, c)
+    blocks = partition_h(h, hubspoke.n_spokes, hubspoke.n_hubs, n3)
+    timings["build_and_partition_h"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    h11_factors = factorize_block_diagonal(blocks["H11"], hubspoke.block_sizes)
+    timings["factorize_h11"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    schur = compute_schur_complement(blocks, h11_factors)
+    timings["schur_complement"] = time.perf_counter() - start
+
+    return PreprocessArtifacts(
+        permutation=total,
+        n1=hubspoke.n_spokes,
+        n2=hubspoke.n_hubs,
+        n3=n3,
+        block_sizes=hubspoke.block_sizes,
+        blocks=blocks,
+        h11_factors=h11_factors,
+        schur=schur,
+        hubspoke=hubspoke,
+        timings=timings,
+    )

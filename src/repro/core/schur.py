@@ -1,0 +1,54 @@
+"""Schur complement of ``H11`` (Lemma 1 / Algorithm 1 line 6).
+
+``S = H22 - H21 (U1^{-1} (L1^{-1} H12))`` — computed right-to-left through
+the inverted LU factors of the block-diagonal ``H11``, exactly as the paper
+prescribes, so no dense ``H11^{-1}`` is ever formed.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import scipy.sparse as sp
+
+from repro.linalg.block_lu import BlockDiagonalLU
+
+
+def compute_schur_complement(
+    blocks: Mapping[str, sp.csr_matrix],
+    h11_factors: BlockDiagonalLU,
+    drop_tolerance: float = 0.0,
+) -> sp.csr_matrix:
+    """Compute ``S = H22 - H21 H11^{-1} H12``.
+
+    Parameters
+    ----------
+    blocks:
+        The partition produced by :func:`repro.linalg.rwr_matrix.partition_h`
+        (needs ``H12``, ``H21``, ``H22``).
+    h11_factors:
+        Inverted LU factors of ``H11``.
+    drop_tolerance:
+        Entries with absolute value at or below this threshold are dropped
+        from the result (0 keeps exact values; only numerically exact zeros
+        are removed).
+
+    Returns
+    -------
+    The Schur complement as a CSR matrix of dimension ``n2 x n2``.
+    """
+    h12 = blocks["H12"]
+    h21 = blocks["H21"]
+    h22 = blocks["H22"]
+    if h12.shape[0] == 0 or h12.shape[1] == 0:
+        # No spokes (or no hubs): the correction term vanishes.
+        schur = h22.copy().tocsr()
+    else:
+        inner = h11_factors.solve_matrix(h12)
+        schur = (h22 - h21 @ inner).tocsr()
+    if drop_tolerance > 0.0:
+        mask = abs(schur.data) <= drop_tolerance
+        schur.data[mask] = 0.0
+    schur.eliminate_zeros()
+    schur.sort_indices()
+    return schur

@@ -1,0 +1,31 @@
+"""Seeded synthetic stand-ins for the paper's evaluation datasets.
+
+See :mod:`repro.datasets.registry` for the full catalogue and the
+substitution rationale (DESIGN.md §4).
+"""
+
+from repro.datasets.registry import (
+    DatasetSpec,
+    FIG4_DATASETS,
+    FIG7_DATASETS,
+    FIG8_DATASETS,
+    HEADLINE_DATASETS,
+    SMALL_DATASETS,
+    build,
+    get,
+    names,
+    registry,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "FIG4_DATASETS",
+    "FIG7_DATASETS",
+    "FIG8_DATASETS",
+    "HEADLINE_DATASETS",
+    "SMALL_DATASETS",
+    "build",
+    "get",
+    "names",
+    "registry",
+]

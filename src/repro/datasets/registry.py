@@ -1,0 +1,272 @@
+"""Catalogue of synthetic stand-in datasets (Table 2 and Table 5 of the paper).
+
+The paper's graphs (up to 68M nodes / 2.6B edges) cannot be shipped or
+processed at laptop scale, so each one is replaced by a *seeded* R-MAT (or
+Erdős–Rényi for the near-regular Physicians contact network) stand-in whose
+shape matches what BePI exploits: power-law hubs and a comparable deadend
+fraction (taken from Table 2's ``n3 / n``).  Node counts are scaled down by
+roughly 1,000x; edge counts keep a similar density ordering.
+
+``paper_*`` fields carry the original Table 2 numbers so benchmark output
+can print paper-vs-measured rows side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, Tuple
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import (
+    add_deadends,
+    ensure_no_deadends,
+    generate_erdos_renyi,
+    generate_rmat,
+)
+from repro.graph.graph import Graph
+
+#: Default seed so every run sees identical graphs.
+DEFAULT_SEED = 20170514  # SIGMOD'17 opening day
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One stand-in dataset.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"slashdot_sim"``.
+    paper_name:
+        The real dataset it stands in for.
+    builder:
+        ``builder(seed) -> Graph``.
+    hub_ratio:
+        The ``k`` the paper's Table 2 uses for BePI-S / BePI on this dataset.
+    paper_nodes, paper_edges:
+        Original sizes from Table 2 / Table 5.
+    deadend_fraction:
+        Target deadend share (``n3 / n`` from Table 2).
+    description:
+        One-line provenance note.
+    """
+
+    name: str
+    paper_name: str
+    builder: Callable[[int], Graph]
+    hub_ratio: float
+    paper_nodes: int
+    paper_edges: int
+    deadend_fraction: float
+    description: str
+
+
+def _rmat_builder(scale: int, n_edges: int, deadend_fraction: float) -> Callable[[int], Graph]:
+    def build(seed: int) -> Graph:
+        graph = generate_rmat(scale, n_edges, seed=seed)
+        # R-MAT leaves many nodes naturally edge-free; patch them all, then
+        # inject exactly the Table 2 target share.
+        graph = ensure_no_deadends(graph, seed=seed + 2)
+        return add_deadends(graph, deadend_fraction, seed=seed + 1)
+
+    return build
+
+
+def _er_builder(n_nodes: int, n_edges: int) -> Callable[[int], Graph]:
+    def build(seed: int) -> Graph:
+        return generate_erdos_renyi(n_nodes, n_edges, seed=seed)
+
+    return build
+
+
+_SPECS: Tuple[DatasetSpec, ...] = (
+    # ------------------------------------------------------------------
+    # Table 2: the eight headline datasets (Figure 1, 5, 6, 8, 12).
+    # ------------------------------------------------------------------
+    DatasetSpec(
+        name="slashdot_sim",
+        paper_name="Slashdot",
+        builder=_rmat_builder(10, 6_000, 0.42),
+        hub_ratio=0.30,
+        paper_nodes=79_120,
+        paper_edges=515_581,
+        deadend_fraction=0.42,
+        description="social network; highest deadend share of the corpus",
+    ),
+    DatasetSpec(
+        name="wikipedia_sim",
+        paper_name="Wikipedia",
+        builder=_rmat_builder(11, 16_000, 0.04),
+        hub_ratio=0.25,
+        paper_nodes=100_312,
+        paper_edges=1_627_472,
+        deadend_fraction=0.04,
+        description="article link network (simple English Wikipedia)",
+    ),
+    DatasetSpec(
+        name="baidu_sim",
+        paper_name="Baidu",
+        builder=_rmat_builder(12, 32_000, 0.05),
+        hub_ratio=0.20,
+        paper_nodes=415_641,
+        paper_edges=3_284_317,
+        deadend_fraction=0.05,
+        description="Chinese online encyclopedia hyperlinks",
+    ),
+    DatasetSpec(
+        name="flickr_sim",
+        paper_name="Flickr",
+        builder=_rmat_builder(13, 64_000, 0.155),
+        hub_ratio=0.20,
+        paper_nodes=2_302_925,
+        paper_edges=33_140_017,
+        deadend_fraction=0.155,
+        description="photo-sharing friendship network",
+    ),
+    DatasetSpec(
+        name="livejournal_sim",
+        paper_name="LiveJournal",
+        builder=_rmat_builder(13, 96_000, 0.11),
+        hub_ratio=0.30,
+        paper_nodes=4_847_571,
+        paper_edges=68_475_391,
+        deadend_fraction=0.11,
+        description="blogging community friendships",
+    ),
+    DatasetSpec(
+        name="wikilink_sim",
+        paper_name="WikiLink",
+        builder=_rmat_builder(14, 160_000, 0.002),
+        hub_ratio=0.20,
+        paper_nodes=11_196_007,
+        paper_edges=340_240_450,
+        deadend_fraction=0.002,
+        description="English Wikipedia wiki-links; also the Fig. 5 scalability base",
+    ),
+    DatasetSpec(
+        name="twitter_sim",
+        paper_name="Twitter",
+        builder=_rmat_builder(14, 240_000, 0.037),
+        hub_ratio=0.20,
+        paper_nodes=41_652_230,
+        paper_edges=1_468_365_182,
+        deadend_fraction=0.037,
+        description="follower network; first billion-scale dataset",
+    ),
+    DatasetSpec(
+        name="friendster_sim",
+        paper_name="Friendster",
+        builder=_rmat_builder(15, 320_000, 0.18),
+        hub_ratio=0.20,
+        paper_nodes=68_349_466,
+        paper_edges=2_586_147_869,
+        deadend_fraction=0.18,
+        description="largest dataset of the paper (2.6B edges)",
+    ),
+    # ------------------------------------------------------------------
+    # Table 5 (Appendix J): small graphs where Bear still succeeds.
+    # ------------------------------------------------------------------
+    DatasetSpec(
+        name="gnutella_sim",
+        paper_name="Gnutella",
+        builder=_rmat_builder(10, 3_000, 0.30),
+        hub_ratio=0.20,
+        paper_nodes=62_586,
+        paper_edges=147_892,
+        deadend_fraction=0.30,
+        description="peer-to-peer overlay (Appendix J)",
+    ),
+    DatasetSpec(
+        name="hepph_sim",
+        paper_name="HepPH",
+        builder=_rmat_builder(10, 8_000, 0.05),
+        hub_ratio=0.20,
+        paper_nodes=34_546,
+        paper_edges=421_578,
+        deadend_fraction=0.05,
+        description="co-authorship network (Appendix J)",
+    ),
+    DatasetSpec(
+        name="facebook_sim",
+        paper_name="Facebook",
+        builder=_rmat_builder(10, 16_000, 0.02),
+        hub_ratio=0.20,
+        paper_nodes=46_952,
+        paper_edges=876_993,
+        deadend_fraction=0.02,
+        description="social network (Appendix J)",
+    ),
+    DatasetSpec(
+        name="digg_sim",
+        paper_name="Digg",
+        builder=_rmat_builder(12, 32_000, 0.15),
+        hub_ratio=0.20,
+        paper_nodes=279_630,
+        paper_edges=1_731_653,
+        deadend_fraction=0.15,
+        description="social news network (Appendix J)",
+    ),
+    # ------------------------------------------------------------------
+    # Appendix I: tiny graph for the exact-accuracy experiment (Fig. 10).
+    # ------------------------------------------------------------------
+    DatasetSpec(
+        name="physicians_sim",
+        paper_name="Physicians",
+        builder=_er_builder(241, 1_098),
+        hub_ratio=0.20,
+        paper_nodes=241,
+        paper_edges=1_098,
+        deadend_fraction=0.0,
+        description="small contact network used for the accuracy study",
+    ),
+)
+
+_REGISTRY: Dict[str, DatasetSpec] = {spec.name: spec for spec in _SPECS}
+
+#: Datasets of the headline comparison (Figures 1, 6, 12; Tables 2-4).
+HEADLINE_DATASETS = tuple(spec.name for spec in _SPECS[:8])
+
+#: Appendix J small datasets (Figure 11, Table 5).
+SMALL_DATASETS = ("gnutella_sim", "hepph_sim", "facebook_sim", "digg_sim")
+
+#: Figure 4 (Schur sparsity trade-off) datasets.
+FIG4_DATASETS = ("slashdot_sim", "wikipedia_sim", "flickr_sim", "wikilink_sim")
+
+#: Figure 7 (eigenvalue clustering) datasets.
+FIG7_DATASETS = ("slashdot_sim", "wikipedia_sim", "baidu_sim")
+
+#: Figure 8 (hub ratio effects) datasets.
+FIG8_DATASETS = ("slashdot_sim", "baidu_sim", "flickr_sim", "livejournal_sim")
+
+
+def registry() -> Dict[str, DatasetSpec]:
+    """Name -> spec mapping for all stand-in datasets (copy; safe to mutate)."""
+    return dict(_REGISTRY)
+
+
+def names() -> Tuple[str, ...]:
+    """All registered dataset names in catalogue order."""
+    return tuple(spec.name for spec in _SPECS)
+
+
+def get(name: str) -> DatasetSpec:
+    """Look up one dataset spec by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        available = ", ".join(names())
+        raise InvalidParameterError(
+            f"unknown dataset {name!r}; available: {available}"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def build(name: str, seed: int = DEFAULT_SEED) -> Graph:
+    """Build (and cache) the stand-in graph for ``name``.
+
+    Graphs are deterministic in ``(name, seed)`` and treated as immutable,
+    so caching is safe and keeps the benchmark suite from regenerating the
+    same graph dozens of times.
+    """
+    return get(name).builder(seed)

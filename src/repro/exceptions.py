@@ -1,0 +1,73 @@
+"""Exception hierarchy for the BePI reproduction library.
+
+Every error raised on purpose by this package derives from
+:class:`ReproError`, so callers can catch one type when they want to treat
+"the library rejected my input or ran out of budget" uniformly while still
+letting genuine bugs (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphFormatError(ReproError):
+    """An edge list or matrix could not be parsed or is structurally invalid."""
+
+
+class NotPreprocessedError(ReproError):
+    """A solver query was issued before :meth:`preprocess` was called."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative method failed to reach the requested tolerance.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        The relative residual at the point of failure.
+    """
+
+    def __init__(self, message: str, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class SingularMatrixError(ReproError):
+    """A matrix that must be invertible (e.g. a diagonal block of H11) is singular."""
+
+
+class MemoryBudgetExceededError(ReproError):
+    """Preprocessed data would exceed the configured memory budget.
+
+    Emulates the "out of memory" bars of Figure 1 in the paper: methods
+    whose preprocessed matrices do not fit the budget fail fast instead of
+    thrashing the machine.
+    """
+
+    def __init__(self, message: str, required_bytes: int, budget_bytes: int):
+        super().__init__(message)
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+
+
+class TimeBudgetExceededError(ReproError):
+    """Preprocessing exceeded the configured wall-clock budget.
+
+    Emulates the 24-hour "out of time" cut-off used in the paper's
+    experiments, scaled down for laptop-scale runs.
+    """
+
+    def __init__(self, message: str, elapsed_seconds: float, budget_seconds: float):
+        super().__init__(message)
+        self.elapsed_seconds = elapsed_seconds
+        self.budget_seconds = budget_seconds
+
+
+class InvalidParameterError(ReproError):
+    """A user-supplied parameter is outside its valid range."""

@@ -1,0 +1,61 @@
+"""Graph substrate: containers, I/O, generators, and structural algorithms.
+
+This subpackage is the foundation the RWR solvers are built on.  It provides
+
+- :class:`~repro.graph.graph.Graph` — an immutable directed graph backed by a
+  CSR adjacency matrix,
+- edge-list I/O (:mod:`repro.graph.io`),
+- synthetic generators used as stand-ins for the paper's datasets
+  (:mod:`repro.graph.generators`),
+- connected components implemented from scratch
+  (:mod:`repro.graph.components`),
+- structural statistics (:mod:`repro.graph.stats`).
+"""
+
+from repro.graph.cleaning import (
+    compact_node_ids,
+    largest_connected_component,
+    make_undirected,
+    prepare_for_rwr,
+    remove_isolated_nodes,
+)
+from repro.graph.components import (
+    breadth_first_order,
+    connected_components,
+    giant_component_mask,
+)
+from repro.graph.generators import (
+    add_deadends,
+    ensure_no_deadends,
+    generate_bipartite,
+    generate_erdos_renyi,
+    generate_hub_and_spoke,
+    generate_preferential_attachment,
+    generate_rmat,
+)
+from repro.graph.graph import Graph
+from repro.graph.io import load_edge_list, save_edge_list
+from repro.graph.stats import GraphStats, compute_stats
+
+__all__ = [
+    "Graph",
+    "GraphStats",
+    "add_deadends",
+    "breadth_first_order",
+    "compact_node_ids",
+    "compute_stats",
+    "connected_components",
+    "ensure_no_deadends",
+    "largest_connected_component",
+    "make_undirected",
+    "prepare_for_rwr",
+    "remove_isolated_nodes",
+    "generate_bipartite",
+    "generate_erdos_renyi",
+    "generate_hub_and_spoke",
+    "generate_preferential_attachment",
+    "generate_rmat",
+    "giant_component_mask",
+    "load_edge_list",
+    "save_edge_list",
+]

@@ -1,0 +1,82 @@
+"""Graph-cleaning utilities for preparing real-world edge lists.
+
+Raw edge lists usually need a pass before RWR makes sense: restricting to
+the giant component (disconnected fragments score zero anyway), making an
+undirected dataset bidirectional, or compacting sparse node-id spaces.
+These helpers return new :class:`~repro.graph.graph.Graph` objects plus
+(where relevant) the id mapping back to the input.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphFormatError
+from repro.graph.components import connected_components
+from repro.graph.graph import Graph
+
+
+def largest_connected_component(graph: Graph) -> Tuple[Graph, np.ndarray]:
+    """Restrict to the largest weakly connected component.
+
+    Returns
+    -------
+    (subgraph, node_ids):
+        ``node_ids[i]`` is the original id of the subgraph's node ``i``.
+    """
+    if graph.n_nodes == 0:
+        return graph, np.empty(0, dtype=np.int64)
+    _count, labels = connected_components(graph.symmetrized())
+    sizes = np.bincount(labels)
+    giant = int(np.argmax(sizes))
+    nodes = np.flatnonzero(labels == giant)
+    return graph.subgraph(nodes), nodes
+
+
+def make_undirected(graph: Graph) -> Graph:
+    """Add the reverse of every edge (weights mirrored; duplicates summed)."""
+    adj = graph.adjacency
+    return Graph(adj + adj.T)
+
+
+def remove_isolated_nodes(graph: Graph) -> Tuple[Graph, np.ndarray]:
+    """Drop nodes with no incident edges at all.
+
+    Returns the compacted graph and the surviving original ids.
+    """
+    degrees = graph.total_degrees()
+    nodes = np.flatnonzero(degrees > 0)
+    return graph.subgraph(nodes), nodes
+
+
+def compact_node_ids(edges: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Relabel an edge list with arbitrary (sparse) integer ids to ``0..n-1``.
+
+    Returns
+    -------
+    (compact_edges, original_ids):
+        ``original_ids[i]`` is the input id renamed to ``i``; ids are
+        assigned in ascending input-id order.
+    """
+    edge_array = np.asarray(edges, dtype=np.int64)
+    if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+        raise GraphFormatError(f"edges must be (m, 2), got shape {edge_array.shape}")
+    original_ids, inverse = np.unique(edge_array, return_inverse=True)
+    compact = inverse.reshape(edge_array.shape)
+    return compact, original_ids
+
+
+def prepare_for_rwr(graph: Graph, restrict_to_giant: bool = True) -> Tuple[Graph, np.ndarray]:
+    """One-call cleanup: drop isolated nodes and (optionally) keep the giant
+    component.
+
+    Returns the cleaned graph and the surviving original node ids; the
+    mapping composes the individual steps.
+    """
+    cleaned, kept = remove_isolated_nodes(graph)
+    if restrict_to_giant and cleaned.n_nodes > 0:
+        cleaned, kept_giant = largest_connected_component(cleaned)
+        kept = kept[kept_giant]
+    return cleaned, kept

@@ -1,0 +1,121 @@
+"""Connected-component algorithms implemented from scratch.
+
+SlashBurn (the hub-and-spoke reordering method of Appendix A) repeatedly
+needs the *weakly* connected components of the graph with its hubs removed,
+so this module provides a vectorized label-propagation implementation that is
+fast on the shattered, small-diameter graphs that arise there.
+
+The implementation is validated against ``scipy.sparse.csgraph`` in the test
+suite but does not depend on it at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def connected_components(adjacency: sp.spmatrix) -> Tuple[int, np.ndarray]:
+    """Weakly connected components of a directed graph.
+
+    Uses min-label propagation with pointer jumping: every node starts with
+    its own id as label; each round every edge endpoint adopts the smaller
+    label of the two, then labels are compressed by pointer jumping.  The
+    number of rounds is logarithmic in the largest component's diameter.
+
+    Parameters
+    ----------
+    adjacency:
+        Square sparse matrix; edge direction is ignored.
+
+    Returns
+    -------
+    (n_components, labels):
+        ``labels[i]`` is the component index of node ``i``; component indices
+        are contiguous, start at 0, and are ordered by each component's
+        smallest member id.
+    """
+    adj = sp.csr_matrix(adjacency)
+    n = adj.shape[0]
+    if n == 0:
+        return 0, np.empty(0, dtype=np.int64)
+    coo = adj.tocoo()
+    src = coo.row.astype(np.int64)
+    dst = coo.col.astype(np.int64)
+
+    labels = np.arange(n, dtype=np.int64)
+    while True:
+        # Each edge pulls both endpoints to the smaller label.
+        gathered = np.minimum(labels[src], labels[dst])
+        new_labels = labels.copy()
+        np.minimum.at(new_labels, src, gathered)
+        np.minimum.at(new_labels, dst, gathered)
+        # Pointer jumping: follow label chains until fixed point.
+        while True:
+            jumped = new_labels[new_labels]
+            if np.array_equal(jumped, new_labels):
+                break
+            new_labels = jumped
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+
+    roots, labels = np.unique(labels, return_inverse=True)
+    return len(roots), labels.astype(np.int64)
+
+
+def component_sizes(labels: np.ndarray) -> np.ndarray:
+    """Size of each component given per-node labels."""
+    if labels.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.bincount(labels).astype(np.int64)
+
+
+def giant_component_mask(adjacency: sp.spmatrix) -> np.ndarray:
+    """Boolean mask of nodes in the largest weakly connected component.
+
+    Ties are broken toward the component with the smallest member id, which
+    keeps SlashBurn deterministic.
+    """
+    n_comp, labels = connected_components(adjacency)
+    if n_comp == 0:
+        return np.empty(0, dtype=bool)
+    sizes = component_sizes(labels)
+    giant = int(np.argmax(sizes))
+    return labels == giant
+
+
+def breadth_first_order(adjacency: sp.spmatrix, source: int) -> np.ndarray:
+    """Nodes reachable from ``source`` in BFS order (following edge direction).
+
+    Uses a vectorized frontier expansion over the CSR structure.  Returned
+    array starts with ``source``; unreachable nodes are omitted.
+    """
+    adj = sp.csr_matrix(adjacency)
+    n = adj.shape[0]
+    if not 0 <= source < n:
+        raise IndexError(f"source {source} out of range for {n} nodes")
+    visited = np.zeros(n, dtype=bool)
+    visited[source] = True
+    order = [np.array([source], dtype=np.int64)]
+    frontier = order[0]
+    indptr, indices = adj.indptr, adj.indices
+    while frontier.size:
+        # Gather all out-neighbors of the frontier in one shot.
+        starts = indptr[frontier]
+        stops = indptr[frontier + 1]
+        counts = stops - starts
+        if counts.sum() == 0:
+            break
+        # Build the concatenated neighbor index ranges without a Python loop.
+        offsets = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+        flat = np.arange(int(counts.sum()), dtype=np.int64) + offsets
+        neighbors = indices[flat]
+        fresh = np.unique(neighbors[~visited[neighbors]])
+        visited[fresh] = True
+        if fresh.size:
+            order.append(fresh)
+        frontier = fresh
+    return np.concatenate(order)

@@ -1,0 +1,271 @@
+"""Synthetic graph generators.
+
+The paper evaluates on eight real-world graphs (Slashdot .. Friendster) that
+we cannot ship; these generators produce seeded stand-ins with the two
+structural properties BePI exploits:
+
+1. a power-law ("hub-and-spoke") degree distribution, so SlashBurn shatters
+   the graph after removing few hubs, and
+2. a sizable fraction of deadend nodes.
+
+``generate_rmat`` is the workhorse (the standard R-MAT/Kronecker recursive
+quadrant model); ``generate_hub_and_spoke`` builds the idealized structure
+directly and is useful in tests because its partition is known by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.graph import Graph
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _as_rng(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def generate_rmat(
+    scale: int,
+    n_edges: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: RngLike = None,
+    allow_self_loops: bool = False,
+) -> Graph:
+    """R-MAT (recursive matrix) random graph on ``2**scale`` nodes.
+
+    Each edge is placed by recursively descending ``scale`` levels of the
+    adjacency matrix, choosing the four quadrants with probabilities
+    ``(a, b, c, d)`` where ``d = 1 - a - b - c``.  The default parameters are
+    the classic skewed setting that yields power-law degrees with a few
+    dominant hubs.
+
+    Duplicate edges are collapsed, so the resulting graph can have slightly
+    fewer than ``n_edges`` edges.
+
+    Parameters
+    ----------
+    scale:
+        ``log2`` of the number of nodes.
+    n_edges:
+        Number of edge placements to sample.
+    a, b, c:
+        Quadrant probabilities (top-left, top-right, bottom-left).
+    seed:
+        Integer seed or :class:`numpy.random.Generator` for determinism.
+    allow_self_loops:
+        Keep self loops instead of dropping them.
+    """
+    if scale < 1:
+        raise InvalidParameterError(f"scale must be >= 1, got {scale}")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0 or max(a, b, c, d) > 1:
+        raise InvalidParameterError(
+            f"quadrant probabilities must be in [0, 1] and sum to <= 1: "
+            f"a={a}, b={b}, c={c}, d={d}"
+        )
+    rng = _as_rng(seed)
+    n = 1 << scale
+    rows = np.zeros(n_edges, dtype=np.int64)
+    cols = np.zeros(n_edges, dtype=np.int64)
+    for _level in range(scale):
+        rows <<= 1
+        cols <<= 1
+        u = rng.random(n_edges)
+        # Quadrant choice: [0,a) -> TL, [a,a+b) -> TR, [a+b,a+b+c) -> BL, rest BR.
+        right = (u >= a) & (u < a + b) | (u >= a + b + c)
+        bottom = u >= a + b
+        cols += right.astype(np.int64)
+        rows += bottom.astype(np.int64)
+    if not allow_self_loops:
+        keep = rows != cols
+        rows, cols = rows[keep], cols[keep]
+    edges = np.column_stack([rows, cols])
+    graph = Graph.from_edges(edges, n_nodes=n)
+    # Collapse multi-edges to weight-1 edges: RWR uses the pattern only.
+    adj = graph.adjacency.copy()
+    adj.data = np.ones_like(adj.data)
+    return Graph(adj)
+
+
+def generate_hub_and_spoke(
+    n_hubs: int,
+    n_spokes: int,
+    spokes_per_block: int = 4,
+    hub_degree: int = 50,
+    seed: RngLike = None,
+) -> Graph:
+    """Idealized hub-and-spoke graph with a known spoke/hub partition.
+
+    Spokes are grouped into blocks of ``spokes_per_block`` nodes; nodes inside
+    a block form a directed cycle (so each block is one connected component
+    once hubs are removed), and each block is attached to a random hub in
+    both directions.  Hubs are additionally wired to ``hub_degree`` random
+    hubs/spokes to give them high degree.
+
+    Useful for tests: removing the ``n_hubs`` highest-degree nodes shatters
+    the graph into blocks of exactly ``spokes_per_block`` nodes.
+    """
+    if n_hubs < 1 or n_spokes < 1:
+        raise InvalidParameterError("need at least one hub and one spoke")
+    if spokes_per_block < 1:
+        raise InvalidParameterError("spokes_per_block must be >= 1")
+    rng = _as_rng(seed)
+    n = n_hubs + n_spokes
+    hub_ids = np.arange(n_hubs)
+    spoke_ids = np.arange(n_hubs, n)
+    sources = []
+    targets = []
+    # Intra-block cycles.
+    for start in range(0, n_spokes, spokes_per_block):
+        block = spoke_ids[start : start + spokes_per_block]
+        if len(block) > 1:
+            sources.extend(block)
+            targets.extend(np.roll(block, -1))
+        # Attach the block to one hub, both directions.
+        hub = int(rng.integers(n_hubs))
+        sources.extend([block[0], hub])
+        targets.extend([hub, block[0]])
+    # Dense-ish hub core.
+    for hub in hub_ids:
+        others = rng.choice(n, size=min(hub_degree, n - 1), replace=False)
+        others = others[others != hub]
+        sources.extend([hub] * len(others))
+        targets.extend(others)
+    edges = np.column_stack([sources, targets])
+    return Graph.from_edges(edges, n_nodes=n)
+
+
+def generate_erdos_renyi(n_nodes: int, n_edges: int, seed: RngLike = None) -> Graph:
+    """Uniform random directed graph (no self loops, duplicates collapsed)."""
+    if n_nodes < 2:
+        raise InvalidParameterError("need at least two nodes")
+    rng = _as_rng(seed)
+    src = rng.integers(n_nodes, size=n_edges)
+    dst = rng.integers(n_nodes, size=n_edges)
+    keep = src != dst
+    edges = np.column_stack([src[keep], dst[keep]])
+    graph = Graph.from_edges(edges, n_nodes=n_nodes)
+    adj = graph.adjacency.copy()
+    adj.data = np.ones_like(adj.data)
+    return Graph(adj)
+
+
+def generate_preferential_attachment(
+    n_nodes: int,
+    out_degree: int = 3,
+    seed: RngLike = None,
+) -> Graph:
+    """Directed preferential-attachment graph (Barabási–Albert style).
+
+    Node ``t`` (for ``t >= out_degree``) attaches ``out_degree`` out-edges to
+    earlier nodes sampled proportionally to their current total degree plus
+    one.  Produces a heavy-tailed in-degree distribution with early nodes as
+    hubs.
+    """
+    if n_nodes < 2:
+        raise InvalidParameterError("need at least two nodes")
+    if out_degree < 1:
+        raise InvalidParameterError("out_degree must be >= 1")
+    rng = _as_rng(seed)
+    degree = np.ones(n_nodes, dtype=np.float64)
+    sources = []
+    targets = []
+    for t in range(1, n_nodes):
+        k = min(out_degree, t)
+        weights = degree[:t] / degree[:t].sum()
+        picks = rng.choice(t, size=k, replace=False, p=weights)
+        sources.extend([t] * k)
+        targets.extend(picks)
+        degree[t] += k
+        degree[picks] += 1
+    edges = np.column_stack([sources, targets])
+    return Graph.from_edges(edges, n_nodes=n_nodes)
+
+
+def generate_bipartite(
+    n_left: int,
+    n_right: int,
+    n_edges: int,
+    seed: RngLike = None,
+) -> Graph:
+    """Random bipartite graph: left nodes ``0..n_left-1`` point to right nodes.
+
+    Right-side nodes have no outgoing edges, so they are all deadends — the
+    structure used by the anomaly-detection application of Sun et al. that
+    the paper cites, and a stress test for the deadend reordering.
+    """
+    if n_left < 1 or n_right < 1:
+        raise InvalidParameterError("both sides need at least one node")
+    rng = _as_rng(seed)
+    src = rng.integers(n_left, size=n_edges)
+    dst = n_left + rng.integers(n_right, size=n_edges)
+    edges = np.column_stack([src, dst])
+    graph = Graph.from_edges(edges, n_nodes=n_left + n_right)
+    adj = graph.adjacency.copy()
+    adj.data = np.ones_like(adj.data)
+    return Graph(adj)
+
+
+def ensure_no_deadends(graph: Graph, seed: RngLike = None) -> Graph:
+    """Give every deadend one random outgoing edge (no self loops).
+
+    Dataset builders use this to hit a *low* target deadend share: patch the
+    generator's natural deadends first, then inject exactly the desired
+    fraction with :func:`add_deadends`.
+    """
+    deadends = np.flatnonzero(graph.deadend_mask())
+    if deadends.size == 0:
+        return graph
+    rng = _as_rng(seed)
+    n = graph.n_nodes
+    if n < 2:
+        raise InvalidParameterError("cannot patch deadends in a graph of one node")
+    targets = rng.integers(n - 1, size=deadends.size)
+    # Shift targets landing on the source itself to avoid self loops.
+    targets = np.where(targets >= deadends, targets + 1, targets)
+    patch = np.column_stack([deadends, targets])
+    edges = np.vstack([graph.edges(), patch]) if graph.n_edges else patch
+    return Graph.from_edges(edges, n_nodes=n)
+
+
+def add_deadends(graph: Graph, fraction: float, seed: RngLike = None) -> Graph:
+    """Turn additional nodes into deadends by dropping their out-edges.
+
+    ``fraction`` is the share of *all* nodes to convert, chosen uniformly
+    among the current non-deadends (dropping the out-edges of an existing
+    deadend would be a no-op), so the resulting deadend share is roughly
+    the natural share plus ``fraction`` (capped at 1).
+
+    Real web-style graphs have many deadends (files, images, leaf pages);
+    R-MAT alone produces few, so stand-in datasets inject them explicitly.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise InvalidParameterError(f"fraction must be in [0, 1], got {fraction}")
+    if fraction == 0.0:
+        return graph
+    rng = _as_rng(seed)
+    n = graph.n_nodes
+    candidates = np.flatnonzero(~graph.deadend_mask())
+    n_drop = min(int(round(fraction * n)), candidates.size)
+    if n_drop == 0:
+        return graph
+    drop = rng.choice(candidates, size=n_drop, replace=False)
+    adj = graph.adjacency.copy()
+    drop_mask = np.zeros(n, dtype=bool)
+    drop_mask[drop] = True
+    # Zero every entry in the dropped rows in one vectorized pass.
+    row_lengths = np.diff(adj.indptr)
+    entry_dropped = np.repeat(drop_mask, row_lengths)
+    adj.data[entry_dropped] = 0.0
+    adj.eliminate_zeros()
+    return Graph(adj)

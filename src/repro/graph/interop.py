@@ -1,0 +1,72 @@
+"""Interoperability with NetworkX.
+
+Downstream users frequently hold their graphs as ``networkx`` objects;
+these adapters convert to and from :class:`~repro.graph.graph.Graph`
+without losing edge weights.  NetworkX is imported lazily so the core
+library keeps its numpy/scipy-only dependency footprint.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import GraphFormatError
+from repro.graph.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx
+
+
+def from_networkx(nx_graph, weight: str = "weight") -> Graph:
+    """Convert a NetworkX (di)graph to a :class:`Graph`.
+
+    Parameters
+    ----------
+    nx_graph:
+        Any NetworkX graph.  Undirected graphs become bidirectional edges;
+        multigraphs sum parallel edge weights (the container's duplicate
+        rule).  Node labels may be arbitrary hashables; they are relabelled
+        to ``0..n-1`` in sorted-by-insertion order, with the mapping
+        recoverable through ``list(nx_graph.nodes)``.
+    weight:
+        Edge attribute to use as weight (missing -> 1.0).
+    """
+    import networkx as nx
+
+    nodes = list(nx_graph.nodes)
+    if not nodes:
+        return Graph.empty(0)
+    index = {node: i for i, node in enumerate(nodes)}
+    sources = []
+    targets = []
+    weights = []
+    for u, v, data in nx_graph.edges(data=True):
+        w = float(data.get(weight, 1.0))
+        if w < 0:
+            raise GraphFormatError(f"negative weight on edge ({u!r}, {v!r})")
+        sources.append(index[u])
+        targets.append(index[v])
+        weights.append(w)
+        if not nx_graph.is_directed():
+            sources.append(index[v])
+            targets.append(index[u])
+            weights.append(w)
+    if not sources:
+        return Graph.empty(len(nodes))
+    edges = np.column_stack([sources, targets])
+    return Graph.from_edges(edges, n_nodes=len(nodes), weights=weights)
+
+
+def to_networkx(graph: Graph) -> "networkx.DiGraph":
+    """Convert a :class:`Graph` to a ``networkx.DiGraph`` with weights."""
+    import networkx as nx
+
+    out = nx.DiGraph()
+    out.add_nodes_from(range(graph.n_nodes))
+    coo = graph.adjacency.tocoo()
+    out.add_weighted_edges_from(
+        (int(u), int(v), float(w)) for u, v, w in zip(coo.row, coo.col, coo.data)
+    )
+    return out

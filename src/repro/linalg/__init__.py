@@ -1,0 +1,49 @@
+"""Numerical linear algebra built from scratch for the RWR solvers.
+
+Contains everything the paper's Algorithms 1-5 need:
+
+- RWR system assembly ``H = I - (1-c) A~^T`` (:mod:`repro.linalg.rwr_matrix`),
+- block-diagonal LU inversion of ``H11`` (:mod:`repro.linalg.block_lu`),
+- GMRES with optional left preconditioning, Arnoldi + Givens rotations
+  (:mod:`repro.linalg.gmres`),
+- ILU(0) incomplete factorization (:mod:`repro.linalg.ilu`),
+- sparse triangular solves (:mod:`repro.linalg.triangular`),
+- power iteration (:mod:`repro.linalg.power`).
+
+All routines operate on ``scipy.sparse`` matrices as the storage format but
+implement the algorithms themselves; the test suite cross-checks them
+against scipy's reference implementations.
+"""
+
+from repro.linalg.bicgstab import bicgstab
+from repro.linalg.block_lu import BlockDiagonalLU, factorize_block_diagonal
+from repro.linalg.gmres import GMRESResult, gmres
+from repro.linalg.ilu import ILUFactors, ilu0, ilut, spilu_factors
+from repro.linalg.power import PowerResult, power_iteration
+from repro.linalg.preconditioners import JacobiPreconditioner
+from repro.linalg.rwr_matrix import (
+    build_h_matrix,
+    partition_h,
+    row_normalize,
+)
+from repro.linalg.triangular import solve_lower_triangular, solve_upper_triangular
+
+__all__ = [
+    "BlockDiagonalLU",
+    "GMRESResult",
+    "ILUFactors",
+    "JacobiPreconditioner",
+    "PowerResult",
+    "bicgstab",
+    "build_h_matrix",
+    "factorize_block_diagonal",
+    "gmres",
+    "ilu0",
+    "ilut",
+    "partition_h",
+    "power_iteration",
+    "row_normalize",
+    "solve_lower_triangular",
+    "solve_upper_triangular",
+    "spilu_factors",
+]

@@ -1,0 +1,131 @@
+"""BiCGSTAB (van der Vorst 1992), implemented from scratch.
+
+Section 2.2 of the paper notes that *any* Krylov method for non-symmetric
+systems can solve ``H r = c q`` (and the Schur system); GMRES is the
+paper's choice, BiCGSTAB is the classic alternative with constant memory
+per iteration (no growing Krylov basis).  Provided as an alternative
+``iterative_method`` for BePI and as an ablation target.
+
+Supports the same left preconditioning interface as
+:func:`repro.linalg.gmres.gmres`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, InvalidParameterError
+from repro.linalg.gmres import GMRESResult, _as_matvec, _Preconditioner
+
+
+def bicgstab(
+    operator,
+    rhs: np.ndarray,
+    tol: float = 1e-9,
+    max_iterations: Optional[int] = None,
+    x0: Optional[np.ndarray] = None,
+    preconditioner=None,
+    raise_on_stagnation: bool = False,
+    callback: Optional[Callable[[int, float], None]] = None,
+) -> GMRESResult:
+    """Solve ``A x = b`` with left-preconditioned BiCGSTAB.
+
+    Parameters mirror :func:`repro.linalg.gmres.gmres`; the result type is
+    shared (``GMRESResult``) so solvers can switch engines freely.
+
+    Notes
+    -----
+    Each iteration costs two matvecs and two preconditioner applications.
+    The residual tracked (and tested against ``tol``) is the preconditioned
+    residual, consistent with the GMRES implementation.
+    """
+    b = np.asarray(rhs, dtype=np.float64)
+    n = b.shape[0]
+    if tol <= 0:
+        raise InvalidParameterError(f"tol must be positive, got {tol}")
+    matvec = _as_matvec(operator)
+    precondition = _Preconditioner(preconditioner)
+    if max_iterations is None:
+        max_iterations = max(2 * n, 1)
+
+    x = np.zeros(n, dtype=np.float64) if x0 is None else np.array(x0, dtype=np.float64)
+    reference = float(np.linalg.norm(precondition(b)))
+    if reference == 0.0:
+        return GMRESResult(x=np.zeros(n), converged=True, n_iterations=0)
+
+    r = precondition(b - matvec(x))
+    r_hat = r.copy()
+    rho_old = alpha = omega = 1.0
+    v = np.zeros(n)
+    p = np.zeros(n)
+    residual_norms = []
+
+    relative = float(np.linalg.norm(r)) / reference
+    if relative <= tol:
+        return GMRESResult(x=x, converged=True, n_iterations=0)
+
+    for iteration in range(1, max_iterations + 1):
+        rho = float(np.dot(r_hat, r))
+        if rho == 0.0:
+            # Breakdown: restart with the current residual as shadow vector.
+            r_hat = r.copy()
+            rho = float(np.dot(r_hat, r))
+            if rho == 0.0:
+                break
+        if iteration == 1:
+            p = r.copy()
+        else:
+            beta = (rho / rho_old) * (alpha / omega)
+            p = r + beta * (p - omega * v)
+        v = precondition(matvec(p))
+        denom = float(np.dot(r_hat, v))
+        if denom == 0.0:
+            break
+        alpha = rho / denom
+        s = r - alpha * v
+        s_norm = float(np.linalg.norm(s))
+        if s_norm / reference <= tol:
+            x = x + alpha * p
+            residual_norms.append(s_norm / reference)
+            if callback is not None:
+                callback(iteration, residual_norms[-1])
+            return GMRESResult(
+                x=x, converged=True, n_iterations=iteration,
+                residual_norms=residual_norms,
+            )
+        t = precondition(matvec(s))
+        tt = float(np.dot(t, t))
+        if tt == 0.0:
+            break
+        omega = float(np.dot(t, s)) / tt
+        x = x + alpha * p + omega * s
+        r = s - omega * t
+        rho_old = rho
+
+        relative = float(np.linalg.norm(r)) / reference
+        residual_norms.append(relative)
+        if callback is not None:
+            callback(iteration, relative)
+        if relative <= tol:
+            return GMRESResult(
+                x=x, converged=True, n_iterations=iteration,
+                residual_norms=residual_norms,
+            )
+        if omega == 0.0:
+            break
+
+    final = residual_norms[-1] if residual_norms else float("inf")
+    if raise_on_stagnation:
+        raise ConvergenceError(
+            f"BiCGSTAB did not reach tol={tol} (residual {final:.3e})",
+            iterations=len(residual_norms),
+            residual=final,
+        )
+    return GMRESResult(
+        x=x,
+        converged=final <= tol,
+        n_iterations=len(residual_norms),
+        residual_norms=residual_norms,
+    )

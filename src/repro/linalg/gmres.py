@@ -1,0 +1,242 @@
+"""GMRES with optional left preconditioning, implemented from scratch.
+
+Follows Saad & Schultz (1986) and the preconditioned variant of Appendix B
+of the paper (Algorithm 5): Arnoldi iteration with modified Gram-Schmidt
+builds an orthonormal Krylov basis, Givens rotations keep the Hessenberg
+least-squares problem triangular so the residual norm is available at every
+step without forming the solution.
+
+The left preconditioner is applied through its ``solve`` method (triangular
+substitutions for ILU factors) — it is never inverted or materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ConvergenceError, InvalidParameterError
+
+MatVec = Callable[[np.ndarray], np.ndarray]
+Operator = Union[sp.spmatrix, np.ndarray, MatVec]
+
+
+@dataclass
+class GMRESResult:
+    """Outcome of a GMRES solve.
+
+    Attributes
+    ----------
+    x:
+        The computed solution.
+    converged:
+        Whether the relative (preconditioned) residual reached ``tol``.
+    n_iterations:
+        Total Arnoldi steps across all restart cycles.
+    residual_norms:
+        Relative residual after each iteration (length ``n_iterations``).
+    """
+
+    x: np.ndarray
+    converged: bool
+    n_iterations: int
+    residual_norms: List[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1] if self.residual_norms else 0.0
+
+
+class _Preconditioner:
+    """Normalizes the accepted preconditioner forms to a single callable."""
+
+    def __init__(self, preconditioner):
+        if preconditioner is None:
+            self._apply = None
+        elif hasattr(preconditioner, "solve"):
+            self._apply = preconditioner.solve
+        elif callable(preconditioner):
+            self._apply = preconditioner
+        else:
+            raise InvalidParameterError(
+                "preconditioner must be None, a callable, or expose .solve()"
+            )
+
+    def __call__(self, vector: np.ndarray) -> np.ndarray:
+        if self._apply is None:
+            return vector
+        return self._apply(vector)
+
+
+def _as_matvec(operator: Operator) -> MatVec:
+    if callable(operator) and not sp.issparse(operator) and not isinstance(operator, np.ndarray):
+        return operator
+    matrix = operator
+
+    def matvec(vector: np.ndarray) -> np.ndarray:
+        return matrix @ vector
+
+    return matvec
+
+
+def gmres(
+    operator: Operator,
+    rhs: np.ndarray,
+    tol: float = 1e-9,
+    max_iterations: Optional[int] = None,
+    restart: Optional[int] = None,
+    x0: Optional[np.ndarray] = None,
+    preconditioner=None,
+    raise_on_stagnation: bool = False,
+    callback: Optional[Callable[[int, float], None]] = None,
+) -> GMRESResult:
+    """Solve ``A x = b`` (or the left-preconditioned ``M^{-1} A x = M^{-1} b``).
+
+    Parameters
+    ----------
+    operator:
+        The matrix ``A`` (sparse/dense) or a matvec callable.
+    rhs:
+        Right-hand side ``b``.
+    tol:
+        Relative tolerance on the (preconditioned) residual — the stopping
+        rule of Algorithm 5, line 13:
+        ``||M^{-1}(A x - b)|| / ||M^{-1} b|| <= tol``.
+    max_iterations:
+        Total Arnoldi steps budget (default: the system dimension).
+    restart:
+        Restart length; ``None`` means full (un-restarted) GMRES.
+    x0:
+        Initial guess (default: zero vector).
+    preconditioner:
+        ``None``, a callable ``v -> M^{-1} v``, or an object with ``solve``
+        (e.g. :class:`repro.linalg.ilu.ILUFactors`).
+    raise_on_stagnation:
+        Raise :class:`ConvergenceError` instead of returning an unconverged
+        result when the iteration budget is exhausted.
+    callback:
+        Called as ``callback(iteration, relative_residual)`` after each step.
+
+    Returns
+    -------
+    GMRESResult
+    """
+    b = np.asarray(rhs, dtype=np.float64)
+    n = b.shape[0]
+    if tol <= 0:
+        raise InvalidParameterError(f"tol must be positive, got {tol}")
+    matvec = _as_matvec(operator)
+    precondition = _Preconditioner(preconditioner)
+    if max_iterations is None:
+        max_iterations = max(n, 1)
+    if restart is None:
+        restart = max_iterations
+    if restart < 1:
+        raise InvalidParameterError(f"restart must be >= 1, got {restart}")
+
+    x = np.zeros(n, dtype=np.float64) if x0 is None else np.array(x0, dtype=np.float64)
+
+    reference = float(np.linalg.norm(precondition(b)))
+    if reference == 0.0:
+        # b (after preconditioning) is zero: the solution is x = 0 exactly.
+        return GMRESResult(x=np.zeros(n), converged=True, n_iterations=0)
+
+    residual_norms: List[float] = []
+    total_iterations = 0
+
+    while total_iterations < max_iterations:
+        t = precondition(b - matvec(x))
+        beta = float(np.linalg.norm(t))
+        relative = beta / reference
+        if relative <= tol:
+            return GMRESResult(
+                x=x,
+                converged=True,
+                n_iterations=total_iterations,
+                residual_norms=residual_norms,
+            )
+
+        cycle = min(restart, max_iterations - total_iterations)
+        basis = np.zeros((cycle + 1, n), dtype=np.float64)
+        basis[0] = t / beta
+        hessenberg = np.zeros((cycle + 1, cycle), dtype=np.float64)
+        cos = np.zeros(cycle, dtype=np.float64)
+        sin = np.zeros(cycle, dtype=np.float64)
+        g = np.zeros(cycle + 1, dtype=np.float64)
+        g[0] = beta
+
+        inner_steps = 0
+        for j in range(cycle):
+            w = precondition(matvec(basis[j]))
+            # Modified Gram-Schmidt orthogonalization.
+            for i in range(j + 1):
+                hessenberg[i, j] = float(np.dot(basis[i], w))
+                w -= hessenberg[i, j] * basis[i]
+            h_next = float(np.linalg.norm(w))
+            hessenberg[j + 1, j] = h_next
+
+            # Apply the accumulated Givens rotations to the new column.
+            for i in range(j):
+                temp = cos[i] * hessenberg[i, j] + sin[i] * hessenberg[i + 1, j]
+                hessenberg[i + 1, j] = (
+                    -sin[i] * hessenberg[i, j] + cos[i] * hessenberg[i + 1, j]
+                )
+                hessenberg[i, j] = temp
+            # New rotation to annihilate the subdiagonal entry.
+            denom = np.hypot(hessenberg[j, j], hessenberg[j + 1, j])
+            if denom == 0.0:
+                cos[j], sin[j] = 1.0, 0.0
+            else:
+                cos[j] = hessenberg[j, j] / denom
+                sin[j] = hessenberg[j + 1, j] / denom
+            hessenberg[j, j] = cos[j] * hessenberg[j, j] + sin[j] * hessenberg[j + 1, j]
+            hessenberg[j + 1, j] = 0.0
+            g[j + 1] = -sin[j] * g[j]
+            g[j] = cos[j] * g[j]
+
+            inner_steps = j + 1
+            total_iterations += 1
+            relative = abs(g[j + 1]) / reference
+            residual_norms.append(relative)
+            if callback is not None:
+                callback(total_iterations, relative)
+
+            happy_breakdown = h_next <= 1e-14 * reference
+            if relative <= tol or happy_breakdown or total_iterations >= max_iterations:
+                break
+            basis[j + 1] = w / h_next
+
+        # Solve the triangular least-squares system and update x.
+        m = inner_steps
+        y = np.zeros(m, dtype=np.float64)
+        for i in range(m - 1, -1, -1):
+            acc = g[i] - np.dot(hessenberg[i, i + 1 : m], y[i + 1 : m])
+            diag = hessenberg[i, i]
+            y[i] = acc / diag if diag != 0.0 else 0.0
+        x = x + basis[:m].T @ y
+
+        if residual_norms and residual_norms[-1] <= tol:
+            return GMRESResult(
+                x=x,
+                converged=True,
+                n_iterations=total_iterations,
+                residual_norms=residual_norms,
+            )
+
+    final = residual_norms[-1] if residual_norms else float("inf")
+    if raise_on_stagnation:
+        raise ConvergenceError(
+            f"GMRES did not reach tol={tol} in {total_iterations} iterations "
+            f"(residual {final:.3e})",
+            iterations=total_iterations,
+            residual=final,
+        )
+    return GMRESResult(
+        x=x,
+        converged=final <= tol,
+        n_iterations=total_iterations,
+        residual_norms=residual_norms,
+    )

@@ -1,0 +1,99 @@
+"""Power iteration for RWR (Section 2.2 of the paper).
+
+Repeats ``r <- (1-c) A~^T r + c q`` until ``||r_i - r_{i-1}||_2 <= tol``.
+Convergence to the unique solution of ``H r = c q`` is guaranteed for
+``0 < c < 1`` because the iteration operator has spectral radius at most
+``1 - c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ConvergenceError, InvalidParameterError
+
+
+@dataclass
+class PowerResult:
+    """Outcome of a power-iteration solve.
+
+    Attributes
+    ----------
+    r:
+        The RWR score vector.
+    converged:
+        Whether the update norm reached ``tol``.
+    n_iterations:
+        Number of update steps performed.
+    update_norms:
+        ``||r_i - r_{i-1}||_2`` after each step.
+    """
+
+    r: np.ndarray
+    converged: bool
+    n_iterations: int
+    update_norms: List[float] = field(default_factory=list)
+
+
+def power_iteration(
+    normalized_adjacency_t: sp.spmatrix,
+    q: np.ndarray,
+    c: float,
+    tol: float = 1e-9,
+    max_iterations: int = 10_000,
+    r0: Optional[np.ndarray] = None,
+    raise_on_stagnation: bool = False,
+) -> PowerResult:
+    """Run power iteration for ``r = (1-c) A~^T r + c q``.
+
+    Parameters
+    ----------
+    normalized_adjacency_t:
+        The transposed row-normalized adjacency ``A~^T`` (pre-transposed so
+        each step is a single CSR matvec).
+    q:
+        Starting/restart vector.
+    c:
+        Restart probability in ``(0, 1)``.
+    tol:
+        L2 threshold on successive updates.
+    max_iterations:
+        Hard iteration cap.
+    r0:
+        Initial vector (default ``c q``, the paper's convention).
+    raise_on_stagnation:
+        Raise :class:`ConvergenceError` when the cap is hit.
+    """
+    if not 0.0 < c < 1.0:
+        raise InvalidParameterError(f"restart probability c must be in (0, 1), got {c}")
+    if tol <= 0:
+        raise InvalidParameterError(f"tol must be positive, got {tol}")
+    at = sp.csr_matrix(normalized_adjacency_t)
+    q_vec = np.asarray(q, dtype=np.float64)
+    r = (c * q_vec) if r0 is None else np.array(r0, dtype=np.float64)
+    update_norms: List[float] = []
+    for iteration in range(1, max_iterations + 1):
+        r_next = (1.0 - c) * (at @ r) + c * q_vec
+        delta = float(np.linalg.norm(r_next - r))
+        update_norms.append(delta)
+        r = r_next
+        if delta <= tol:
+            return PowerResult(
+                r=r, converged=True, n_iterations=iteration, update_norms=update_norms
+            )
+    if raise_on_stagnation:
+        raise ConvergenceError(
+            f"power iteration did not reach tol={tol} in {max_iterations} iterations",
+            iterations=max_iterations,
+            residual=update_norms[-1] if update_norms else float("inf"),
+        )
+    return PowerResult(
+        r=r,
+        converged=False,
+        n_iterations=max_iterations,
+        update_norms=update_norms,
+    )

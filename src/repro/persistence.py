@@ -1,0 +1,207 @@
+"""Saving and loading preprocessed BePI solvers.
+
+The whole point of a preprocessing method is to pay the reordering /
+factorization cost once and then serve queries indefinitely — including
+from other processes and after restarts.  ``save_solver`` writes every
+precomputed matrix of Algorithm 3 (plus the graph and the configuration)
+into a single compressed ``.npz`` file; ``load_solver`` reconstructs a
+query-ready :class:`~repro.core.bepi.BePI` without redoing any
+preprocessing.
+
+Only matrices the query phase needs are stored — the same list the
+paper's Algorithm 3 returns — so file size tracks
+:meth:`~repro.core.base.RWRSolver.memory_bytes`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.bepi import BePI
+from repro.core.pipeline import PreprocessArtifacts
+from repro.exceptions import GraphFormatError, NotPreprocessedError
+from repro.graph.graph import Graph
+from repro.linalg.block_lu import BlockDiagonalLU
+from repro.linalg.ilu import ILUFactors
+from repro.linalg.preconditioners import JacobiPreconditioner
+from repro.reorder.hubspoke import HubSpokePartition
+from repro.reorder.permutation import Permutation
+
+PathLike = Union[str, os.PathLike]
+
+_FORMAT_VERSION = 1
+
+
+def _pack_csr(arrays: dict, name: str, matrix: sp.spmatrix) -> None:
+    csr = sp.csr_matrix(matrix)
+    arrays[f"{name}_data"] = csr.data
+    arrays[f"{name}_indices"] = csr.indices
+    arrays[f"{name}_indptr"] = csr.indptr
+    arrays[f"{name}_shape"] = np.asarray(csr.shape, dtype=np.int64)
+
+
+def _unpack_csr(archive, name: str) -> sp.csr_matrix:
+    return sp.csr_matrix(
+        (archive[f"{name}_data"], archive[f"{name}_indices"], archive[f"{name}_indptr"]),
+        shape=tuple(archive[f"{name}_shape"]),
+    )
+
+
+def save_solver(solver: BePI, path: PathLike) -> None:
+    """Serialize a preprocessed BePI solver to ``path`` (``.npz``).
+
+    Raises
+    ------
+    NotPreprocessedError
+        If the solver has not been preprocessed.
+    """
+    if not solver.is_preprocessed:
+        raise NotPreprocessedError("cannot save a solver before preprocess()")
+    artifacts = solver.artifacts
+
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "c": solver.c,
+        "tol": solver.tol,
+        "hub_ratio": solver.stats.get("hub_ratio"),
+        "use_preconditioner": solver.use_preconditioner,
+        "ilu_engine": solver.ilu_engine,
+        "iterative_method": solver.iterative_method,
+        "n1": artifacts.n1,
+        "n2": artifacts.n2,
+        "n3": artifacts.n3,
+        "slashburn_iterations": artifacts.hubspoke.slashburn_iterations,
+        "preconditioner_kind": (
+            "none" if solver.ilu_factors is None
+            else ("jacobi" if isinstance(solver.ilu_factors, JacobiPreconditioner)
+                  else "ilu")
+        ),
+    }
+
+    arrays: dict = {
+        "meta_json": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        "permutation_order": artifacts.permutation.order,
+        "block_sizes": artifacts.block_sizes,
+    }
+    _pack_csr(arrays, "adjacency", solver.graph.adjacency)
+    _pack_csr(arrays, "L1_inv", artifacts.h11_factors.l_inv)
+    _pack_csr(arrays, "U1_inv", artifacts.h11_factors.u_inv)
+    _pack_csr(arrays, "S", artifacts.schur)
+    for block in ("H11", "H12", "H21", "H22", "H31", "H32"):
+        _pack_csr(arrays, block, artifacts.blocks[block])
+    if isinstance(solver.ilu_factors, ILUFactors):
+        _pack_csr(arrays, "L2", solver.ilu_factors.l)
+        _pack_csr(arrays, "U2", solver.ilu_factors.u)
+    elif isinstance(solver.ilu_factors, JacobiPreconditioner):
+        arrays["M_diag"] = solver.ilu_factors._inv_diag
+
+    np.savez_compressed(path, **arrays)
+
+
+def load_solver(path: PathLike) -> BePI:
+    """Load a solver saved by :func:`save_solver`, ready to query.
+
+    Raises
+    ------
+    GraphFormatError
+        If the file does not look like a saved solver or its version is
+        unsupported.
+    """
+    with np.load(path) as archive:
+        try:
+            meta = json.loads(bytes(archive["meta_json"]).decode())
+        except KeyError as exc:
+            raise GraphFormatError(f"{path}: not a saved BePI solver") from exc
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise GraphFormatError(
+                f"{path}: unsupported format version {meta.get('format_version')}"
+            )
+
+        solver = BePI(
+            c=meta["c"],
+            tol=meta["tol"],
+            hub_ratio=meta["hub_ratio"],
+            use_preconditioner=meta["use_preconditioner"],
+            ilu_engine=meta["ilu_engine"],
+            iterative_method=meta["iterative_method"],
+        )
+
+        graph = Graph(_unpack_csr(archive, "adjacency"))
+        blocks = {
+            name: _unpack_csr(archive, name)
+            for name in ("H11", "H12", "H21", "H22", "H31", "H32")
+        }
+        block_sizes = archive["block_sizes"]
+        h11_factors = BlockDiagonalLU(
+            l_inv=_unpack_csr(archive, "L1_inv"),
+            u_inv=_unpack_csr(archive, "U1_inv"),
+            block_sizes=block_sizes,
+        )
+        schur = _unpack_csr(archive, "S")
+        hubspoke = HubSpokePartition(
+            permutation=Permutation(
+                np.arange(meta["n1"] + meta["n2"], dtype=np.int64)
+            ),
+            n_spokes=meta["n1"],
+            n_hubs=meta["n2"],
+            block_sizes=block_sizes,
+            slashburn_iterations=meta["slashburn_iterations"],
+            hub_ratio=meta["hub_ratio"],
+        )
+        artifacts = PreprocessArtifacts(
+            permutation=Permutation(archive["permutation_order"]),
+            n1=meta["n1"],
+            n2=meta["n2"],
+            n3=meta["n3"],
+            block_sizes=block_sizes,
+            blocks=blocks,
+            h11_factors=h11_factors,
+            schur=schur,
+            hubspoke=hubspoke,
+        )
+
+        ilu = None
+        if meta["preconditioner_kind"] == "ilu":
+            ilu = ILUFactors(
+                l=_unpack_csr(archive, "L2"), u=_unpack_csr(archive, "U2")
+            )
+        elif meta["preconditioner_kind"] == "jacobi":
+            jacobi = JacobiPreconditioner.__new__(JacobiPreconditioner)
+            jacobi._inv_diag = archive["M_diag"]
+            ilu = jacobi
+
+    # Rebuild the solver's internal state exactly as _preprocess would.
+    solver._artifacts = artifacts
+    solver._ilu = ilu
+    solver._graph = graph
+    solver._retain("L1_inv", h11_factors.l_inv)
+    solver._retain("U1_inv", h11_factors.u_inv)
+    solver._retain("S", schur)
+    for name in ("H12", "H21", "H31", "H32"):
+        solver._retain(name, blocks[name])
+    if isinstance(ilu, ILUFactors):
+        solver._retain("L2", ilu.l)
+        solver._retain("U2", ilu.u)
+    elif isinstance(ilu, JacobiPreconditioner):
+        solver._retain("M_diag", ilu._inv_diag)
+    solver.stats.update(
+        {
+            "hub_ratio": meta["hub_ratio"],
+            "n1": meta["n1"],
+            "n2": meta["n2"],
+            "n3": meta["n3"],
+            "n_blocks": int(np.asarray(block_sizes).shape[0]),
+            "slashburn_iterations": meta["slashburn_iterations"],
+            "nnz_schur": int(schur.nnz),
+            "preconditioned": ilu is not None,
+            "loaded_from": str(path),
+            "preprocess_seconds": 0.0,
+            "memory_bytes": solver.memory_bytes(),
+        }
+    )
+    return solver

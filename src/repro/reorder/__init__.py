@@ -1,0 +1,27 @@
+"""Node reordering: deadend separation and hub-and-spoke (SlashBurn) ordering.
+
+BePI's preprocessing (Section 3.2 of the paper) rests on two reorderings:
+
+1. :func:`~repro.reorder.deadend.deadend_reorder` places non-deadend nodes
+   before deadend nodes, shrinking the linear system to the non-deadend
+   block (Eq. 3-4).
+2. :func:`~repro.reorder.hubspoke.hub_and_spoke_partition` runs SlashBurn
+   (:mod:`repro.reorder.slashburn`) on the non-deadend subgraph and orders
+   spokes (grouped into connected blocks) before hubs, making ``H11`` block
+   diagonal (Fig. 3).
+"""
+
+from repro.reorder.deadend import DeadendSplit, deadend_reorder
+from repro.reorder.hubspoke import HubSpokePartition, hub_and_spoke_partition
+from repro.reorder.permutation import Permutation
+from repro.reorder.slashburn import SlashBurnResult, slashburn
+
+__all__ = [
+    "DeadendSplit",
+    "HubSpokePartition",
+    "Permutation",
+    "SlashBurnResult",
+    "deadend_reorder",
+    "hub_and_spoke_partition",
+    "slashburn",
+]

@@ -1,0 +1,127 @@
+"""Permutations of node ids.
+
+A :class:`Permutation` is stored in *ordering* form: ``order[i]`` is the old
+node id placed at new position ``i``.  This matches how reorderings are
+naturally produced ("spokes first, then hubs, then deadends") and how sparse
+matrices are permuted (``A[order][:, order]``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import InvalidParameterError
+
+
+class Permutation:
+    """A bijection between old node ids and new positions.
+
+    Parameters
+    ----------
+    order:
+        ``order[i]`` = old id that moves to new position ``i``.
+    """
+
+    __slots__ = ("_order", "_positions")
+
+    def __init__(self, order: Union[np.ndarray, Sequence[int]]):
+        arr = np.asarray(order, dtype=np.int64)
+        n = arr.shape[0]
+        if arr.ndim != 1 or not np.array_equal(np.sort(arr), np.arange(n)):
+            raise InvalidParameterError("order must be a rearrangement of 0..n-1")
+        self._order = arr
+        positions = np.empty(n, dtype=np.int64)
+        positions[arr] = np.arange(n)
+        self._positions = positions
+
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        """The identity permutation on ``n`` elements."""
+        return cls(np.arange(n))
+
+    @property
+    def order(self) -> np.ndarray:
+        """``order[i]`` = old id at new position ``i``."""
+        return self._order
+
+    @property
+    def positions(self) -> np.ndarray:
+        """``positions[old_id]`` = new position of ``old_id`` (the inverse map)."""
+        return self._positions
+
+    def __len__(self) -> int:
+        return self._order.shape[0]
+
+    def inverse(self) -> "Permutation":
+        """The inverse permutation (ordering and positions swap roles)."""
+        return Permutation(self._positions)
+
+    def compose(self, inner: "Permutation") -> "Permutation":
+        """The permutation "apply ``inner`` first, then ``self``".
+
+        If ``B = inner(A)`` and ``C = self(B)`` then
+        ``C = self.compose(inner)(A)``.
+        """
+        if len(inner) != len(self):
+            raise InvalidParameterError("cannot compose permutations of different sizes")
+        return Permutation(inner.order[self._order])
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply_to_vector(self, vector: np.ndarray) -> np.ndarray:
+        """Reorder a per-node vector into the new order: ``out[i] = v[order[i]]``."""
+        vec = np.asarray(vector)
+        if vec.shape[0] != len(self):
+            raise InvalidParameterError(
+                f"vector length {vec.shape[0]} != permutation size {len(self)}"
+            )
+        return vec[self._order]
+
+    def unapply_to_vector(self, vector: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`apply_to_vector`: map a new-order vector back."""
+        vec = np.asarray(vector)
+        if vec.shape[0] != len(self):
+            raise InvalidParameterError(
+                f"vector length {vec.shape[0]} != permutation size {len(self)}"
+            )
+        out = np.empty_like(vec)
+        out[self._order] = vec
+        return out
+
+    def apply_to_matrix(self, matrix: sp.spmatrix) -> sp.csr_matrix:
+        """Symmetrically permute a square sparse matrix into the new order."""
+        mat = sp.csr_matrix(matrix)
+        if mat.shape != (len(self), len(self)):
+            raise InvalidParameterError(
+                f"matrix shape {mat.shape} incompatible with permutation size {len(self)}"
+            )
+        return mat[self._order][:, self._order].tocsr()
+
+    def extend_with_offset(self, total: int, offset: int) -> "Permutation":
+        """Embed this permutation of a contiguous id range into a larger identity.
+
+        The result permutes positions ``offset .. offset+len(self)-1`` (whose
+        old ids are assumed to be that same range) and leaves every other
+        position fixed.  Used to lift the hub-and-spoke permutation of the
+        non-deadend block into a permutation of the whole graph.
+        """
+        if offset < 0 or offset + len(self) > total:
+            raise InvalidParameterError("embedded permutation does not fit")
+        order = np.arange(total, dtype=np.int64)
+        order[offset : offset + len(self)] = self._order + offset
+        return Permutation(order)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Permutation(n={len(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        return np.array_equal(self._order, other._order)
+
+    def __hash__(self) -> int:
+        return hash(self._order.tobytes())

@@ -1,0 +1,127 @@
+"""SlashBurn hub selection (Kang & Faloutsos 2011; Appendix A of the paper).
+
+SlashBurn iteratively removes the ``ceil(k * n)`` highest-degree nodes
+("hubs") from the current giant connected component.  Removing hubs shatters
+a hub-and-spoke graph into many small components ("spokes"); the procedure
+recurses on the remaining giant component until it is no larger than the
+per-iteration hub count.
+
+This module only performs *hub selection*; the actual node ordering (spokes
+grouped into connected blocks before hubs) is assembled by
+:mod:`repro.reorder.hubspoke`, which is what BePI needs to make ``H11``
+block diagonal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.components import connected_components
+
+
+@dataclass(frozen=True)
+class SlashBurnResult:
+    """Outcome of SlashBurn hub selection.
+
+    Attributes
+    ----------
+    hubs:
+        Node ids selected as hubs, in selection order (iteration by
+        iteration, highest degree first).  Includes the final giant
+        component remainder, which cannot be shattered further.
+    spokes:
+        All remaining node ids (ascending).
+    n_iterations:
+        Number of hub-removal rounds performed.
+    hubs_per_iteration:
+        The fixed per-round hub count ``ceil(k * n)``.
+    """
+
+    hubs: np.ndarray
+    spokes: np.ndarray
+    n_iterations: int
+    hubs_per_iteration: int
+
+
+def slashburn(adjacency: sp.spmatrix, k: float) -> SlashBurnResult:
+    """Run SlashBurn hub selection on a graph.
+
+    Parameters
+    ----------
+    adjacency:
+        Square sparse adjacency matrix; edge direction is ignored (hubs are
+        ranked by total degree and components are weak).
+    k:
+        Hub selection ratio in ``(0, 1]``; each round removes
+        ``ceil(k * n)`` nodes where ``n`` is the total node count.
+
+    Returns
+    -------
+    SlashBurnResult
+
+    Notes
+    -----
+    Determinism: degree ties are broken toward the smaller node id, so the
+    same input always yields the same hub set.
+    """
+    if not 0.0 < k <= 1.0:
+        raise InvalidParameterError(f"hub selection ratio k must be in (0, 1], got {k}")
+    adj = sp.csr_matrix(adjacency)
+    n = adj.shape[0]
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return SlashBurnResult(empty, empty, 0, 0)
+    hub_count = max(1, math.ceil(k * n))
+
+    sym = adj + adj.T
+    sym.data = np.ones_like(sym.data)
+
+    # ``current`` holds original node ids of the still-connected core.
+    current = np.arange(n, dtype=np.int64)
+    hubs: list = []
+    n_iterations = 0
+
+    while current.size > hub_count:
+        n_iterations += 1
+        sub = sym[current][:, current]
+        degrees = np.asarray(sub.sum(axis=1)).ravel()
+        # Highest degree first; ties toward smaller original id.  argsort is
+        # stable, so sorting by (-degree) keeps ascending-id order for ties.
+        top_local = np.argsort(-degrees, kind="stable")[:hub_count]
+        hubs.append(current[np.sort(top_local)])
+
+        keep_mask = np.ones(current.size, dtype=bool)
+        keep_mask[top_local] = False
+        remaining = current[keep_mask]
+        if remaining.size == 0:
+            current = remaining
+            break
+        rem_sub = sym[remaining][:, remaining]
+        _n_comp, labels = connected_components(rem_sub)
+        sizes = np.bincount(labels)
+        giant = int(np.argmax(sizes))
+        in_giant = labels == giant
+        # Non-giant nodes become spokes implicitly (they are simply never
+        # selected as hubs); recurse on the giant component.
+        current = remaining[in_giant]
+
+    # The unshatterable remainder joins the hub side: it is not guaranteed to
+    # decompose into small blocks, so BePI keeps it in the H22 partition.
+    if current.size:
+        hubs.append(current)
+
+    hub_ids = np.concatenate(hubs) if hubs else np.empty(0, dtype=np.int64)
+    spoke_mask = np.ones(n, dtype=bool)
+    spoke_mask[hub_ids] = False
+    spokes = np.flatnonzero(spoke_mask)
+    return SlashBurnResult(
+        hubs=hub_ids,
+        spokes=spokes,
+        n_iterations=n_iterations,
+        hubs_per_iteration=hub_count,
+    )

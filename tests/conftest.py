@@ -1,0 +1,57 @@
+"""Shared fixtures and oracles for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import Graph, add_deadends, generate_rmat
+from repro.linalg.rwr_matrix import build_h_matrix, seed_vector
+
+
+def exact_rwr(graph: Graph, c: float, seed: int) -> np.ndarray:
+    """Dense-solve oracle: the exact solution of ``H r = c q``."""
+    h = build_h_matrix(graph.adjacency, c).toarray()
+    q = seed_vector(graph.n_nodes, seed)
+    return np.linalg.solve(h, c * q)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> Graph:
+    """8-node toy graph in the spirit of Figure 2 (cycle + chords + a deadend)."""
+    edges = [
+        (0, 1), (1, 0),
+        (0, 2), (2, 0),
+        (1, 3), (3, 1),
+        (3, 4), (4, 3),
+        (4, 0),
+        (2, 5),
+        (5, 6), (6, 5),
+        (3, 7), (4, 7),  # node 7 is a deadend (no outgoing edges)
+    ]
+    return Graph.from_edges(edges, n_nodes=8)
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> Graph:
+    """~128-node skewed graph with deadends."""
+    graph = generate_rmat(7, 700, seed=1)
+    return add_deadends(graph, 0.15, seed=2)
+
+
+@pytest.fixture(scope="session")
+def medium_graph() -> Graph:
+    """~512-node skewed graph with deadends (integration scale)."""
+    graph = generate_rmat(9, 3000, seed=3)
+    return add_deadends(graph, 0.2, seed=4)
+
+
+@pytest.fixture(scope="session")
+def dd_matrix() -> sp.csr_matrix:
+    """A random sparse strictly diagonally dominant matrix (always invertible)."""
+    rng = np.random.default_rng(42)
+    n = 60
+    dense = rng.standard_normal((n, n)) * (rng.random((n, n)) < 0.15)
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1.0)
+    return sp.csr_matrix(dense)

@@ -1,0 +1,60 @@
+"""Tests for the ablation switches (deadend reorder off, degree hub selection).
+
+These back the ablation benches: disabling a design choice must keep the
+solver *exact* while degrading the property the paper claims the choice
+buys (smaller system / smaller Schur complement).
+"""
+
+import numpy as np
+import pytest
+
+from repro import BePI, InvalidParameterError
+
+from .conftest import exact_rwr
+
+
+class TestDeadendAblation:
+    def test_still_exact_without_deadend_reorder(self, medium_graph):
+        solver = BePI(tol=1e-12, deadend_reorder=False).preprocess(medium_graph)
+        assert np.allclose(solver.query(0), exact_rwr(medium_graph, 0.05, 0), atol=1e-8)
+
+    def test_n3_is_zero(self, medium_graph):
+        solver = BePI(deadend_reorder=False).preprocess(medium_graph)
+        assert solver.stats["n3"] == 0
+        assert solver.stats["n1"] + solver.stats["n2"] == medium_graph.n_nodes
+
+    def test_deadend_reorder_shrinks_working_system(self, medium_graph):
+        """The whole point of Section 3.2.1: n1 + n2 < n with reordering."""
+        with_split = BePI().preprocess(medium_graph)
+        without = BePI(deadend_reorder=False).preprocess(medium_graph)
+        n_working_with = with_split.stats["n1"] + with_split.stats["n2"]
+        n_working_without = without.stats["n1"] + without.stats["n2"]
+        assert n_working_with < n_working_without
+
+
+class TestHubSelectionAblation:
+    def test_still_exact_with_degree_selection(self, medium_graph):
+        solver = BePI(tol=1e-12, hub_selection="degree").preprocess(medium_graph)
+        assert np.allclose(solver.query(3), exact_rwr(medium_graph, 0.05, 3), atol=1e-8)
+
+    def test_degree_selection_single_iteration(self, medium_graph):
+        solver = BePI(hub_selection="degree").preprocess(medium_graph)
+        assert solver.stats["slashburn_iterations"] == 1
+
+    def test_slashburn_shatters_better(self, medium_graph):
+        """SlashBurn's recursion yields smaller spoke blocks than one cut."""
+        slashburn = BePI(hub_ratio=0.1).preprocess(medium_graph)
+        degree = BePI(hub_ratio=0.1, hub_selection="degree").preprocess(medium_graph)
+        sb_largest = max(slashburn.artifacts.block_sizes, default=0)
+        dg_largest = max(degree.artifacts.block_sizes, default=0)
+        assert sb_largest <= dg_largest
+
+    def test_invalid_method(self):
+        with pytest.raises(InvalidParameterError):
+            BePI(hub_selection="random")
+
+    def test_invalid_method_partition_level(self, small_graph):
+        from repro.reorder.hubspoke import hub_and_spoke_partition
+
+        with pytest.raises(InvalidParameterError):
+            hub_and_spoke_partition(small_graph, 0.2, method="nope")

@@ -1,0 +1,119 @@
+"""Tests for the Theorem 4 accuracy bound."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import BePI, accuracy_bound, tolerance_for_target
+
+from .conftest import exact_rwr
+
+
+class TestBoundHolds:
+    @pytest.mark.parametrize("tol", [1e-4, 1e-6, 1e-8])
+    def test_error_within_bound(self, medium_graph, tol):
+        """Empirical verification of Theorem 4 at several tolerances."""
+        solver = BePI(tol=tol).preprocess(medium_graph)
+        bound = accuracy_bound(solver, seed=0)
+        actual_error = np.linalg.norm(solver.query(0) - exact_rwr(medium_graph, 0.05, 0))
+        assert actual_error <= bound.error_bound(tol) + 1e-12
+
+    def test_bound_scales_linearly_in_tol(self, small_graph):
+        solver = BePI().preprocess(small_graph)
+        bound = accuracy_bound(solver, seed=1)
+        assert bound.error_bound(2e-6) == pytest.approx(2 * bound.error_bound(1e-6))
+
+    def test_tolerance_for_target_roundtrip(self, small_graph):
+        solver = BePI().preprocess(small_graph)
+        bound = accuracy_bound(solver, seed=0)
+        target = 1e-7
+        eps = bound.tolerance_for(target)
+        assert bound.error_bound(eps) == pytest.approx(target)
+
+    def test_tolerance_for_target_guarantees_accuracy(self, medium_graph):
+        target = 1e-6
+        probe = BePI(tol=1e-3).preprocess(medium_graph)
+        eps = tolerance_for_target(probe, seed=0, target_error=target)
+        solver = BePI(tol=min(eps, 1e-3)).preprocess(medium_graph)
+        error = np.linalg.norm(solver.query(0) - exact_rwr(medium_graph, 0.05, 0))
+        assert error <= target
+
+
+class TestIngredients:
+    def test_factor_formula(self, small_graph):
+        solver = BePI().preprocess(small_graph)
+        bound = accuracy_bound(solver, seed=0)
+        expected = math.sqrt(
+            (bound.alpha * bound.norm_h31 + bound.norm_h32) ** 2
+            + bound.alpha**2
+            + 1.0
+        )
+        assert bound.factor == pytest.approx(expected)
+
+    def test_alpha_definition(self, small_graph):
+        solver = BePI().preprocess(small_graph)
+        bound = accuracy_bound(solver, seed=0)
+        assert bound.alpha == pytest.approx(bound.norm_h12 / bound.sigma_min_h11)
+
+    def test_sigma_min_positive(self, small_graph):
+        solver = BePI().preprocess(small_graph)
+        bound = accuracy_bound(solver, seed=0)
+        assert bound.sigma_min_schur > 0
+        assert bound.sigma_min_h11 > 0
+
+    def test_invalid_target(self, small_graph):
+        solver = BePI().preprocess(small_graph)
+        bound = accuracy_bound(solver, seed=0)
+        with pytest.raises(Exception):
+            bound.tolerance_for(0.0)
+
+
+class TestSpectralHelpers:
+    def test_spectral_norm_matches_numpy(self):
+        import scipy.sparse as sp
+
+        from repro.core.accuracy import spectral_norm
+
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((20, 30))
+        assert spectral_norm(sp.csr_matrix(dense)) == pytest.approx(
+            np.linalg.norm(dense, 2)
+        )
+
+    def test_spectral_norm_empty(self):
+        import scipy.sparse as sp
+
+        from repro.core.accuracy import spectral_norm
+
+        assert spectral_norm(sp.csr_matrix((0, 5))) == 0.0
+
+    def test_smallest_singular_value_matches_numpy(self):
+        import scipy.sparse as sp
+
+        from repro.core.accuracy import smallest_singular_value
+
+        rng = np.random.default_rng(1)
+        dense = rng.standard_normal((15, 15)) + 5 * np.eye(15)
+        assert smallest_singular_value(sp.csr_matrix(dense)) == pytest.approx(
+            np.linalg.svd(dense, compute_uv=False)[-1]
+        )
+
+    def test_smallest_singular_value_large_path(self):
+        import scipy.sparse as sp
+
+        from repro.core import accuracy
+
+        rng = np.random.default_rng(2)
+        n = 50
+        dense = rng.standard_normal((n, n)) + 8 * np.eye(n)
+        mat = sp.csr_matrix(dense)
+        exact = np.linalg.svd(dense, compute_uv=False)[-1]
+        # Force the iterative (large-matrix) code path.
+        old = accuracy.DENSE_SVD_THRESHOLD
+        accuracy.DENSE_SVD_THRESHOLD = 10
+        try:
+            approx = accuracy.smallest_singular_value(mat)
+        finally:
+            accuracy.DENSE_SVD_THRESHOLD = old
+        assert approx == pytest.approx(exact, rel=1e-3)

@@ -1,0 +1,106 @@
+"""Tests for bipartite anomaly detection (neighborhood formation)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import BePI, Graph, InvalidParameterError
+from repro.applications import anomaly_scores, neighborhood_relevance
+from repro.applications.anomaly import normality_scores
+
+
+def _community_bipartite():
+    """Two disjoint user-item communities plus one bridging 'anomalous' item.
+
+    Users 0-4 rate items 10-13; users 5-9 rate items 14-17; item 18 is
+    rated by users from *both* communities (the anomaly).
+    """
+    edges = []
+    for user in range(5):
+        for item in (10, 11, 12, 13):
+            edges.append((user, item))
+    for user in range(5, 10):
+        for item in (14, 15, 16, 17):
+            edges.append((user, item))
+    for user in (0, 5):
+        edges.append((user, 18))
+    # Undirected bipartite (see the anomaly module's directionality note).
+    edges += [(v, u) for u, v in edges]
+    return Graph.from_edges(edges, n_nodes=19)
+
+
+@pytest.fixture(scope="module")
+def bipartite_solver():
+    return BePI(tol=1e-10, hub_ratio=0.3).preprocess(_community_bipartite())
+
+
+class TestNeighborhoodRelevance:
+    def test_normalized(self, bipartite_solver):
+        rel = neighborhood_relevance(bipartite_solver, 10, np.array([11, 12, 13]))
+        assert rel.sum() == pytest.approx(1.0)
+        assert (rel >= 0).all()
+
+    def test_same_community_more_relevant(self, bipartite_solver):
+        rel = neighborhood_relevance(bipartite_solver, 10, np.array([11, 14]))
+        assert rel[0] > rel[1]  # 11 shares users with 10; 14 does not
+
+    def test_unreachable_targets_fall_back_to_uniform(self):
+        g = Graph.from_edges([(0, 1)], n_nodes=4)
+        solver = BePI(hub_ratio=0.5).preprocess(g)
+        rel = neighborhood_relevance(solver, 1, np.array([2, 3]))
+        assert rel.tolist() == [0.5, 0.5]
+
+
+class TestNormalityScores:
+    def test_same_community_raters_are_normal(self, bipartite_solver):
+        scores = normality_scores(bipartite_solver, [10, 18])
+        assert scores[10] > scores[18]
+
+    def test_undefined_for_few_raters(self):
+        g = Graph.from_edges([(0, 1), (1, 0)], n_nodes=3)
+        solver = BePI(hub_ratio=0.5).preprocess(g)
+        scores = normality_scores(solver, [1, 2])
+        assert math.isnan(scores[1])  # single rater
+        assert math.isnan(scores[2])  # no raters
+
+    def test_out_of_range_raises(self, bipartite_solver):
+        with pytest.raises(InvalidParameterError):
+            normality_scores(bipartite_solver, [999])
+
+    def test_rater_subsampling(self, bipartite_solver):
+        capped = normality_scores(bipartite_solver, [10], max_raters=2, seed=1)
+        full = normality_scores(bipartite_solver, [10], max_raters=None)
+        assert set(capped) == set(full) == {10}
+        assert capped[10] == capped[10]  # defined
+
+
+class TestAnomalyScores:
+    def test_bridging_item_is_most_anomalous(self, bipartite_solver):
+        scores = anomaly_scores(bipartite_solver, range(10, 19))
+        assert scores[18] == max(scores.values())
+        assert scores[18] == pytest.approx(1.0)
+
+    def test_scores_in_unit_interval(self, bipartite_solver):
+        scores = anomaly_scores(bipartite_solver, range(10, 19))
+        assert all(0.0 <= s <= 1.0 + 1e-9 for s in scores.values())
+
+    def test_normal_items_score_low(self, bipartite_solver):
+        scores = anomaly_scores(bipartite_solver, range(10, 19))
+        normal = [scores[i] for i in range(10, 18)]
+        assert max(normal) < scores[18]
+
+    def test_isolated_node_scores_zero(self):
+        g = Graph.from_edges([(0, 1), (1, 0)], n_nodes=3)
+        solver = BePI(hub_ratio=0.5).preprocess(g)
+        scores = anomaly_scores(solver, [2])
+        assert scores[2] == 0.0
+
+    def test_constant_normality_scores_zero(self):
+        # Symmetric 2-user / 2-item block: both items equally normal.
+        edges = [(0, 2), (0, 3), (1, 2), (1, 3)]
+        edges += [(v, u) for u, v in edges]
+        g = Graph.from_edges(edges, n_nodes=4)
+        solver = BePI(hub_ratio=0.5).preprocess(g)
+        scores = anomaly_scores(solver, [2, 3])
+        assert scores[2] == scores[3] == 0.0

@@ -1,0 +1,173 @@
+"""Tests for all baseline solvers (Bear, LU, GMRES, power, dense inverse)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BearSolver,
+    DenseSolver,
+    GMRESSolver,
+    InvalidParameterError,
+    LUSolver,
+    MemoryBudget,
+    MemoryBudgetExceededError,
+    NotPreprocessedError,
+    PowerSolver,
+)
+
+from .conftest import exact_rwr
+
+ALL_BASELINES = [BearSolver, DenseSolver, GMRESSolver, LUSolver, PowerSolver]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_matches_exact_solution(self, medium_graph, cls):
+        solver = cls(c=0.05, tol=1e-12).preprocess(medium_graph)
+        for seed in (0, 42):
+            assert np.allclose(
+                solver.query(seed), exact_rwr(medium_graph, 0.05, seed), atol=1e-7
+            )
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_tiny_graph_with_deadend(self, tiny_graph, cls):
+        solver = cls(c=0.1, tol=1e-12).preprocess(tiny_graph)
+        assert np.allclose(solver.query(7), exact_rwr(tiny_graph, 0.1, 7), atol=1e-9)
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_query_before_preprocess(self, cls):
+        with pytest.raises(NotPreprocessedError):
+            cls().query(0)
+
+
+class TestBear:
+    def test_memory_grows_quadratically_in_hubs(self, medium_graph):
+        small_k = BearSolver(hub_ratio=0.05).preprocess(medium_graph)
+        large_k = BearSolver(hub_ratio=0.4).preprocess(medium_graph)
+        assert large_k.stats["n2"] > small_k.stats["n2"]
+        assert large_k.memory_bytes() > small_k.memory_bytes()
+
+    def test_budget_failure_before_inversion(self, medium_graph):
+        budget = MemoryBudget(limit_bytes=1024)
+        solver = BearSolver(memory_budget=budget)
+        with pytest.raises(MemoryBudgetExceededError) as err:
+            solver.preprocess(medium_graph)
+        assert "S^-1" in str(err.value)
+
+    def test_direct_queries_have_zero_iterations(self, small_graph):
+        solver = BearSolver().preprocess(small_graph)
+        assert solver.query_detailed(0).iterations == 0
+
+    def test_invalid_hub_ratio(self):
+        with pytest.raises(InvalidParameterError):
+            BearSolver(hub_ratio=0.0)
+
+    def test_stats(self, small_graph):
+        solver = BearSolver().preprocess(small_graph)
+        assert solver.stats["n1"] + solver.stats["n2"] + solver.stats["n3"] == (
+            small_graph.n_nodes
+        )
+        assert "invert_schur_seconds" in solver.stats
+
+
+class TestLU:
+    def test_memory_counts_factors(self, medium_graph):
+        solver = LUSolver().preprocess(medium_graph)
+        retained = solver.retained_matrices()
+        assert set(retained) == {"L", "U"}
+        assert solver.stats["nnz_factors"] == retained["L"].nnz + retained["U"].nnz
+
+    def test_degree_reorder_toggle(self, medium_graph):
+        with_reorder = LUSolver(degree_reorder=True).preprocess(medium_graph)
+        without = LUSolver(degree_reorder=False).preprocess(medium_graph)
+        for seed in (0, 5):
+            assert np.allclose(
+                with_reorder.query(seed), without.query(seed), atol=1e-9
+            )
+
+    def test_degree_reorder_reduces_fill(self, medium_graph):
+        """The hub-last heuristic keeps the factors sparser (Fujiwara)."""
+        with_reorder = LUSolver(degree_reorder=True).preprocess(medium_graph)
+        without = LUSolver(degree_reorder=False).preprocess(medium_graph)
+        assert with_reorder.stats["nnz_factors"] <= without.stats["nnz_factors"] * 1.2
+
+
+class TestIterativeBaselines:
+    def test_no_preprocessed_memory(self, medium_graph):
+        for cls in (GMRESSolver, PowerSolver):
+            solver = cls().preprocess(medium_graph)
+            assert solver.memory_bytes() == 0
+
+    def test_gmres_converges_in_fewer_iterations_than_power(self, medium_graph):
+        gm = GMRESSolver(tol=1e-9).preprocess(medium_graph)
+        pw = PowerSolver(tol=1e-9).preprocess(medium_graph)
+        assert gm.query_detailed(0).iterations < pw.query_detailed(0).iterations
+
+    def test_gmres_restart(self, medium_graph):
+        solver = GMRESSolver(tol=1e-10, restart=20).preprocess(medium_graph)
+        assert np.allclose(
+            solver.query(3), exact_rwr(medium_graph, 0.05, 3), atol=1e-7
+        )
+
+    def test_power_iteration_count_scales_with_c(self, small_graph):
+        strict = PowerSolver(c=0.05, tol=1e-10).preprocess(small_graph)
+        loose = PowerSolver(c=0.5, tol=1e-10).preprocess(small_graph)
+        assert loose.query_detailed(0).iterations < strict.query_detailed(0).iterations
+
+
+class TestDense:
+    def test_refuses_large_graphs(self, medium_graph):
+        with pytest.raises(InvalidParameterError):
+            DenseSolver(max_nodes=10).preprocess(medium_graph)
+
+    def test_budget_enforced(self, medium_graph):
+        solver = DenseSolver(memory_budget=MemoryBudget(limit_bytes=100))
+        with pytest.raises(MemoryBudgetExceededError):
+            solver.preprocess(medium_graph)
+
+    def test_memory_is_n_squared(self, small_graph):
+        solver = DenseSolver().preprocess(small_graph)
+        n = small_graph.n_nodes
+        assert solver.memory_bytes() == n * n * 8
+
+
+class TestBearApprox:
+    """BEAR-Approx: magnitude-dropped sparse S^{-1} (drop_tolerance > 0)."""
+
+    def test_zero_tolerance_is_exact_dense(self, small_graph):
+        solver = BearSolver(drop_tolerance=0.0).preprocess(small_graph)
+        assert isinstance(solver.retained_matrices()["S_inv"], np.ndarray)
+
+    def test_positive_tolerance_stores_sparse(self, medium_graph):
+        import scipy.sparse as sp
+
+        solver = BearSolver(drop_tolerance=1e-4).preprocess(medium_graph)
+        assert sp.issparse(solver.retained_matrices()["S_inv"])
+
+    def test_dropping_reduces_stored_entries(self, medium_graph):
+        exact = BearSolver().preprocess(medium_graph)
+        approx = BearSolver(drop_tolerance=1e-2).preprocess(medium_graph)
+        n2 = exact.stats["n2"]
+        stored = approx.retained_matrices()["S_inv"].nnz
+        assert stored < n2 * n2
+        # With enough dropped entries the sparse format also wins on bytes.
+        assert approx.memory_bytes() < exact.memory_bytes()
+
+    def test_small_tolerance_small_error(self, medium_graph):
+        exact = BearSolver().preprocess(medium_graph)
+        approx = BearSolver(drop_tolerance=1e-6).preprocess(medium_graph)
+        err = np.linalg.norm(approx.query(0) - exact.query(0))
+        assert err < 1e-3
+
+    def test_error_grows_with_tolerance(self, medium_graph):
+        exact = BearSolver().preprocess(medium_graph)
+        reference = exact.query(0)
+        tight = BearSolver(drop_tolerance=1e-6).preprocess(medium_graph)
+        loose = BearSolver(drop_tolerance=1e-2).preprocess(medium_graph)
+        err_tight = np.linalg.norm(tight.query(0) - reference)
+        err_loose = np.linalg.norm(loose.query(0) - reference)
+        assert err_tight <= err_loose
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BearSolver(drop_tolerance=-0.1)

@@ -1,0 +1,115 @@
+"""Tests for memory accounting, budgets, and the experiment harness."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import (
+    BePI,
+    BearSolver,
+    MemoryBudget,
+    MemoryBudgetExceededError,
+    PowerSolver,
+)
+from repro.bench import ExperimentRunner
+from repro.bench.harness import format_records
+from repro.bench.memory import dense_memory_bytes, matrix_memory_bytes, sparse_memory_bytes
+
+
+class TestMemoryAccounting:
+    def test_sparse_bytes_formula(self):
+        mat = sp.random(100, 100, density=0.05, format="csr", random_state=0)
+        expected = mat.nnz * 12 + 101 * 4
+        assert sparse_memory_bytes(mat) == expected
+
+    def test_rectangular_uses_cheaper_pointer_axis(self):
+        mat = sp.random(10, 1000, density=0.01, format="csr", random_state=1)
+        assert sparse_memory_bytes(mat) == mat.nnz * 12 + 11 * 4
+
+    def test_dense_bytes(self):
+        assert dense_memory_bytes((10, 20)) == 1600
+
+    def test_matrix_dispatch(self):
+        assert matrix_memory_bytes(np.zeros((3, 3))) == 72
+        mat = sp.identity(3, format="csr")
+        assert matrix_memory_bytes(mat) == sparse_memory_bytes(mat)
+
+
+class TestMemoryBudget:
+    def test_unlimited(self):
+        MemoryBudget().check(10**15)
+
+    def test_within_budget(self):
+        MemoryBudget(limit_bytes=100).check(100)
+
+    def test_exceeded(self):
+        with pytest.raises(MemoryBudgetExceededError) as err:
+            MemoryBudget(limit_bytes=100).check(101, what="test data")
+        assert err.value.required_bytes == 101
+        assert err.value.budget_bytes == 100
+        assert "test data" in str(err.value)
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(limit_bytes=0)
+
+
+class TestExperimentRunner:
+    def test_ok_record(self, small_graph):
+        runner = ExperimentRunner(n_queries=3, seed=0)
+        record = runner.run("toy", small_graph, lambda: BePI(tol=1e-8))
+        assert record.ok
+        assert record.method == "BePI"
+        assert record.n_queries == 3
+        assert record.preprocess_seconds > 0
+        assert record.memory_bytes > 0
+        assert record.avg_query_seconds > 0
+
+    def test_oom_record(self, medium_graph):
+        runner = ExperimentRunner(n_queries=2)
+        record = runner.run(
+            "toy",
+            medium_graph,
+            lambda: BearSolver(memory_budget=MemoryBudget(limit_bytes=256)),
+        )
+        assert record.status == "oom"
+        assert np.isnan(record.preprocess_seconds)
+
+    def test_oot_record(self, medium_graph):
+        runner = ExperimentRunner(n_queries=2, time_budget_seconds=0.0)
+        record = runner.run("toy", medium_graph, lambda: BePI())
+        assert record.status == "oot"
+
+    def test_shared_query_seeds(self, small_graph):
+        runner = ExperimentRunner(n_queries=5, seed=3)
+        a = runner.query_seeds(small_graph)
+        b = runner.query_seeds(small_graph)
+        assert np.array_equal(a, b)
+
+    def test_seeds_capped_by_graph_size(self):
+        from repro import Graph
+
+        runner = ExperimentRunner(n_queries=100)
+        g = Graph.from_edges([(0, 1), (1, 0)])
+        assert runner.query_seeds(g).size == 2
+
+    def test_run_matrix(self, small_graph):
+        runner = ExperimentRunner(n_queries=2)
+        records = runner.run_matrix(
+            [("toy", small_graph)],
+            {"BePI": lambda: BePI(tol=1e-8), "Power": lambda: PowerSolver(tol=1e-8)},
+        )
+        assert [rec.method for rec in records] == ["BePI", "Power"]
+        assert all(rec.ok for rec in records)
+
+    def test_method_name_override(self, small_graph):
+        runner = ExperimentRunner(n_queries=1)
+        record = runner.run("toy", small_graph, lambda: BePI(), method_name="custom")
+        assert record.method == "custom"
+
+    def test_format_records(self, small_graph):
+        runner = ExperimentRunner(n_queries=1)
+        record = runner.run("toy", small_graph, lambda: BePI())
+        text = format_records([record])
+        assert "BePI" in text
+        assert "toy" in text

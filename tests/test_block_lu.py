@@ -1,0 +1,116 @@
+"""Tests for block-diagonal LU factorization with inverted factors."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError, SingularMatrixError
+from repro.linalg.block_lu import factorize_block_diagonal
+
+
+def _block_diag_matrix(block_sizes, seed):
+    rng = np.random.default_rng(seed)
+    blocks = []
+    for size in block_sizes:
+        block = rng.standard_normal((size, size))
+        # Make comfortably invertible.
+        block += np.eye(size) * (np.abs(block).sum(axis=1).max() + 1.0)
+        blocks.append(block)
+    return sp.block_diag(blocks, format="csr"), blocks
+
+
+class TestFactorization:
+    def test_solve_matches_dense(self):
+        mat, _ = _block_diag_matrix([3, 1, 5, 2], seed=0)
+        factors = factorize_block_diagonal(mat, [3, 1, 5, 2])
+        rng = np.random.default_rng(1)
+        b = rng.standard_normal(11)
+        assert np.allclose(factors.solve(b), np.linalg.solve(mat.toarray(), b))
+
+    def test_solve_matrix(self):
+        mat, _ = _block_diag_matrix([2, 4], seed=2)
+        factors = factorize_block_diagonal(mat, [2, 4])
+        rhs = sp.random(6, 3, density=0.5, random_state=3, format="csr")
+        result = factors.solve_matrix(rhs).toarray()
+        expected = np.linalg.solve(mat.toarray(), rhs.toarray())
+        assert np.allclose(result, expected)
+
+    def test_explicit_inverse_identity(self):
+        mat, _ = _block_diag_matrix([4, 4], seed=4)
+        factors = factorize_block_diagonal(mat, [4, 4])
+        product = (factors.u_inv @ factors.l_inv @ mat).toarray()
+        assert np.allclose(product, np.eye(8), atol=1e-10)
+
+    def test_factors_stay_block_diagonal(self):
+        mat, _ = _block_diag_matrix([3, 2, 3], seed=5)
+        factors = factorize_block_diagonal(mat, [3, 2, 3])
+        starts = np.concatenate(([0], np.cumsum([3, 2, 3])))
+        for factor in (factors.l_inv, factors.u_inv):
+            coo = factor.tocoo()
+            rb = np.searchsorted(starts, coo.row, side="right") - 1
+            cb = np.searchsorted(starts, coo.col, side="right") - 1
+            assert np.array_equal(rb, cb)
+
+    def test_single_block_is_full_lu(self):
+        mat, _ = _block_diag_matrix([6], seed=6)
+        factors = factorize_block_diagonal(mat, [6])
+        b = np.arange(6, dtype=float)
+        assert np.allclose(factors.solve(b), np.linalg.solve(mat.toarray(), b))
+
+    def test_all_singleton_blocks(self):
+        mat = sp.diags([2.0, 4.0, 5.0]).tocsr()
+        factors = factorize_block_diagonal(mat, [1, 1, 1])
+        assert np.allclose(factors.solve(np.array([2.0, 4.0, 5.0])), 1.0)
+
+    def test_empty_matrix(self):
+        factors = factorize_block_diagonal(sp.csr_matrix((0, 0)), [])
+        assert factors.solve(np.zeros(0)).size == 0
+        assert factors.nnz == 0
+
+    def test_nnz_accounting(self):
+        mat, _ = _block_diag_matrix([3, 3], seed=7)
+        factors = factorize_block_diagonal(mat, [3, 3])
+        assert factors.nnz == factors.l_inv.nnz + factors.u_inv.nnz
+
+
+class TestValidation:
+    def test_wrong_block_sum(self):
+        mat, _ = _block_diag_matrix([2, 2], seed=0)
+        with pytest.raises(InvalidParameterError):
+            factorize_block_diagonal(mat, [2, 3])
+
+    def test_non_positive_block(self):
+        mat, _ = _block_diag_matrix([2, 2], seed=0)
+        with pytest.raises(InvalidParameterError):
+            factorize_block_diagonal(mat, [4, 0])
+
+    def test_entry_outside_blocks(self):
+        mat = sp.csr_matrix(np.array([[1.0, 0.0, 0.5], [0, 1, 0], [0, 0, 1]]))
+        with pytest.raises(InvalidParameterError):
+            factorize_block_diagonal(mat, [1, 1, 1])
+
+    def test_singular_block(self):
+        mat = sp.csr_matrix(np.zeros((2, 2)))
+        with pytest.raises(SingularMatrixError):
+            factorize_block_diagonal(mat, [1, 1])
+
+    def test_singular_larger_block(self):
+        block = np.array([[1.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(SingularMatrixError):
+            factorize_block_diagonal(sp.csr_matrix(block), [2])
+
+
+class TestProperty:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=6),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_solve_property(self, block_sizes, seed):
+        mat, _ = _block_diag_matrix(block_sizes, seed)
+        factors = factorize_block_diagonal(mat, block_sizes)
+        n = sum(block_sizes)
+        b = np.random.default_rng(seed ^ 0x5A5A).standard_normal(n)
+        assert np.allclose(mat.toarray() @ factors.solve(b), b, atol=1e-8)

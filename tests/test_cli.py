@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro import generate_rmat, save_edge_list
+from repro.cli import main
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    graph = generate_rmat(7, 700, seed=9)
+    path = tmp_path / "graph.tsv"
+    save_edge_list(graph, path)
+    return str(path)
+
+
+class TestStats:
+    def test_prints_counts(self, graph_file, capsys):
+        assert main(["stats", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out
+        assert "deadends" in out
+
+
+class TestPreprocessAndQuery:
+    def test_roundtrip(self, graph_file, tmp_path, capsys):
+        solver_path = str(tmp_path / "solver.npz")
+        assert main(["preprocess", graph_file, "-o", solver_path]) == 0
+        out = capsys.readouterr().out
+        assert "preprocessed" in out
+
+        assert main(["query", solver_path, "--seed", "0", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top 3 nodes" in out
+        assert out.count(". node") == 3
+
+    def test_query_direct_from_edge_list(self, graph_file, capsys):
+        assert main(["query", graph_file, "--seed", "1", "--top", "5",
+                     "--method", "power"]) == 0
+        out = capsys.readouterr().out
+        assert "top 5 nodes" in out
+
+    def test_query_matches_between_paths(self, graph_file, tmp_path, capsys):
+        solver_path = str(tmp_path / "solver.npz")
+        main(["preprocess", graph_file, "-o", solver_path])
+        capsys.readouterr()
+        main(["query", graph_file, "--seed", "2"])
+        direct = capsys.readouterr().out.splitlines()[-10:]
+        main(["query", solver_path, "--seed", "2"])
+        loaded = capsys.readouterr().out.splitlines()[-10:]
+        assert direct == loaded
+
+    def test_preprocess_rejects_non_bepi(self, graph_file, tmp_path, capsys):
+        code = main(["preprocess", graph_file, "-o", str(tmp_path / "x.npz"),
+                     "--method", "power"])
+        assert code == 2
+
+    def test_hub_ratio_option(self, graph_file, tmp_path, capsys):
+        solver_path = str(tmp_path / "solver.npz")
+        assert main(["preprocess", graph_file, "-o", solver_path,
+                     "--hub-ratio", "0.3"]) == 0
+
+
+class TestCompare:
+    def test_runs_selected_methods(self, graph_file, capsys):
+        assert main(["compare", graph_file, "--methods", "bepi,power",
+                     "--queries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Bepi" in out or "bepi" in out.lower()
+        assert "Power" in out
+
+
+class TestDatasets:
+    def test_lists_registry(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "slashdot_sim" in out
+        assert "Friendster" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestDatasetExport:
+    def test_export_writes_edge_lists(self, tmp_path, capsys):
+        # Export only happens after the listing; use the small registry as-is.
+        assert main(["datasets", "--export", str(tmp_path / "out")]) == 0
+        out = capsys.readouterr().out
+        assert "exported physicians_sim" in out
+        exported = list((tmp_path / "out").glob("*.tsv"))
+        assert len(exported) == 13
+
+    def test_query_with_approximate_method(self, graph_file, capsys):
+        assert main(["query", graph_file, "--seed", "0", "--top", "3",
+                     "--method", "montecarlo"]) == 0
+        assert "top 3 nodes" in capsys.readouterr().out

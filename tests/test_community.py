@@ -1,0 +1,88 @@
+"""Tests for local community detection by conductance sweep."""
+
+import numpy as np
+import pytest
+
+from repro import BePI, Graph, InvalidParameterError
+from repro.applications import conductance, local_community
+
+
+def _two_cliques(size=8, bridge=1):
+    """Two directed cliques joined by `bridge` edges — the canonical test."""
+    edges = []
+    for block in range(2):
+        offset = block * size
+        for i in range(size):
+            for j in range(size):
+                if i != j:
+                    edges.append((offset + i, offset + j))
+    for b in range(bridge):
+        edges.append((b, size + b))
+        edges.append((size + b, b))
+    return Graph.from_edges(edges, n_nodes=2 * size)
+
+
+class TestConductance:
+    def test_empty_and_full_sets(self, small_graph):
+        assert conductance(small_graph, np.array([], dtype=int)) == 0.0
+        assert conductance(small_graph, np.arange(small_graph.n_nodes)) == 0.0
+
+    def test_perfect_cluster_is_low(self):
+        g = _two_cliques()
+        phi = conductance(g, np.arange(8))
+        # 2 crossing (undirected) edges out of ~8*7 internal ones.
+        assert phi < 0.05
+
+    def test_random_cut_is_high(self):
+        g = _two_cliques()
+        mixed = np.array([0, 1, 2, 3, 8, 9, 10, 11])
+        assert conductance(g, mixed) > conductance(g, np.arange(8)) * 5
+
+    def test_singleton(self):
+        g = _two_cliques()
+        phi = conductance(g, np.array([0]))
+        assert 0.0 < phi <= 1.0
+
+    def test_out_of_range(self, small_graph):
+        with pytest.raises(InvalidParameterError):
+            conductance(small_graph, np.array([10_000]))
+
+    def test_isolated_set_has_unit_conductance(self):
+        g = Graph.from_edges([(0, 1), (1, 0)], n_nodes=3)
+        assert conductance(g, np.array([2])) == 1.0
+
+
+class TestLocalCommunity:
+    def test_recovers_planted_clique(self):
+        g = _two_cliques(size=10, bridge=1)
+        solver = BePI(tol=1e-10, hub_ratio=0.3).preprocess(g)
+        community = local_community(solver, seed=0)
+        assert set(community.members.tolist()) == set(range(10))
+        assert community.conductance < 0.05
+
+    def test_seed_always_included(self, medium_graph):
+        solver = BePI(tol=1e-9).preprocess(medium_graph)
+        seed = int(np.flatnonzero(~medium_graph.deadend_mask())[0])
+        community = local_community(solver, seed=seed, max_size=50)
+        assert seed in community.members.tolist()
+
+    def test_sweep_matches_reported_conductance(self):
+        g = _two_cliques(size=6)
+        solver = BePI(tol=1e-10, hub_ratio=0.3).preprocess(g)
+        community = local_community(solver, seed=0)
+        assert community.conductance == pytest.approx(
+            conductance(g, community.members), abs=1e-9
+        )
+
+    def test_max_size_respected(self, medium_graph):
+        solver = BePI(tol=1e-9).preprocess(medium_graph)
+        community = local_community(solver, seed=0, max_size=10)
+        assert community.members.size <= 10
+
+    def test_sweep_curve_shape(self):
+        g = _two_cliques(size=8)
+        solver = BePI(tol=1e-10, hub_ratio=0.3).preprocess(g)
+        community = local_community(solver, seed=0)
+        sweep = community.sweep_conductances
+        # The minimum of the sweep occurs exactly at the clique boundary.
+        assert int(np.argmin(sweep)) == 7

@@ -1,0 +1,149 @@
+"""Tests for the from-scratch connected-components algorithms.
+
+Cross-checked against scipy.sparse.csgraph (allowed as a test oracle only).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.sparse import csgraph
+
+from repro import Graph, generate_rmat
+from repro.graph.components import (
+    breadth_first_order,
+    component_sizes,
+    connected_components,
+    giant_component_mask,
+)
+
+
+def _random_sparse(n, m, seed):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(n, size=m)
+    dst = rng.integers(n, size=m)
+    return sp.coo_matrix((np.ones(m), (src, dst)), shape=(n, n)).tocsr()
+
+
+class TestConnectedComponents:
+    def test_empty(self):
+        count, labels = connected_components(sp.csr_matrix((0, 0)))
+        assert count == 0
+        assert labels.size == 0
+
+    def test_isolated_nodes(self):
+        count, labels = connected_components(sp.csr_matrix((5, 5)))
+        assert count == 5
+        assert sorted(labels.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_single_component_cycle(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        count, labels = connected_components(g.adjacency)
+        assert count == 1
+        assert set(labels.tolist()) == {0}
+
+    def test_direction_is_ignored(self):
+        # 0 -> 1, 2 -> 1: weakly one component even though not strongly.
+        g = Graph.from_edges([(0, 1), (2, 1)])
+        count, _ = connected_components(g.adjacency)
+        assert count == 1
+
+    def test_two_components(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        count, labels = connected_components(g.adjacency)
+        assert count == 2
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_labels_ordered_by_smallest_member(self):
+        g = Graph.from_edges([(3, 4), (0, 1)], n_nodes=5)
+        _, labels = connected_components(g.adjacency)
+        assert labels[0] == 0  # component containing node 0 gets label 0
+        assert labels[2] == 1  # isolated node 2 comes next
+        assert labels[3] == 2
+
+    def test_path_graph_deep_chain(self):
+        # Long chains stress the pointer-jumping convergence.
+        n = 500
+        edges = [(i, i + 1) for i in range(n - 1)]
+        g = Graph.from_edges(edges)
+        count, _ = connected_components(g.adjacency)
+        assert count == 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_scipy_on_random_graphs(self, seed):
+        adj = _random_sparse(200, 300, seed)
+        ours_count, ours_labels = connected_components(adj)
+        ref_count, ref_labels = csgraph.connected_components(adj, connection="weak")
+        assert ours_count == ref_count
+        # Labels must induce the same partition (up to renaming).
+        mapping = {}
+        for ours, ref in zip(ours_labels, ref_labels):
+            assert mapping.setdefault(ours, ref) == ref
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_scipy_property(self, seed):
+        adj = _random_sparse(60, 80, seed)
+        ours_count, _ = connected_components(adj)
+        ref_count, _ = csgraph.connected_components(adj, connection="weak")
+        assert ours_count == ref_count
+
+
+class TestComponentSizes:
+    def test_sizes(self):
+        sizes = component_sizes(np.array([0, 0, 1, 2, 2, 2]))
+        assert sizes.tolist() == [2, 1, 3]
+
+    def test_empty(self):
+        assert component_sizes(np.empty(0, dtype=np.int64)).size == 0
+
+
+class TestGiantComponent:
+    def test_giant_mask(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (3, 4)], n_nodes=5)
+        mask = giant_component_mask(g.adjacency)
+        assert mask.tolist() == [True, True, True, False, False]
+
+    def test_tie_breaks_to_smallest_member(self):
+        g = Graph.from_edges([(0, 1), (2, 3)], n_nodes=4)
+        mask = giant_component_mask(g.adjacency)
+        assert mask.tolist() == [True, True, False, False]
+
+
+class TestBreadthFirstOrder:
+    def test_starts_at_source(self, tiny_graph):
+        order = breadth_first_order(tiny_graph.adjacency, 0)
+        assert order[0] == 0
+
+    def test_respects_direction(self):
+        g = Graph.from_edges([(0, 1), (2, 0)], n_nodes=3)
+        order = breadth_first_order(g.adjacency, 0)
+        assert set(order.tolist()) == {0, 1}  # 2 unreachable going forward
+
+    def test_full_reachability_matches_scipy(self, small_graph):
+        ours = breadth_first_order(small_graph.adjacency, 0)
+        ref = csgraph.breadth_first_order(
+            small_graph.adjacency, 0, directed=True, return_predecessors=False
+        )
+        assert set(ours.tolist()) == set(ref.tolist())
+
+    def test_bfs_levels_are_nondecreasing(self, small_graph):
+        # BFS property: distances along the returned order never decrease.
+        dist = csgraph.shortest_path(
+            small_graph.adjacency, method="D", directed=True,
+            unweighted=True, indices=0,
+        )
+        order = breadth_first_order(small_graph.adjacency, 0)
+        distances = dist[order]
+        assert np.all(np.diff(distances) >= 0)
+
+    def test_out_of_range_source(self, tiny_graph):
+        with pytest.raises(IndexError):
+            breadth_first_order(tiny_graph.adjacency, 99)
+
+    def test_deadend_source(self, tiny_graph):
+        order = breadth_first_order(tiny_graph.adjacency, 7)
+        assert order.tolist() == [7]

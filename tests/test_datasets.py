@@ -1,0 +1,77 @@
+"""Tests for the stand-in dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro import InvalidParameterError, datasets
+from repro.datasets.registry import DEFAULT_SEED
+
+
+class TestRegistry:
+    def test_all_names_resolvable(self):
+        for name in datasets.names():
+            spec = datasets.get(name)
+            assert spec.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            datasets.get("no_such_dataset")
+
+    def test_headline_has_eight(self):
+        assert len(datasets.HEADLINE_DATASETS) == 8
+
+    def test_groups_are_registered(self):
+        all_names = set(datasets.names())
+        for group in (
+            datasets.HEADLINE_DATASETS,
+            datasets.SMALL_DATASETS,
+            datasets.FIG4_DATASETS,
+            datasets.FIG7_DATASETS,
+            datasets.FIG8_DATASETS,
+        ):
+            assert set(group) <= all_names
+
+    def test_registry_copy_is_safe(self):
+        reg = datasets.registry()
+        reg.clear()
+        assert datasets.registry()  # unaffected
+
+    def test_paper_metadata_present(self):
+        spec = datasets.get("twitter_sim")
+        assert spec.paper_nodes == 41_652_230
+        assert spec.paper_edges > 10**9
+        assert spec.hub_ratio == 0.20
+
+
+class TestBuild:
+    def test_deterministic_and_cached(self):
+        a = datasets.build("slashdot_sim")
+        b = datasets.build("slashdot_sim")
+        assert a is b  # lru_cache
+
+    def test_different_seed_different_graph(self):
+        a = datasets.build("slashdot_sim")
+        b = datasets.build("slashdot_sim", seed=DEFAULT_SEED + 1)
+        assert a != b
+
+    def test_deadend_fraction_approximated(self):
+        for name in ("slashdot_sim", "flickr_sim"):
+            spec = datasets.get(name)
+            graph = datasets.build(name)
+            fraction = graph.deadend_mask().mean()
+            assert fraction == pytest.approx(spec.deadend_fraction, abs=0.08)
+
+    def test_sizes_ordered_like_paper(self):
+        """Stand-ins preserve the relative size ordering of Table 2."""
+        sizes = [datasets.build(n).n_edges for n in datasets.HEADLINE_DATASETS]
+        paper = [datasets.get(n).paper_edges for n in datasets.HEADLINE_DATASETS]
+        assert np.array_equal(np.argsort(sizes[-3:]), np.argsort(paper[-3:]))
+
+    def test_headline_graphs_have_hubs(self):
+        graph = datasets.build("slashdot_sim")
+        degrees = graph.total_degrees()
+        assert degrees.max() > 20 * max(degrees.mean(), 1)
+
+    def test_physicians_is_small(self):
+        g = datasets.build("physicians_sim")
+        assert g.n_nodes == 241

@@ -1,0 +1,57 @@
+"""Tests for deadend reordering (Section 3.2.1)."""
+
+import numpy as np
+
+from repro import Graph, generate_bipartite
+from repro.linalg.rwr_matrix import build_h_matrix
+from repro.reorder.deadend import deadend_reorder
+
+
+class TestDeadendReorder:
+    def test_counts(self, tiny_graph):
+        split = deadend_reorder(tiny_graph)
+        assert split.n_deadends == 1
+        assert split.n_non_deadends == 7
+        assert split.n_nodes == 8
+
+    def test_non_deadends_first(self, tiny_graph):
+        split = deadend_reorder(tiny_graph)
+        order = split.permutation.order
+        deadend_mask = tiny_graph.deadend_mask()
+        assert not deadend_mask[order[: split.n_non_deadends]].any()
+        assert deadend_mask[order[split.n_non_deadends :]].all()
+
+    def test_relative_order_preserved(self, small_graph):
+        split = deadend_reorder(small_graph)
+        order = split.permutation.order
+        non_dead = order[: split.n_non_deadends]
+        dead = order[split.n_non_deadends :]
+        assert np.all(np.diff(non_dead) > 0)
+        assert np.all(np.diff(dead) > 0)
+
+    def test_all_deadends(self):
+        g = Graph.empty(4)
+        split = deadend_reorder(g)
+        assert split.n_deadends == 4
+        assert split.n_non_deadends == 0
+
+    def test_no_deadends(self):
+        g = Graph.from_edges([(0, 1), (1, 0)])
+        split = deadend_reorder(g)
+        assert split.n_deadends == 0
+
+    def test_bipartite_right_side_all_dead(self):
+        g = generate_bipartite(20, 15, 100, seed=0)
+        split = deadend_reorder(g)
+        assert split.n_deadends == 15
+
+    def test_h_block_structure(self, tiny_graph):
+        """Reordered H must have the [[Hnn, 0], [Hdn, I]] form of Fig. 3b."""
+        split = deadend_reorder(tiny_graph)
+        reordered = tiny_graph.permute(split.permutation.order)
+        h = build_h_matrix(reordered.adjacency, c=0.05).toarray()
+        nd = split.n_non_deadends
+        # Upper-right block is zero.
+        assert np.allclose(h[:nd, nd:], 0.0)
+        # Lower-right block is the identity.
+        assert np.allclose(h[nd:, nd:], np.eye(split.n_deadends))

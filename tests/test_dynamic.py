@@ -1,0 +1,106 @@
+"""Tests for the batch-update dynamic-graph wrapper."""
+
+import numpy as np
+import pytest
+
+from repro import BePI, Graph, InvalidParameterError, PowerSolver, generate_rmat
+from repro.core.dynamic import DynamicRWR
+
+from .conftest import exact_rwr
+
+
+@pytest.fixture()
+def dynamic():
+    graph = generate_rmat(7, 600, seed=2)
+    return DynamicRWR(graph, solver_factory=lambda: BePI(tol=1e-11))
+
+
+class TestBuffering:
+    def test_initial_state(self, dynamic):
+        assert dynamic.pending_updates == 0
+        assert dynamic.n_rebuilds == 1
+
+    def test_updates_buffer(self, dynamic):
+        dynamic.add_edges([(0, 1), (1, 2)])
+        dynamic.remove_edges([(2, 3)])
+        assert dynamic.pending_updates == 3
+
+    def test_queries_are_stale_until_rebuild(self, dynamic):
+        before = dynamic.query(0)
+        dynamic.add_edges([(0, 99)])
+        assert np.array_equal(dynamic.query(0), before)
+        dynamic.rebuild()
+        assert not np.array_equal(dynamic.query(0), before)
+
+    def test_rebuild_clears_buffer(self, dynamic):
+        dynamic.add_edges([(0, 99)])
+        dynamic.rebuild()
+        assert dynamic.pending_updates == 0
+        assert dynamic.n_rebuilds == 2
+
+    def test_rebuild_without_updates_is_noop(self, dynamic):
+        dynamic.rebuild()
+        assert dynamic.n_rebuilds == 1
+
+    def test_out_of_range_node_rejected(self, dynamic):
+        with pytest.raises(InvalidParameterError):
+            dynamic.add_edges([(0, 10_000)])
+
+
+class TestCorrectness:
+    def test_rebuild_matches_fresh_solver(self):
+        graph = generate_rmat(6, 250, seed=3)
+        dynamic = DynamicRWR(graph, solver_factory=lambda: BePI(tol=1e-12))
+        additions = [(0, 10), (10, 0), (5, 20)]
+        removals = [tuple(graph.edges()[0])]
+        dynamic.add_edges(additions)
+        dynamic.remove_edges(removals)
+        dynamic.rebuild()
+
+        edge_set = set(map(tuple, graph.edges().tolist()))
+        edge_set.update(additions)
+        edge_set.difference_update(removals)
+        expected_graph = Graph.from_edges(
+            np.asarray(sorted(edge_set)), n_nodes=graph.n_nodes
+        )
+        assert np.allclose(
+            dynamic.query(0), exact_rwr(expected_graph, 0.05, 0), atol=1e-8
+        )
+
+    def test_removing_missing_edge_is_noop(self, dynamic):
+        before_edges = dynamic.graph.n_edges
+        dynamic.remove_edges([(0, 0)])  # self loop that does not exist
+        dynamic.rebuild()
+        assert dynamic.graph.n_edges == before_edges
+
+    def test_remove_all_edges(self):
+        graph = Graph.from_edges([(0, 1), (1, 0)], n_nodes=3)
+        dynamic = DynamicRWR(graph)
+        dynamic.remove_edges([(0, 1), (1, 0)])
+        dynamic.rebuild()
+        scores = dynamic.query(0)
+        expected = np.zeros(3)
+        expected[0] = 0.05
+        assert np.allclose(scores, expected)
+
+
+class TestAutoRebuild:
+    def test_threshold_triggers_rebuild(self):
+        graph = generate_rmat(6, 250, seed=4)
+        dynamic = DynamicRWR(graph, auto_rebuild_threshold=3)
+        dynamic.add_edges([(0, 1), (1, 2)])
+        assert dynamic.n_rebuilds == 1
+        dynamic.add_edges([(2, 3)])
+        assert dynamic.n_rebuilds == 2
+        assert dynamic.pending_updates == 0
+
+    def test_invalid_threshold(self):
+        graph = generate_rmat(5, 100, seed=5)
+        with pytest.raises(InvalidParameterError):
+            DynamicRWR(graph, auto_rebuild_threshold=0)
+
+    def test_custom_solver_factory(self):
+        graph = generate_rmat(5, 100, seed=6)
+        dynamic = DynamicRWR(graph, solver_factory=lambda: PowerSolver(tol=1e-11))
+        assert isinstance(dynamic.solver, PowerSolver)
+        assert np.allclose(dynamic.query(0), exact_rwr(graph, 0.05, 0), atol=1e-7)

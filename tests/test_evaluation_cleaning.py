@@ -1,0 +1,175 @@
+"""Tests for ranking metrics and graph-cleaning utilities."""
+
+import numpy as np
+import pytest
+
+from repro import BePI, Graph, InvalidParameterError, generate_rmat
+from repro.applications.evaluation import (
+    kendall_tau,
+    ndcg_at_k,
+    precision_at_k,
+    ranking_agreement,
+    spearman_rho,
+)
+from repro.graph.cleaning import (
+    compact_node_ids,
+    largest_connected_component,
+    make_undirected,
+    prepare_for_rwr,
+    remove_isolated_nodes,
+)
+
+
+class TestPrecisionAtK:
+    def test_identical_rankings(self):
+        s = np.array([3.0, 1.0, 2.0])
+        assert precision_at_k(s, s, 2) == 1.0
+
+    def test_disjoint_top_sets(self):
+        ref = np.array([1.0, 0.0, 0.0, 0.0])
+        test = np.array([0.0, 0.0, 0.0, 1.0])
+        assert precision_at_k(ref, test, 1) == 0.0
+
+    def test_partial_overlap(self):
+        ref = np.array([4.0, 3.0, 2.0, 1.0])
+        test = np.array([4.0, 1.0, 3.0, 2.0])
+        assert precision_at_k(ref, test, 2) == 0.5
+
+    def test_invalid_k(self):
+        s = np.ones(3)
+        with pytest.raises(InvalidParameterError):
+            precision_at_k(s, s, 0)
+        with pytest.raises(InvalidParameterError):
+            precision_at_k(s, s, 4)
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        s = np.array([1.0, 2.0, 3.0, 4.0])
+        assert kendall_tau(s, s) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        s = np.array([1.0, 2.0, 3.0, 4.0])
+        assert kendall_tau(s, s[::-1].copy()) == pytest.approx(-1.0)
+
+    def test_independent_scores_near_zero(self):
+        rng = np.random.default_rng(0)
+        tau = kendall_tau(rng.random(300), rng.random(300))
+        assert abs(tau) < 0.12
+
+    def test_all_ties_is_zero(self):
+        assert kendall_tau(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_size_guard(self):
+        s = np.ones(6000)
+        with pytest.raises(InvalidParameterError):
+            kendall_tau(s, s)
+
+    def test_matches_manual_small_case(self):
+        ref = np.array([1.0, 2.0, 3.0])
+        test = np.array([1.0, 3.0, 2.0])
+        # Pairs: (0,1) concordant, (0,2) concordant, (1,2) discordant.
+        assert kendall_tau(ref, test) == pytest.approx(1.0 / 3.0)
+
+
+class TestSpearman:
+    def test_monotone_transform_is_one(self):
+        s = np.array([0.1, 0.5, 0.2, 0.9])
+        assert spearman_rho(s, np.exp(s)) == pytest.approx(1.0)
+
+    def test_reversal_is_minus_one(self):
+        s = np.array([1.0, 2.0, 3.0])
+        assert spearman_rho(s, -s) == pytest.approx(-1.0)
+
+    def test_ties_averaged(self):
+        rho = spearman_rho(np.array([1.0, 1.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+        assert -1.0 <= rho <= 1.0
+
+    def test_constant_vector_is_zero(self):
+        assert spearman_rho(np.ones(4), np.arange(4.0)) == 0.0
+
+
+class TestNdcg:
+    def test_perfect_ranking(self):
+        s = np.array([3.0, 2.0, 1.0, 0.0])
+        assert ndcg_at_k(s, s, 3) == pytest.approx(1.0)
+
+    def test_worst_ranking_below_one(self):
+        ref = np.array([3.0, 2.0, 1.0, 0.0])
+        assert ndcg_at_k(ref, -ref, 3) < 1.0
+
+    def test_negative_gains_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ndcg_at_k(np.array([-1.0, 1.0]), np.ones(2), 1)
+
+    def test_zero_gains(self):
+        assert ndcg_at_k(np.zeros(3), np.arange(3.0), 2) == 0.0
+
+
+class TestRankingAgreement:
+    def test_bundle_keys(self, small_graph):
+        solver = BePI(tol=1e-10).preprocess(small_graph)
+        loose = BePI(tol=1e-2).preprocess(small_graph)
+        report = ranking_agreement(solver.query(0), loose.query(0), k=10)
+        assert set(report) == {"precision_at_k", "ndcg_at_k", "spearman_rho"}
+        # A loose tolerance still preserves rankings almost perfectly.
+        assert report["precision_at_k"] >= 0.8
+        assert report["spearman_rho"] > 0.9
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            precision_at_k(np.ones(3), np.ones(4), 1)
+
+
+class TestCleaning:
+    def test_largest_component(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (3, 4)], n_nodes=6)
+        sub, ids = largest_connected_component(g)
+        assert ids.tolist() == [0, 1, 2]
+        assert sub.n_nodes == 3
+        assert sub.has_edge(0, 1)
+
+    def test_largest_component_empty(self):
+        sub, ids = largest_connected_component(Graph.empty(0))
+        assert sub.n_nodes == 0 and ids.size == 0
+
+    def test_make_undirected(self):
+        g = Graph.from_edges([(0, 1)], n_nodes=2)
+        und = make_undirected(g)
+        assert und.has_edge(0, 1) and und.has_edge(1, 0)
+
+    def test_make_undirected_sums_weights(self):
+        g = Graph.from_edges([(0, 1), (1, 0)], weights=[2.0, 3.0])
+        und = make_undirected(g)
+        assert und.adjacency[0, 1] == 5.0
+        assert und.adjacency[1, 0] == 5.0
+
+    def test_remove_isolated(self):
+        g = Graph.from_edges([(0, 2)], n_nodes=4)
+        cleaned, ids = remove_isolated_nodes(g)
+        assert ids.tolist() == [0, 2]
+        assert cleaned.n_nodes == 2
+
+    def test_compact_node_ids(self):
+        edges = np.array([[100, 5], [5, 7000]])
+        compact, original = compact_node_ids(edges)
+        assert original.tolist() == [5, 100, 7000]
+        assert compact.tolist() == [[1, 0], [0, 2]]
+
+    def test_compact_rejects_bad_shape(self):
+        with pytest.raises(Exception):
+            compact_node_ids(np.array([1, 2, 3]))
+
+    def test_prepare_for_rwr(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (3, 4)], n_nodes=6)
+        cleaned, kept = prepare_for_rwr(g)
+        assert kept.tolist() == [0, 1]
+        assert cleaned.n_nodes == 2
+        # And the result actually solves.
+        solver = BePI(hub_ratio=0.5).preprocess(cleaned)
+        assert solver.query(0).shape == (2,)
+
+    def test_prepare_without_giant_restriction(self):
+        g = Graph.from_edges([(0, 1), (3, 4)], n_nodes=6)
+        cleaned, kept = prepare_for_rwr(g, restrict_to_giant=False)
+        assert kept.tolist() == [0, 1, 3, 4]

@@ -1,0 +1,170 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    InvalidParameterError,
+    add_deadends,
+    generate_bipartite,
+    generate_erdos_renyi,
+    generate_hub_and_spoke,
+    generate_preferential_attachment,
+    generate_rmat,
+)
+from repro.graph.stats import compute_stats
+
+
+class TestRmat:
+    def test_size(self):
+        g = generate_rmat(8, 2000, seed=0)
+        assert g.n_nodes == 256
+        assert 0 < g.n_edges <= 2000
+
+    def test_deterministic(self):
+        a = generate_rmat(8, 1000, seed=5)
+        b = generate_rmat(8, 1000, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_rmat(8, 1000, seed=5)
+        b = generate_rmat(8, 1000, seed=6)
+        assert a != b
+
+    def test_no_self_loops_by_default(self):
+        g = generate_rmat(7, 800, seed=1)
+        assert g.adjacency.diagonal().sum() == 0
+
+    def test_self_loops_allowed(self):
+        g = generate_rmat(5, 5000, seed=1, allow_self_loops=True)
+        assert g.adjacency.diagonal().sum() > 0
+
+    def test_unit_weights(self):
+        g = generate_rmat(7, 2000, seed=2)
+        assert set(np.unique(g.adjacency.data)) == {1.0}
+
+    def test_skewed_parameters_make_hubs(self):
+        skewed = generate_rmat(10, 8000, seed=3)
+        uniform = generate_rmat(10, 8000, a=0.25, b=0.25, c=0.25, seed=3)
+        assert skewed.total_degrees().max() > uniform.total_degrees().max()
+
+    def test_power_law_tail(self):
+        g = generate_rmat(11, 20000, seed=4)
+        stats = compute_stats(g)
+        # A hub-and-spoke graph has a heavy tail: slope clearly negative
+        # but much shallower than an ER graph's cliff.
+        assert -3.5 < stats.degree_tail_slope < -0.5
+
+    def test_invalid_scale(self):
+        with pytest.raises(InvalidParameterError):
+            generate_rmat(0, 10)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(InvalidParameterError):
+            generate_rmat(4, 10, a=0.8, b=0.3, c=0.3)
+
+
+class TestHubAndSpoke:
+    def test_shape(self):
+        g = generate_hub_and_spoke(5, 40, spokes_per_block=4, seed=0)
+        assert g.n_nodes == 45
+
+    def test_hubs_have_high_degree(self):
+        g = generate_hub_and_spoke(5, 100, spokes_per_block=4, hub_degree=30, seed=1)
+        degrees = g.total_degrees()
+        hub_min = degrees[:5].min()
+        spoke_max = degrees[5:].max()
+        assert hub_min > spoke_max
+
+    def test_removing_hubs_shatters_into_blocks(self):
+        from repro.graph.components import connected_components
+
+        g = generate_hub_and_spoke(4, 60, spokes_per_block=5, seed=2)
+        spokes = np.arange(4, 64)
+        sub = g.symmetrized()[spokes][:, spokes]
+        count, labels = connected_components(sub)
+        assert count == 12  # 60 spokes / 5 per block
+        assert set(np.bincount(labels).tolist()) == {5}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            generate_hub_and_spoke(0, 10)
+        with pytest.raises(InvalidParameterError):
+            generate_hub_and_spoke(2, 10, spokes_per_block=0)
+
+
+class TestErdosRenyi:
+    def test_basic(self):
+        g = generate_erdos_renyi(100, 500, seed=0)
+        assert g.n_nodes == 100
+        assert 0 < g.n_edges <= 500
+
+    def test_no_self_loops(self):
+        g = generate_erdos_renyi(50, 1000, seed=1)
+        assert g.adjacency.diagonal().sum() == 0
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(InvalidParameterError):
+            generate_erdos_renyi(1, 5)
+
+
+class TestPreferentialAttachment:
+    def test_out_degree_bound(self):
+        g = generate_preferential_attachment(80, out_degree=3, seed=0)
+        assert g.out_degrees().max() <= 3
+
+    def test_early_nodes_are_hubs(self):
+        g = generate_preferential_attachment(300, out_degree=3, seed=1)
+        in_deg = g.in_degrees()
+        assert in_deg[:10].mean() > in_deg[-10:].mean()
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            generate_preferential_attachment(1)
+        with pytest.raises(InvalidParameterError):
+            generate_preferential_attachment(10, out_degree=0)
+
+
+class TestBipartite:
+    def test_right_side_all_deadends(self):
+        g = generate_bipartite(30, 20, 200, seed=0)
+        mask = g.deadend_mask()
+        assert mask[30:].all()
+
+    def test_edges_cross_sides(self):
+        g = generate_bipartite(30, 20, 200, seed=1)
+        edges = g.edges()
+        assert (edges[:, 0] < 30).all()
+        assert (edges[:, 1] >= 30).all()
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            generate_bipartite(0, 5, 10)
+
+
+class TestAddDeadends:
+    def test_fraction_zero_is_identity(self, small_graph):
+        assert add_deadends(small_graph, 0.0) == small_graph
+
+    def test_adds_requested_fraction(self):
+        g = generate_erdos_renyi(200, 3000, seed=0)
+        before = int(g.deadend_mask().sum())
+        after_graph = add_deadends(g, 0.3, seed=1)
+        after = int(after_graph.deadend_mask().sum())
+        assert after >= 60  # 30% of 200, possibly overlapping existing ones
+        assert after >= before
+
+    def test_deterministic(self, small_graph):
+        assert add_deadends(small_graph, 0.2, seed=9) == add_deadends(small_graph, 0.2, seed=9)
+
+    def test_preserves_other_rows(self):
+        g = generate_erdos_renyi(50, 300, seed=2)
+        dropped = add_deadends(g, 0.1, seed=3)
+        # Every surviving edge existed before.
+        before = set(map(tuple, g.edges().tolist()))
+        after = set(map(tuple, dropped.edges().tolist()))
+        assert after <= before
+
+    def test_invalid_fraction(self, small_graph):
+        with pytest.raises(InvalidParameterError):
+            add_deadends(small_graph, 1.5)

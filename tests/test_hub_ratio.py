@@ -1,0 +1,47 @@
+"""Tests for the hub-ratio sweep (Section 3.4 / Figure 4)."""
+
+import pytest
+
+from repro import InvalidParameterError, choose_hub_ratio, sweep_hub_ratios
+
+
+class TestSweep:
+    def test_records_all_candidates(self, medium_graph):
+        candidates = (0.1, 0.2, 0.3)
+        records = sweep_hub_ratios(medium_graph, c=0.05, candidates=candidates)
+        assert [rec.k for rec in records] == list(candidates)
+
+    def test_bound_inequality_holds(self, medium_graph):
+        """|S| <= |H22| + |H21 H11^-1 H12| (Section 3.4)."""
+        for rec in sweep_hub_ratios(medium_graph, c=0.05, candidates=(0.1, 0.3)):
+            assert rec.nnz_schur <= rec.nnz_h22 + rec.nnz_correction
+
+    def test_h22_grows_with_k(self, medium_graph):
+        records = sweep_hub_ratios(medium_graph, c=0.05, candidates=(0.1, 0.4))
+        assert records[1].nnz_h22 >= records[0].nnz_h22
+        assert records[1].n2 > records[0].n2
+
+    def test_correction_shrinks_with_k(self, medium_graph):
+        records = sweep_hub_ratios(medium_graph, c=0.05, candidates=(0.05, 0.4))
+        assert records[1].nnz_correction <= records[0].nnz_correction
+
+    def test_n1_n2_partition(self, medium_graph):
+        n_non_dead = medium_graph.n_nodes - int(medium_graph.deadend_mask().sum())
+        for rec in sweep_hub_ratios(medium_graph, c=0.05, candidates=(0.2,)):
+            assert rec.n1 + rec.n2 == n_non_dead
+
+    def test_empty_candidates_raises(self, medium_graph):
+        with pytest.raises(InvalidParameterError):
+            sweep_hub_ratios(medium_graph, c=0.05, candidates=())
+
+
+class TestChoose:
+    def test_returns_minimizer(self, medium_graph):
+        candidates = (0.1, 0.2, 0.3, 0.4)
+        records = sweep_hub_ratios(medium_graph, c=0.05, candidates=candidates)
+        best = choose_hub_ratio(medium_graph, c=0.05, candidates=candidates)
+        best_record = next(rec for rec in records if rec.k == best)
+        assert best_record.nnz_schur == min(rec.nnz_schur for rec in records)
+
+    def test_single_candidate(self, small_graph):
+        assert choose_hub_ratio(small_graph, c=0.05, candidates=(0.25,)) == 0.25

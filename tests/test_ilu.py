@@ -1,0 +1,139 @@
+"""Tests for the from-scratch ILU(0) factorization."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SingularMatrixError
+from repro.linalg.ilu import ilu0, spilu_factors
+
+
+def _dd_matrix(n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((n, n)) * (rng.random((n, n)) < density)
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1.0)
+    return sp.csr_matrix(dense)
+
+
+class TestExactness:
+    def test_dense_pattern_equals_exact_lu(self):
+        """ILU(0) with a fully dense pattern IS the exact LU factorization."""
+        rng = np.random.default_rng(0)
+        n = 12
+        dense = rng.standard_normal((n, n))
+        np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1.0)
+        factors = ilu0(sp.csr_matrix(dense))
+        product = (factors.l @ factors.u).toarray()
+        assert np.allclose(product, dense)
+
+    def test_triangular_input_is_reproduced(self):
+        mat = sp.csr_matrix(np.triu(np.random.default_rng(1).random((8, 8)) + np.eye(8)))
+        factors = ilu0(mat)
+        assert np.allclose(factors.l.toarray(), np.eye(8))
+        assert np.allclose(factors.u.toarray(), mat.toarray())
+
+    def test_product_matches_on_pattern(self, dd_matrix):
+        """L U agrees with A exactly on A's own sparsity pattern."""
+        factors = ilu0(dd_matrix)
+        product = (factors.l @ factors.u).tocsr()
+        coo = dd_matrix.tocoo()
+        for i, j, v in zip(coo.row, coo.col, coo.data):
+            assert product[i, j] == pytest.approx(v, abs=1e-10)
+
+    def test_factor_shapes(self, dd_matrix):
+        factors = ilu0(dd_matrix)
+        n = dd_matrix.shape[0]
+        # L unit diagonal, strictly-lower pattern from A; U upper pattern.
+        assert np.allclose(factors.l.diagonal(), 1.0)
+        assert sp.triu(factors.l, k=1).nnz == 0
+        assert sp.tril(factors.u, k=-1).nnz == 0
+        assert factors.l.shape == (n, n)
+
+    def test_pattern_is_no_larger_than_input(self, dd_matrix):
+        factors = ilu0(dd_matrix)
+        n = dd_matrix.shape[0]
+        # |L| + |U| <= |A| + n (unit diagonal stored in L, diagonal in U).
+        assert factors.nnz <= dd_matrix.nnz + n
+
+
+class TestPreconditionerQuality:
+    def test_solve_is_approximate_inverse(self, dd_matrix):
+        factors = ilu0(dd_matrix)
+        rng = np.random.default_rng(3)
+        x_true = rng.standard_normal(dd_matrix.shape[0])
+        b = dd_matrix @ x_true
+        x_approx = factors.solve(b)
+        # For a diagonally dominant matrix ILU(0) is a strong approximation.
+        rel = np.linalg.norm(x_approx - x_true) / np.linalg.norm(x_true)
+        assert rel < 0.5
+
+    def test_reduces_condition_number(self):
+        mat = _dd_matrix(40, 0.2, seed=5)
+        factors = ilu0(mat)
+        m_inv_a = np.linalg.solve((factors.l @ factors.u).toarray(), mat.toarray())
+        cond_before = np.linalg.cond(mat.toarray())
+        cond_after = np.linalg.cond(m_inv_a)
+        assert cond_after <= cond_before * 1.01
+
+    def test_solve_matches_reference_substitutions(self, dd_matrix):
+        from repro.linalg.triangular import (
+            solve_lower_triangular,
+            solve_upper_triangular,
+        )
+
+        factors = ilu0(dd_matrix)
+        b = np.random.default_rng(4).standard_normal(dd_matrix.shape[0])
+        fast = factors.solve(b)
+        slow = solve_upper_triangular(
+            factors.u, solve_lower_triangular(factors.l, b, unit_diagonal=True)
+        )
+        assert np.allclose(fast, slow)
+
+
+class TestEdgeCases:
+    def test_empty_matrix(self):
+        factors = ilu0(sp.csr_matrix((0, 0)))
+        assert factors.nnz == 0
+
+    def test_missing_diagonal_gets_pattern_entry(self):
+        # Row 1 has no diagonal entry; ILU(0) must still produce factors.
+        mat = sp.csr_matrix(np.array([[2.0, 1.0, 0.0], [1.0, 0.0, 1.0], [0.0, 1.0, 2.0]]))
+        factors = ilu0(mat)
+        assert factors.u.shape == (3, 3)
+
+    def test_zero_pivot_raises(self):
+        mat = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(SingularMatrixError):
+            ilu0(mat)
+
+    def test_non_square_raises(self):
+        with pytest.raises(SingularMatrixError):
+            ilu0(sp.csr_matrix((2, 3)))
+
+    def test_identity(self):
+        factors = ilu0(sp.identity(5, format="csr"))
+        assert np.allclose(factors.solve(np.arange(5.0)), np.arange(5.0))
+
+
+class TestSpiluAdapter:
+    def test_solve_approximates_inverse(self, dd_matrix):
+        factors = spilu_factors(dd_matrix)
+        rng = np.random.default_rng(6)
+        x_true = rng.standard_normal(dd_matrix.shape[0])
+        b = dd_matrix @ x_true
+        rel = np.linalg.norm(factors.solve(b) - x_true) / np.linalg.norm(x_true)
+        assert rel < 0.5
+
+
+class TestProperty:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_pattern_agreement_property(self, seed):
+        mat = _dd_matrix(15, 0.3, seed)
+        factors = ilu0(mat)
+        product = (factors.l @ factors.u).tocsr()
+        coo = mat.tocoo()
+        recon = np.array([product[i, j] for i, j in zip(coo.row, coo.col)]).ravel()
+        assert np.allclose(recon, coo.data, atol=1e-8)

@@ -1,0 +1,126 @@
+"""Tests for the ILUT (threshold incomplete LU) factorization."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SingularMatrixError
+from repro.linalg.gmres import gmres
+from repro.linalg.ilu import ilu0, ilut
+
+
+def _dd_matrix(n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((n, n)) * (rng.random((n, n)) < density)
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1.0)
+    return sp.csr_matrix(dense), dense
+
+
+class TestExactLimit:
+    def test_no_dropping_is_exact_lu(self):
+        mat, dense = _dd_matrix(40, 0.15, seed=0)
+        factors = ilut(mat, drop_tolerance=0.0, fill_factor=40)
+        assert np.allclose((factors.l @ factors.u).toarray(), dense, atol=1e-9)
+
+    def test_exact_preconditioner_converges_instantly(self):
+        mat, _ = _dd_matrix(30, 0.2, seed=1)
+        b = np.random.default_rng(2).standard_normal(30)
+        result = gmres(mat, b, tol=1e-10,
+                       preconditioner=ilut(mat, 0.0, 30))
+        assert result.n_iterations <= 2
+
+    def test_triangular_structure(self):
+        mat, _ = _dd_matrix(25, 0.2, seed=3)
+        factors = ilut(mat, drop_tolerance=1e-3, fill_factor=8)
+        assert sp.triu(factors.l, k=1).nnz == 0
+        assert np.allclose(factors.l.diagonal(), 1.0)
+        assert sp.tril(factors.u, k=-1).nnz == 0
+
+
+class TestDropping:
+    def test_fill_factor_caps_row_entries(self):
+        mat, _ = _dd_matrix(60, 0.4, seed=4)
+        factors = ilut(mat, drop_tolerance=0.0, fill_factor=3)
+        l_rows = np.diff(factors.l.indptr)
+        u_rows = np.diff(factors.u.indptr)
+        assert l_rows.max() <= 4  # 3 + unit diagonal
+        assert u_rows.max() <= 4  # 3 + diagonal
+
+    def test_larger_tolerance_sparser_factors(self):
+        mat, _ = _dd_matrix(60, 0.3, seed=5)
+        tight = ilut(mat, drop_tolerance=1e-6, fill_factor=60)
+        loose = ilut(mat, drop_tolerance=0.2, fill_factor=60)
+        assert loose.nnz < tight.nnz
+
+    def test_better_preconditioner_than_ilu0(self):
+        mat, _ = _dd_matrix(120, 0.08, seed=6)
+        b = np.random.default_rng(7).standard_normal(120)
+        it_ilu0 = gmres(mat, b, tol=1e-10, preconditioner=ilu0(mat)).n_iterations
+        it_ilut = gmres(mat, b, tol=1e-10,
+                        preconditioner=ilut(mat, 1e-4, 40)).n_iterations
+        assert it_ilut <= it_ilu0
+
+
+class TestValidation:
+    def test_non_square(self):
+        with pytest.raises(SingularMatrixError):
+            ilut(sp.csr_matrix((2, 3)))
+
+    def test_invalid_parameters(self):
+        mat, _ = _dd_matrix(5, 0.5, seed=8)
+        with pytest.raises(SingularMatrixError):
+            ilut(mat, drop_tolerance=-1.0)
+        with pytest.raises(SingularMatrixError):
+            ilut(mat, fill_factor=0)
+
+    def test_zero_pivot(self):
+        mat = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(SingularMatrixError):
+            ilut(mat)
+
+    def test_empty(self):
+        assert ilut(sp.csr_matrix((0, 0))).nnz == 0
+
+
+class TestBePIIntegration:
+    def test_ilut_engine_is_exact(self, medium_graph):
+        from repro import BePI
+
+        from .conftest import exact_rwr
+
+        solver = BePI(tol=1e-12, ilu_engine="ilut").preprocess(medium_graph)
+        assert np.allclose(solver.query(0), exact_rwr(medium_graph, 0.05, 0), atol=1e-7)
+
+    def test_generous_ilut_matches_ilu0(self, medium_graph):
+        """With enough fill, ILUT is at least as strong as ILU(0).
+
+        (At matched or lower fill ILU(0) often wins on these Schur
+        complements — H's diagonal dominance makes the no-fill pattern
+        nearly optimal, which is why the paper's choice of ILU(0) is the
+        right default.)
+        """
+        from repro import BePI
+
+        ilu0_solver = BePI(tol=1e-10, ilu_engine="ilu0").preprocess(medium_graph)
+        ilut_solver = BePI(
+            tol=1e-10, ilu_engine="ilut",
+            ilut_drop_tolerance=0.0, ilut_fill_factor=50,
+        ).preprocess(medium_graph)
+        assert (ilut_solver.query_detailed(0).iterations
+                <= ilu0_solver.query_detailed(0).iterations)
+
+
+class TestProperty:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_solve_quality_property(self, seed):
+        mat, dense = _dd_matrix(20, 0.3, seed)
+        factors = ilut(mat, drop_tolerance=1e-3, fill_factor=10)
+        rng = np.random.default_rng(seed ^ 0xF00)
+        x_true = rng.standard_normal(20)
+        b = mat @ x_true
+        x_approx = factors.solve(b)
+        rel = np.linalg.norm(x_approx - x_true) / np.linalg.norm(x_true)
+        assert rel < 0.5

@@ -1,0 +1,147 @@
+"""Integration tests: every solver must agree with every other solver.
+
+This is the strongest end-to-end check the paper's own evaluation relies
+on — all methods compute the *exact* RWR scores (Section 4.1 excludes
+approximate methods), so any pairwise disagreement is a bug.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BePI,
+    BePIB,
+    BePIS,
+    BearSolver,
+    DenseSolver,
+    GMRESSolver,
+    LUSolver,
+    PowerSolver,
+    add_deadends,
+    generate_rmat,
+)
+
+from .conftest import exact_rwr
+
+ALL_SOLVERS = [BePI, BePIS, BePIB, BearSolver, DenseSolver, GMRESSolver, LUSolver, PowerSolver]
+
+
+class TestCrossSolverAgreement:
+    @pytest.fixture(scope="class")
+    def preprocessed(self, medium_graph):
+        return {cls.__name__: cls(tol=1e-12).preprocess(medium_graph) for cls in ALL_SOLVERS}
+
+    @pytest.mark.parametrize("seed", [0, 17, 200, 511])
+    def test_all_solvers_agree(self, preprocessed, medium_graph, seed):
+        reference = exact_rwr(medium_graph, 0.05, seed)
+        for name, solver in preprocessed.items():
+            scores = solver.query(seed)
+            assert np.allclose(scores, reference, atol=1e-7), name
+
+    def test_rankings_agree(self, preprocessed):
+        """Top-10 personalized rankings must be identical across solvers."""
+        rankings = {
+            name: np.argsort(-solver.query(3))[:10].tolist()
+            for name, solver in preprocessed.items()
+        }
+        reference = rankings["DenseSolver"]
+        for name, ranking in rankings.items():
+            assert ranking == reference, name
+
+
+class TestScoreSemantics:
+    def test_scores_sum_to_one_without_deadends(self):
+        g = generate_rmat(7, 2000, seed=9)
+        # Remove deadends by adding a self-loop-free back edge from each.
+        deadends = np.flatnonzero(g.deadend_mask())
+        if deadends.size:
+            extra = [(int(d), int((d + 1) % g.n_nodes)) for d in deadends]
+            edges = np.vstack([g.edges(), np.array(extra)])
+            from repro import Graph
+
+            g = Graph.from_edges(edges, n_nodes=g.n_nodes)
+        solver = BePI(tol=1e-12).preprocess(g)
+        scores = solver.query(0)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_deadends_leak_probability(self, medium_graph):
+        """With deadends, total score mass is strictly below 1."""
+        solver = BePI(tol=1e-12).preprocess(medium_graph)
+        total = solver.query(0).sum()
+        assert total < 1.0
+
+    def test_seed_scores_highest_in_social_graph(self, medium_graph):
+        solver = BePI(tol=1e-11).preprocess(medium_graph)
+        # Choose a non-deadend seed: the restart mass keeps it on top.
+        seed = int(np.flatnonzero(~medium_graph.deadend_mask())[0])
+        scores = solver.query(seed)
+        assert scores.argmax() == seed
+
+
+class TestFailureInjection:
+    def test_empty_graph_all_solvers(self):
+        from repro import Graph
+
+        g = Graph.empty(3)
+        for cls in (BePI, BePIS, BePIB, BearSolver, LUSolver, GMRESSolver, PowerSolver):
+            solver = cls().preprocess(g)
+            scores = solver.query(1)
+            expected = np.zeros(3)
+            expected[1] = solver.c
+            assert np.allclose(scores, expected), cls.__name__
+
+    def test_single_node_graph(self):
+        from repro import Graph
+
+        g = Graph.empty(1)
+        solver = BePI().preprocess(g)
+        assert np.allclose(solver.query(0), [solver.c])
+
+    def test_single_edge_graph(self):
+        from repro import Graph
+
+        g = Graph.from_edges([(0, 1)], n_nodes=2)
+        solver = BePI(tol=1e-12).preprocess(g)
+        assert np.allclose(solver.query(0), exact_rwr(g, 0.05, 0), atol=1e-10)
+
+    def test_self_loop_only_graph(self):
+        from repro import Graph
+
+        g = Graph.from_edges([(0, 0), (1, 0)], n_nodes=2)
+        solver = BePI(tol=1e-12).preprocess(g)
+        assert np.allclose(solver.query(1), exact_rwr(g, 0.05, 1), atol=1e-10)
+
+    def test_disconnected_components(self):
+        from repro import Graph
+
+        g = Graph.from_edges([(0, 1), (1, 0), (2, 3), (3, 2)], n_nodes=4)
+        solver = BePI(tol=1e-12).preprocess(g)
+        scores = solver.query(0)
+        # No path from 0's component to 2/3: their scores are exactly zero.
+        assert scores[2] == pytest.approx(0.0, abs=1e-12)
+        assert scores[3] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestPropertyBased:
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=0.05, max_value=0.9),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_bepi_matches_oracle_on_random_graphs(self, graph_seed, c):
+        g = add_deadends(generate_rmat(6, 250, seed=graph_seed), 0.2, seed=graph_seed)
+        solver = BePI(c=c, tol=1e-12, hub_ratio=0.25).preprocess(g)
+        seed_node = graph_seed % g.n_nodes
+        assert np.allclose(
+            solver.query(seed_node), exact_rwr(g, c, seed_node), atol=1e-8
+        )
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_bear_and_bepi_agree(self, graph_seed):
+        g = add_deadends(generate_rmat(6, 250, seed=graph_seed), 0.1, seed=graph_seed)
+        bepi = BePI(tol=1e-12, hub_ratio=0.25).preprocess(g)
+        bear = BearSolver(hub_ratio=0.25).preprocess(g)
+        assert np.allclose(bepi.query(0), bear.query(0), atol=1e-8)

@@ -1,0 +1,82 @@
+"""Tests for the NB_LIN approximate baseline."""
+
+import numpy as np
+import pytest
+
+from repro import BePI, Graph, InvalidParameterError, generate_rmat
+from repro.approximate import NBLinSolver
+
+from .conftest import exact_rwr
+
+
+class TestApproximationQuality:
+    def test_error_decreases_with_rank(self, medium_graph):
+        exact = BePI(tol=1e-12).preprocess(medium_graph)
+        seeds = [0, 5, 10]
+        errors = []
+        for rank in (5, 20, 80):
+            approx = NBLinSolver(rank=rank).preprocess(medium_graph)
+            errors.append(approx.approximation_error(exact, seeds))
+        assert errors[0] > errors[-1]
+        assert errors[1] >= errors[2] * 0.5  # monotone within noise
+
+    def test_full_rank_is_nearly_exact(self):
+        graph = generate_rmat(5, 150, seed=1)
+        n = graph.n_nodes
+        approx = NBLinSolver(rank=n - 2).preprocess(graph)
+        reference = exact_rwr(graph, 0.05, 0)
+        # svds keeps n-2 of n singular triplets: tiny residual error only.
+        assert np.linalg.norm(approx.query(0) - reference) < 0.02
+
+    def test_exact_on_rank_one_graph(self):
+        # A star graph's normalized adjacency has (numerical) rank ~2.
+        center = 0
+        edges = [(center, i) for i in range(1, 12)]
+        edges += [(i, center) for i in range(1, 12)]
+        graph = Graph.from_edges(edges)
+        approx = NBLinSolver(rank=4).preprocess(graph)
+        assert np.allclose(
+            approx.query(0), exact_rwr(graph, 0.05, 0), atol=1e-6
+        )
+
+    def test_top_ranking_reasonable(self, medium_graph):
+        """Approximate top-10 overlaps heavily with the exact top-10."""
+        exact = BePI(tol=1e-12).preprocess(medium_graph)
+        approx = NBLinSolver(rank=100).preprocess(medium_graph)
+        seed = 3
+        top_exact = set(np.argsort(-exact.query(seed))[:10].tolist())
+        top_approx = set(np.argsort(-approx.query(seed))[:10].tolist())
+        assert len(top_exact & top_approx) >= 6
+
+
+class TestInterface:
+    def test_memory_is_linear_in_rank(self, medium_graph):
+        small = NBLinSolver(rank=10).preprocess(medium_graph)
+        large = NBLinSolver(rank=40).preprocess(medium_graph)
+        assert large.memory_bytes() > small.memory_bytes()
+        # O(2 n t + t^2) doubles roughly with t.
+        assert large.memory_bytes() < small.memory_bytes() * 6
+
+    def test_rank_capped_by_dimension(self):
+        graph = generate_rmat(4, 60, seed=2)
+        solver = NBLinSolver(rank=10_000).preprocess(graph)
+        assert solver.stats["rank"] <= graph.n_nodes - 2
+
+    def test_queries_report_zero_iterations(self, small_graph):
+        solver = NBLinSolver(rank=20).preprocess(small_graph)
+        assert solver.query_detailed(0).iterations == 0
+
+    def test_invalid_rank(self):
+        with pytest.raises(InvalidParameterError):
+            NBLinSolver(rank=0)
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            NBLinSolver(rank=1).preprocess(Graph.empty(2))
+
+    def test_stats(self, small_graph):
+        solver = NBLinSolver(rank=15).preprocess(small_graph)
+        assert solver.stats["rank"] >= 1
+        assert solver.stats["top_singular_value"] >= (
+            solver.stats["smallest_kept_singular_value"]
+        )

@@ -1,0 +1,141 @@
+"""Tests (incl. property-based) for repro.reorder.permutation.Permutation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import InvalidParameterError
+from repro.reorder.permutation import Permutation
+
+
+def permutations(max_n=50):
+    return st.integers(min_value=1, max_value=max_n).flatmap(
+        lambda n: st.permutations(list(range(n)))
+    )
+
+
+class TestConstruction:
+    def test_identity(self):
+        p = Permutation.identity(4)
+        assert np.array_equal(p.order, np.arange(4))
+        assert len(p) == 4
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(InvalidParameterError):
+            Permutation([0, 0, 1])
+        with pytest.raises(InvalidParameterError):
+            Permutation([[0, 1]])
+
+    def test_positions_are_inverse_map(self):
+        p = Permutation([2, 0, 1])
+        # old id 2 sits at new position 0
+        assert p.positions[2] == 0
+        assert p.positions[0] == 1
+
+
+class TestVectorApplication:
+    def test_apply(self):
+        p = Permutation([2, 0, 1])
+        v = np.array([10.0, 20.0, 30.0])
+        assert p.apply_to_vector(v).tolist() == [30.0, 10.0, 20.0]
+
+    def test_unapply_is_inverse(self):
+        p = Permutation([2, 0, 1])
+        v = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(p.unapply_to_vector(p.apply_to_vector(v)), v)
+
+    def test_length_mismatch(self):
+        p = Permutation([1, 0])
+        with pytest.raises(InvalidParameterError):
+            p.apply_to_vector(np.zeros(3))
+        with pytest.raises(InvalidParameterError):
+            p.unapply_to_vector(np.zeros(3))
+
+    @given(permutations())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, order):
+        p = Permutation(order)
+        v = np.arange(len(order), dtype=float)
+        assert np.array_equal(p.unapply_to_vector(p.apply_to_vector(v)), v)
+        assert np.array_equal(p.apply_to_vector(p.unapply_to_vector(v)), v)
+
+
+class TestMatrixApplication:
+    def test_matrix_permutation_consistent_with_vectors(self):
+        rng = np.random.default_rng(0)
+        n = 8
+        dense = rng.random((n, n))
+        mat = sp.csr_matrix(dense)
+        order = rng.permutation(n)
+        p = Permutation(order)
+        permuted = p.apply_to_matrix(mat).toarray()
+        # (P A P^T)[i, j] == A[order[i], order[j]]
+        for i in range(n):
+            for j in range(n):
+                assert permuted[i, j] == pytest.approx(dense[order[i], order[j]])
+
+    def test_matvec_commutes(self):
+        # permute(A) @ permute(v) == permute(A @ v)
+        rng = np.random.default_rng(1)
+        n = 12
+        mat = sp.random(n, n, density=0.3, random_state=2, format="csr")
+        v = rng.random(n)
+        p = Permutation(rng.permutation(n))
+        left = p.apply_to_matrix(mat) @ p.apply_to_vector(v)
+        right = p.apply_to_vector(mat @ v)
+        assert np.allclose(left, right)
+
+    def test_shape_mismatch(self):
+        p = Permutation([1, 0])
+        with pytest.raises(InvalidParameterError):
+            p.apply_to_matrix(sp.csr_matrix((3, 3)))
+
+
+class TestComposition:
+    def test_inverse(self):
+        p = Permutation([2, 0, 1])
+        assert p.compose(p.inverse()) == Permutation.identity(3)
+        assert p.inverse().compose(p) == Permutation.identity(3)
+
+    def test_compose_applies_inner_first(self):
+        inner = Permutation([1, 2, 0])
+        outer = Permutation([2, 0, 1])
+        v = np.array([10.0, 20.0, 30.0])
+        direct = outer.apply_to_vector(inner.apply_to_vector(v))
+        composed = outer.compose(inner).apply_to_vector(v)
+        assert np.array_equal(direct, composed)
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            Permutation([0, 1]).compose(Permutation([0, 1, 2]))
+
+    @given(permutations(20), st.randoms())
+    @settings(max_examples=30, deadline=None)
+    def test_compose_property(self, order, rnd):
+        inner = Permutation(order)
+        outer_order = list(order)
+        rnd.shuffle(outer_order)
+        outer = Permutation(outer_order)
+        v = np.arange(len(order), dtype=float) * 3.5
+        direct = outer.apply_to_vector(inner.apply_to_vector(v))
+        assert np.array_equal(outer.compose(inner).apply_to_vector(v), direct)
+
+
+class TestEmbedding:
+    def test_extend_with_offset(self):
+        p = Permutation([1, 0])
+        extended = p.extend_with_offset(total=5, offset=2)
+        assert extended.order.tolist() == [0, 1, 3, 2, 4]
+
+    def test_extend_out_of_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            Permutation([1, 0]).extend_with_offset(total=2, offset=1)
+
+    def test_equality_and_hash(self):
+        a = Permutation([1, 0, 2])
+        b = Permutation([1, 0, 2])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Permutation([0, 1, 2])

@@ -1,0 +1,85 @@
+"""Tests for saving / loading preprocessed solvers."""
+
+import numpy as np
+import pytest
+
+from repro import BePI, BePIS, GraphFormatError, NotPreprocessedError
+from repro.persistence import load_solver, save_solver
+
+from .conftest import exact_rwr
+
+
+class TestRoundtrip:
+    def test_loaded_solver_matches_original(self, medium_graph, tmp_path):
+        path = tmp_path / "solver.npz"
+        original = BePI(tol=1e-11).preprocess(medium_graph)
+        save_solver(original, path)
+        loaded = load_solver(path)
+        for seed in (0, 7, 100):
+            assert np.allclose(loaded.query(seed), original.query(seed), atol=1e-12)
+
+    def test_loaded_solver_is_exact(self, small_graph, tmp_path):
+        path = tmp_path / "solver.npz"
+        save_solver(BePI(tol=1e-12).preprocess(small_graph), path)
+        loaded = load_solver(path)
+        assert np.allclose(loaded.query(1), exact_rwr(small_graph, 0.05, 1), atol=1e-8)
+
+    def test_configuration_preserved(self, small_graph, tmp_path):
+        path = tmp_path / "solver.npz"
+        original = BePI(c=0.15, tol=1e-7, hub_ratio=0.3).preprocess(small_graph)
+        save_solver(original, path)
+        loaded = load_solver(path)
+        assert loaded.c == 0.15
+        assert loaded.tol == 1e-7
+        assert loaded.stats["hub_ratio"] == 0.3
+
+    def test_stats_reconstructed(self, small_graph, tmp_path):
+        path = tmp_path / "solver.npz"
+        original = BePI().preprocess(small_graph)
+        save_solver(original, path)
+        loaded = load_solver(path)
+        for key in ("n1", "n2", "n3", "nnz_schur"):
+            assert loaded.stats[key] == original.stats[key]
+        assert loaded.memory_bytes() == original.memory_bytes()
+
+    def test_unpreconditioned_variant(self, small_graph, tmp_path):
+        path = tmp_path / "solver.npz"
+        original = BePIS(tol=1e-11).preprocess(small_graph)
+        save_solver(original, path)
+        loaded = load_solver(path)
+        assert loaded.ilu_factors is None
+        assert np.allclose(loaded.query(0), original.query(0), atol=1e-12)
+
+    def test_jacobi_variant(self, small_graph, tmp_path):
+        path = tmp_path / "solver.npz"
+        original = BePI(ilu_engine="jacobi", tol=1e-11).preprocess(small_graph)
+        save_solver(original, path)
+        loaded = load_solver(path)
+        assert np.allclose(loaded.query(2), original.query(2), atol=1e-12)
+
+    def test_graph_available_after_load(self, small_graph, tmp_path):
+        path = tmp_path / "solver.npz"
+        save_solver(BePI().preprocess(small_graph), path)
+        loaded = load_solver(path)
+        assert loaded.graph == small_graph
+
+    def test_applications_work_on_loaded_solver(self, medium_graph, tmp_path):
+        from repro.applications import top_k
+
+        path = tmp_path / "solver.npz"
+        original = BePI(tol=1e-10).preprocess(medium_graph)
+        save_solver(original, path)
+        loaded = load_solver(path)
+        assert top_k(loaded, 0, 5) == top_k(original, 0, 5)
+
+
+class TestErrors:
+    def test_save_unpreprocessed_raises(self, tmp_path):
+        with pytest.raises(NotPreprocessedError):
+            save_solver(BePI(), tmp_path / "nope.npz")
+
+    def test_load_garbage_raises(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        np.savez(path, junk=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            load_solver(path)

@@ -1,0 +1,99 @@
+"""Tests for power iteration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, InvalidParameterError
+from repro.linalg.power import power_iteration
+from repro.linalg.rwr_matrix import build_h_matrix, row_normalize, seed_vector
+
+from .conftest import exact_rwr
+
+
+class TestConvergence:
+    def test_matches_exact_solution(self, small_graph):
+        c = 0.05
+        at = row_normalize(small_graph.adjacency).T.tocsr()
+        q = seed_vector(small_graph.n_nodes, 0)
+        result = power_iteration(at, q, c=c, tol=1e-12)
+        assert result.converged
+        assert np.allclose(result.r, exact_rwr(small_graph, c, 0), atol=1e-9)
+
+    def test_update_norms_decrease_geometrically(self, small_graph):
+        at = row_normalize(small_graph.adjacency).T.tocsr()
+        q = seed_vector(small_graph.n_nodes, 1)
+        result = power_iteration(at, q, c=0.05, tol=1e-12)
+        norms = np.array(result.update_norms)
+        # Contraction factor is at most (1 - c); allow slack for transients.
+        later = norms[5:] / norms[4:-1]
+        assert np.all(later <= 0.96)
+
+    def test_higher_c_converges_faster(self, small_graph):
+        at = row_normalize(small_graph.adjacency).T.tocsr()
+        q = seed_vector(small_graph.n_nodes, 0)
+        slow = power_iteration(at, q, c=0.05, tol=1e-10)
+        fast = power_iteration(at, q, c=0.5, tol=1e-10)
+        assert fast.n_iterations < slow.n_iterations
+
+    def test_warm_start(self, small_graph):
+        at = row_normalize(small_graph.adjacency).T.tocsr()
+        q = seed_vector(small_graph.n_nodes, 0)
+        exact = exact_rwr(small_graph, 0.05, 0)
+        warm = power_iteration(at, q, c=0.05, tol=1e-10, r0=exact)
+        assert warm.n_iterations <= 2
+
+
+class TestValidation:
+    def test_invalid_c(self, small_graph):
+        at = row_normalize(small_graph.adjacency).T.tocsr()
+        q = seed_vector(small_graph.n_nodes, 0)
+        for c in (0.0, 1.0):
+            with pytest.raises(InvalidParameterError):
+                power_iteration(at, q, c=c)
+
+    def test_invalid_tol(self, small_graph):
+        at = row_normalize(small_graph.adjacency).T.tocsr()
+        q = seed_vector(small_graph.n_nodes, 0)
+        with pytest.raises(InvalidParameterError):
+            power_iteration(at, q, c=0.05, tol=0.0)
+
+    def test_iteration_cap(self, small_graph):
+        at = row_normalize(small_graph.adjacency).T.tocsr()
+        q = seed_vector(small_graph.n_nodes, 0)
+        result = power_iteration(at, q, c=0.05, tol=1e-15, max_iterations=3)
+        assert not result.converged
+        assert result.n_iterations == 3
+
+    def test_raise_on_stagnation(self, small_graph):
+        at = row_normalize(small_graph.adjacency).T.tocsr()
+        q = seed_vector(small_graph.n_nodes, 0)
+        with pytest.raises(ConvergenceError):
+            power_iteration(
+                at, q, c=0.05, tol=1e-15, max_iterations=3, raise_on_stagnation=True
+            )
+
+
+class TestSemantics:
+    def test_scores_nonnegative_and_bounded(self, medium_graph):
+        at = row_normalize(medium_graph.adjacency).T.tocsr()
+        q = seed_vector(medium_graph.n_nodes, 2)
+        result = power_iteration(at, q, c=0.05, tol=1e-10)
+        assert (result.r >= -1e-12).all()
+        assert result.r.sum() <= 1.0 + 1e-9
+
+    def test_deadend_free_graph_scores_sum_to_one(self):
+        from repro import Graph
+
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0), (0, 2)])
+        at = row_normalize(g.adjacency).T.tocsr()
+        q = seed_vector(3, 0)
+        result = power_iteration(at, q, c=0.1, tol=1e-13)
+        assert result.r.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_satisfies_linear_system(self, small_graph):
+        c = 0.05
+        at = row_normalize(small_graph.adjacency).T.tocsr()
+        q = seed_vector(small_graph.n_nodes, 3)
+        result = power_iteration(at, q, c=c, tol=1e-13)
+        h = build_h_matrix(small_graph.adjacency, c)
+        assert np.allclose(h @ result.r, c * q, atol=1e-10)

@@ -1,0 +1,44 @@
+"""Tests for the preprocessing profile formatter."""
+
+import pytest
+
+from repro import BePI, BearSolver, NotPreprocessedError, PowerSolver
+from repro.bench.profile import format_preprocess_profile
+
+
+class TestProfile:
+    def test_bepi_profile_lists_all_stages(self, medium_graph):
+        solver = BePI().preprocess(medium_graph)
+        text = format_preprocess_profile(solver)
+        for label in ("SlashBurn + partition", "H11 block LU inverse",
+                      "Schur complement S", "ILU preconditioner", "total"):
+            assert label in text
+        assert "n1 spokes" in text
+        assert "100.0%" in text
+
+    def test_bear_profile_shows_inversion(self, small_graph):
+        solver = BearSolver().preprocess(small_graph)
+        text = format_preprocess_profile(solver)
+        assert "dense S^-1 (Bear)" in text
+
+    def test_iterative_solver_profile_is_total_only(self, small_graph):
+        solver = PowerSolver().preprocess(small_graph)
+        text = format_preprocess_profile(solver)
+        assert "total" in text
+        assert "SlashBurn" not in text
+
+    def test_auto_sweep_appears(self, small_graph):
+        solver = BePI(hub_ratio="auto").preprocess(small_graph)
+        assert "hub-ratio sweep" in format_preprocess_profile(solver)
+
+    def test_unpreprocessed_raises(self):
+        with pytest.raises(NotPreprocessedError):
+            format_preprocess_profile(BePI())
+
+    def test_shares_sum_sensibly(self, medium_graph):
+        solver = BePI().preprocess(medium_graph)
+        text = format_preprocess_profile(solver)
+        shares = [float(tok.rstrip("%")) for line in text.splitlines()
+                  for tok in line.split() if tok.endswith("%")]
+        # Total's 100% plus stage shares; stages must not exceed ~105%.
+        assert sum(shares[:-1]) <= 115.0

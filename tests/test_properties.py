@@ -1,0 +1,127 @@
+"""Cross-cutting property-based tests on the solver laws.
+
+These capture invariants of RWR itself, independent of any single module:
+
+- permutation equivariance: relabelling nodes permutes the scores,
+- linearity in the starting vector,
+- weighted graphs: solvers honor edge weights exactly,
+- restart-probability limits: as c -> 1 the scores collapse onto the seed,
+- reproducibility: preprocessing is deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BePI, Graph, add_deadends, generate_rmat
+
+from .conftest import exact_rwr
+
+
+def _random_graph(seed, scale=6, edges=250, deadends=0.15):
+    return add_deadends(generate_rmat(scale, edges, seed=seed), deadends, seed=seed + 1)
+
+
+class TestPermutationEquivariance:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_relabeling_permutes_scores(self, seed):
+        """solver(P(G)).query(P(s)) == P(solver(G).query(s))"""
+        graph = _random_graph(seed)
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(graph.n_nodes)
+        permuted = graph.permute(order)
+
+        base = BePI(tol=1e-12, hub_ratio=0.25).preprocess(graph)
+        relabeled = BePI(tol=1e-12, hub_ratio=0.25).preprocess(permuted)
+
+        original_seed = int(order[0])  # old node at new position 0
+        scores_base = base.query(original_seed)
+        scores_relabeled = relabeled.query(0)
+        # new position i holds old node order[i]
+        assert np.allclose(scores_relabeled, scores_base[order], atol=1e-8)
+
+
+class TestLinearity:
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_query_vector_is_linear(self, seed, mix):
+        graph = _random_graph(seed)
+        solver = BePI(tol=1e-12, hub_ratio=0.25).preprocess(graph)
+        n = graph.n_nodes
+        a, b = 0, n // 2
+        qa = np.zeros(n)
+        qa[a] = 1.0
+        qb = np.zeros(n)
+        qb[b] = 1.0
+        combined = solver.query_vector(mix * qa + (1 - mix) * qb).scores
+        split = mix * solver.query(a) + (1 - mix) * solver.query(b)
+        assert np.allclose(combined, split, atol=1e-8)
+
+
+class TestWeightedGraphs:
+    def test_weighted_matches_oracle(self):
+        rng = np.random.default_rng(0)
+        edges = generate_rmat(6, 300, seed=5).edges()
+        weights = rng.uniform(0.1, 10.0, size=edges.shape[0])
+        graph = Graph.from_edges(edges, weights=weights)
+        solver = BePI(tol=1e-12, hub_ratio=0.25).preprocess(graph)
+        assert np.allclose(solver.query(0), exact_rwr(graph, 0.05, 0), atol=1e-8)
+
+    def test_weights_change_scores(self):
+        edges = [(0, 1), (0, 2), (1, 0), (2, 0)]
+        even = Graph.from_edges(edges, weights=[1.0, 1.0, 1.0, 1.0])
+        skewed = Graph.from_edges(edges, weights=[10.0, 1.0, 1.0, 1.0])
+        s_even = BePI(tol=1e-12, hub_ratio=0.5).preprocess(even).query(0)
+        s_skewed = BePI(tol=1e-12, hub_ratio=0.5).preprocess(skewed).query(0)
+        # With 10x weight on 0 -> 1, node 1 must gain relative to node 2.
+        assert s_skewed[1] > s_even[1]
+        assert s_skewed[1] > s_skewed[2]
+
+    def test_uniform_weight_scaling_is_invariant(self):
+        """Row normalization cancels any global weight scale."""
+        edges = generate_rmat(5, 120, seed=7).edges()
+        g1 = Graph.from_edges(edges)
+        g2 = Graph.from_edges(edges, weights=np.full(edges.shape[0], 7.5))
+        a = BePI(tol=1e-12, hub_ratio=0.3).preprocess(g1).query(0)
+        b = BePI(tol=1e-12, hub_ratio=0.3).preprocess(g2).query(0)
+        assert np.allclose(a, b, atol=1e-10)
+
+
+class TestRestartLimits:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_high_c_concentrates_on_seed(self, seed):
+        graph = _random_graph(seed)
+        solver = BePI(c=0.99, tol=1e-12, hub_ratio=0.25).preprocess(graph)
+        scores = solver.query(1)
+        assert scores[1] > 0.98
+        assert scores.argmax() == 1
+
+    def test_scores_decrease_along_distance(self):
+        # A directed path: scores must decay geometrically with distance.
+        n = 6
+        graph = Graph.from_edges([(i, i + 1) for i in range(n - 1)], n_nodes=n)
+        solver = BePI(c=0.2, tol=1e-13, hub_ratio=0.5).preprocess(graph)
+        scores = solver.query(0)
+        assert np.all(np.diff(scores) < 0)
+
+
+class TestDeterminism:
+    def test_preprocessing_is_deterministic(self, medium_graph):
+        a = BePI(tol=1e-10).preprocess(medium_graph)
+        b = BePI(tol=1e-10).preprocess(medium_graph)
+        assert a.stats["n1"] == b.stats["n1"]
+        assert a.stats["nnz_schur"] == b.stats["nnz_schur"]
+        assert np.array_equal(
+            a.artifacts.permutation.order, b.artifacts.permutation.order
+        )
+        assert np.allclose(a.query(3), b.query(3), atol=1e-14)
+
+    def test_query_is_deterministic(self, medium_graph):
+        solver = BePI(tol=1e-10).preprocess(medium_graph)
+        assert np.array_equal(solver.query(5), solver.query(5))

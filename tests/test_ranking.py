@@ -1,0 +1,88 @@
+"""Tests for the personalized-ranking application."""
+
+import numpy as np
+import pytest
+
+from repro import BePI, InvalidParameterError
+from repro.applications import multi_seed_ranking, personalized_ranking, top_k
+
+
+@pytest.fixture(scope="module")
+def solver(request):
+    medium = request.getfixturevalue("medium_graph")
+    return BePI(tol=1e-11).preprocess(medium)
+
+
+class TestPersonalizedRanking:
+    def test_orders_by_score(self, solver):
+        ranking = personalized_ranking(solver, 0)
+        scores = solver.query(0)
+        ranked_scores = scores[ranking]
+        assert np.all(np.diff(ranked_scores) <= 1e-15)
+
+    def test_excludes_seed_by_default(self, solver):
+        assert 0 not in personalized_ranking(solver, 0).tolist()
+
+    def test_includes_seed_when_asked(self, solver):
+        ranking = personalized_ranking(solver, 0, exclude_seed=False)
+        assert ranking.size == solver.graph.n_nodes
+        # The seed collects the restart mass -> top position.
+        assert ranking[0] == 0
+
+    def test_deterministic_tie_break(self, solver):
+        a = personalized_ranking(solver, 3)
+        b = personalized_ranking(solver, 3)
+        assert np.array_equal(a, b)
+
+
+class TestTopK:
+    def test_returns_k_items(self, solver):
+        results = top_k(solver, 0, 5)
+        assert len(results) == 5
+
+    def test_scores_descending(self, solver):
+        results = top_k(solver, 0, 10)
+        scores = [score for _node, score in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_matches_full_ranking(self, solver):
+        ranking = personalized_ranking(solver, 0)
+        results = top_k(solver, 0, 5)
+        assert [node for node, _ in results] == ranking[:5].tolist()
+
+    def test_candidates_filter(self, solver):
+        candidates = np.array([10, 20, 30])
+        results = top_k(solver, 0, 2, candidates=candidates)
+        assert all(node in {10, 20, 30} for node, _ in results)
+
+    def test_invalid_k(self, solver):
+        with pytest.raises(InvalidParameterError):
+            top_k(solver, 0, 0)
+
+
+class TestMultiSeed:
+    def test_interpolates_single_seeds(self, solver):
+        # With all weight on one seed, must match single-seed ranking.
+        single = personalized_ranking(solver, 4)
+        multi = multi_seed_ranking(solver, {4: 1.0})
+        assert np.array_equal(single[:20], multi[:20])
+
+    def test_excludes_all_seeds(self, solver):
+        ranking = multi_seed_ranking(solver, {1: 0.5, 2: 0.5})
+        assert 1 not in ranking.tolist()
+        assert 2 not in ranking.tolist()
+
+    def test_weights_normalized(self, solver):
+        a = multi_seed_ranking(solver, {1: 0.5, 2: 0.5})
+        b = multi_seed_ranking(solver, {1: 5.0, 2: 5.0})
+        assert np.array_equal(a, b)
+
+    def test_validation(self, solver):
+        with pytest.raises(InvalidParameterError):
+            multi_seed_ranking(solver, {})
+        with pytest.raises(InvalidParameterError):
+            multi_seed_ranking(solver, {0: -1.0})
+        with pytest.raises(InvalidParameterError):
+            multi_seed_ranking(solver, {0: 0.0})
+        with pytest.raises(InvalidParameterError):
+            multi_seed_ranking(solver, {10_000_000: 1.0})

@@ -1,0 +1,68 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import json
+
+import pytest
+
+from benchmarks import report
+
+
+@pytest.fixture()
+def results_dir(tmp_path, monkeypatch):
+    monkeypatch.setattr(report, "RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
+def _write(results_dir, name, rows):
+    (results_dir / f"{name}.json").write_text(json.dumps(rows))
+
+
+class TestGenerate:
+    def test_empty_results_still_render_header(self, results_dir):
+        text = report.generate()
+        assert text.startswith("# EXPERIMENTS")
+        assert "Regenerate with" in text
+
+    def test_fig1_table_rendered(self, results_dir):
+        _write(results_dir, "fig01a_preprocessing", [
+            {"dataset": "toy", "method": "BePI", "status": "ok",
+             "preprocess_seconds": 0.5, "memory_bytes": 1e6},
+            {"dataset": "toy", "method": "Bear", "status": "oom"},
+        ])
+        _write(results_dir, "fig01c_query", [
+            {"dataset": "toy", "method": "BePI", "avg_query_seconds": 0.002},
+        ])
+        text = report.generate()
+        assert "## Figure 1" in text
+        assert "| toy | BePI | 0.500 | 1.00 | 2.00 |" in text
+        assert "| toy | Bear | o.o.m. | o.o.m. | o.o.m. |" in text
+
+    def test_fig10_section(self, results_dir):
+        _write(results_dir, "fig10_accuracy", [{
+            "budgets": [1, 2],
+            "BePI": [1e-2, 1e-8],
+            "GMRES": [2e-2, 1e-4],
+            "Power": [3e-2, 1e-3],
+        }])
+        text = report.generate()
+        assert "## Figure 10" in text
+        assert "1.00e-08" in text
+
+    def test_breakeven_section(self, results_dir):
+        _write(results_dir, "fig12_total_time", [{
+            "dataset": "toy", "method": "BePI",
+            "preprocess_seconds": 1.0, "query_batch_seconds": 0.1,
+            "total_seconds": 1.1,
+        }])
+        _write(results_dir, "fig12_breakeven", [{
+            "dataset": "toy", "method": "GMRES", "breakeven_queries": 120.0,
+        }])
+        text = report.generate()
+        assert "Break-even" in text
+        assert "120 queries" in text
+
+    def test_main_writes_file(self, results_dir, tmp_path, monkeypatch):
+        output = tmp_path / "EXPERIMENTS.md"
+        monkeypatch.setattr(report, "OUTPUT", str(output))
+        assert report.main() == 0
+        assert output.read_text().startswith("# EXPERIMENTS")

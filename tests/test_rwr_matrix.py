@@ -1,0 +1,119 @@
+"""Tests for RWR system assembly (row normalization, H, partitioning)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import InvalidParameterError, generate_rmat
+from repro.linalg.rwr_matrix import build_h_matrix, partition_h, row_normalize, seed_vector
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self, small_graph):
+        norm = row_normalize(small_graph.adjacency)
+        sums = np.asarray(norm.sum(axis=1)).ravel()
+        deadends = small_graph.deadend_mask()
+        assert np.allclose(sums[~deadends], 1.0)
+        assert np.allclose(sums[deadends], 0.0)
+
+    def test_weighted_rows(self):
+        adj = sp.csr_matrix(np.array([[0.0, 2.0, 6.0], [0, 0, 0], [1, 0, 0]]))
+        norm = row_normalize(adj).toarray()
+        assert norm[0].tolist() == [0.0, 0.25, 0.75]
+        assert norm[1].sum() == 0.0
+        assert norm[2, 0] == 1.0
+
+    def test_preserves_pattern(self, small_graph):
+        norm = row_normalize(small_graph.adjacency)
+        assert norm.nnz == small_graph.adjacency.nnz
+
+
+class TestBuildH:
+    def test_invalid_c(self, small_graph):
+        for c in (0.0, 1.0, -0.1, 1.1):
+            with pytest.raises(InvalidParameterError):
+                build_h_matrix(small_graph.adjacency, c)
+
+    def test_diagonal_is_near_one(self, small_graph):
+        h = build_h_matrix(small_graph.adjacency, 0.05)
+        diag = h.diagonal()
+        # Self-loop-free graph: diagonal exactly 1.
+        assert np.allclose(diag, 1.0)
+
+    def test_column_diagonal_dominance(self, small_graph):
+        """H = I - (1-c) A~^T is strictly diagonally dominant by columns."""
+        h = build_h_matrix(small_graph.adjacency, 0.05).toarray()
+        for j in range(h.shape[1]):
+            off = np.abs(h[:, j]).sum() - abs(h[j, j])
+            assert abs(h[j, j]) > off - 1e-12
+
+    def test_invertibility(self, small_graph):
+        h = build_h_matrix(small_graph.adjacency, 0.05).toarray()
+        assert np.linalg.matrix_rank(h) == h.shape[0]
+
+    def test_solution_matches_recursion(self, tiny_graph):
+        """The solution of H r = c q satisfies r = (1-c) A~^T r + c q."""
+        c = 0.2
+        h = build_h_matrix(tiny_graph.adjacency, c).toarray()
+        q = seed_vector(8, 0)
+        r = np.linalg.solve(h, c * q)
+        at = row_normalize(tiny_graph.adjacency).T.toarray()
+        assert np.allclose(r, (1 - c) * at @ r + c * q)
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=20, deadline=None)
+    def test_h_invertible_for_any_c(self, c):
+        g = generate_rmat(5, 100, seed=3)
+        h = build_h_matrix(g.adjacency, c).toarray()
+        # Strict diagonal dominance guarantees nonsingularity.
+        assert abs(np.linalg.det(h)) > 0
+
+
+class TestPartition:
+    def test_blocks_tile_h(self, small_graph):
+        h = build_h_matrix(small_graph.adjacency, 0.05)
+        n = small_graph.n_nodes
+        n1, n2 = n // 2, n // 4
+        n3 = n - n1 - n2
+        blocks = partition_h(h, n1, n2, n3)
+        assert blocks["H11"].shape == (n1, n1)
+        assert blocks["H12"].shape == (n1, n2)
+        assert blocks["H21"].shape == (n2, n1)
+        assert blocks["H22"].shape == (n2, n2)
+        assert blocks["H31"].shape == (n3, n1)
+        assert blocks["H32"].shape == (n3, n2)
+
+    def test_block_contents(self, small_graph):
+        h = build_h_matrix(small_graph.adjacency, 0.05).toarray()
+        n = small_graph.n_nodes
+        n1, n2 = 10, 5
+        n3 = n - 15
+        blocks = partition_h(sp.csr_matrix(h), n1, n2, n3)
+        assert np.allclose(blocks["H11"].toarray(), h[:10, :10])
+        assert np.allclose(blocks["H32"].toarray(), h[15:, 10:15])
+
+    def test_size_mismatch(self, small_graph):
+        h = build_h_matrix(small_graph.adjacency, 0.05)
+        with pytest.raises(InvalidParameterError):
+            partition_h(h, 1, 1, 1)
+
+    def test_zero_sized_blocks(self, small_graph):
+        h = build_h_matrix(small_graph.adjacency, 0.05)
+        n = small_graph.n_nodes
+        blocks = partition_h(h, 0, n, 0)
+        assert blocks["H11"].shape == (0, 0)
+        assert blocks["H22"].shape == (n, n)
+
+
+class TestSeedVector:
+    def test_one_hot(self):
+        q = seed_vector(5, 3)
+        assert q.tolist() == [0, 0, 0, 1, 0]
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            seed_vector(5, 5)
+        with pytest.raises(InvalidParameterError):
+            seed_vector(5, -1)

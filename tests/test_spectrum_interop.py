@@ -1,0 +1,106 @@
+"""Tests for the spectrum diagnostics and NetworkX interop."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import BePI, BePIS, Graph, GraphFormatError, InvalidParameterError
+from repro.core.spectrum import schur_spectrum
+from repro.graph.interop import from_networkx, to_networkx
+
+from .conftest import exact_rwr
+
+
+class TestSchurSpectrum:
+    def test_preconditioned_cluster_is_tighter(self, medium_graph):
+        solver = BePI(tol=1e-9).preprocess(medium_graph)
+        report = schur_spectrum(solver, n_eigenvalues=30)
+        assert report.preconditioned is not None
+        assert report.dispersion_preconditioned < report.dispersion_plain
+        assert report.clustering_improvement > 1.0
+
+    def test_unpreconditioned_solver(self, medium_graph):
+        solver = BePIS(tol=1e-9).preprocess(medium_graph)
+        report = schur_spectrum(solver, n_eigenvalues=10)
+        assert report.preconditioned is None
+        assert report.dispersion_preconditioned is None
+        assert report.clustering_improvement is None
+
+    def test_k_capped_by_dimension(self, small_graph):
+        solver = BePI(tol=1e-9, hub_ratio=0.2).preprocess(small_graph)
+        report = schur_spectrum(solver, n_eigenvalues=10_000)
+        assert report.plain.shape[0] <= solver.stats["n2"] - 2
+
+    def test_too_small_schur_raises(self):
+        g = Graph.from_edges([(0, 1), (1, 0)], n_nodes=2)
+        solver = BePI(hub_ratio=1.0).preprocess(g)
+        with pytest.raises(InvalidParameterError):
+            schur_spectrum(solver)
+
+    def test_eigenvalues_near_one(self, medium_graph):
+        """H is an M-matrix-like perturbation of I: eigenvalues near 1."""
+        solver = BePI(tol=1e-9).preprocess(medium_graph)
+        report = schur_spectrum(solver, n_eigenvalues=20)
+        assert np.all(np.abs(report.plain) < 2.0)
+        assert np.all(np.abs(report.plain) > 0.0)
+
+
+class TestNetworkxInterop:
+    def test_roundtrip_directed(self, small_graph):
+        nx_graph = to_networkx(small_graph)
+        back = from_networkx(nx_graph)
+        assert back == small_graph
+
+    def test_weights_preserved(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], weights=[2.0, 5.0])
+        nx_graph = to_networkx(g)
+        assert nx_graph[0][1]["weight"] == 2.0
+        back = from_networkx(nx_graph)
+        assert back.adjacency[1, 2] == 5.0
+
+    def test_undirected_becomes_bidirectional(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge("a", "b")
+        g = from_networkx(nx_graph)
+        assert g.n_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_arbitrary_labels(self):
+        nx_graph = nx.DiGraph()
+        nx_graph.add_edge("alice", "bob")
+        nx_graph.add_edge("bob", "carol")
+        g = from_networkx(nx_graph)
+        assert g.n_nodes == 3
+        assert g.has_edge(0, 1)
+
+    def test_empty(self):
+        assert from_networkx(nx.DiGraph()).n_nodes == 0
+        isolated = nx.DiGraph()
+        isolated.add_node("x")
+        assert from_networkx(isolated).n_nodes == 1
+
+    def test_negative_weight_rejected(self):
+        nx_graph = nx.DiGraph()
+        nx_graph.add_edge(0, 1, weight=-1.0)
+        with pytest.raises(GraphFormatError):
+            from_networkx(nx_graph)
+
+    def test_rwr_through_interop(self):
+        nx_graph = nx.karate_club_graph()
+        g = from_networkx(nx_graph)
+        solver = BePI(tol=1e-12, hub_ratio=0.3).preprocess(g)
+        assert np.allclose(solver.query(0), exact_rwr(g, 0.05, 0), atol=1e-9)
+
+
+class TestQueryMany:
+    def test_matches_individual_queries(self, small_graph):
+        solver = BePI(tol=1e-10).preprocess(small_graph)
+        seeds = [0, 3, 7]
+        matrix = solver.query_many(seeds)
+        assert matrix.shape == (3, small_graph.n_nodes)
+        for i, seed in enumerate(seeds):
+            assert np.allclose(matrix[i], solver.query(seed))
+
+    def test_empty_seed_list(self, small_graph):
+        solver = BePI().preprocess(small_graph)
+        assert solver.query_many([]).shape == (0, small_graph.n_nodes)

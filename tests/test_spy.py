@@ -1,0 +1,89 @@
+"""Tests for the text spy-plot helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import InvalidParameterError
+from repro.bench.spy import (
+    bandwidth_profile,
+    block_diagonal_fraction,
+    density_grid,
+    spy_text,
+)
+
+
+class TestDensityGrid:
+    def test_uniform_dense_matrix(self):
+        grid = density_grid(sp.csr_matrix(np.ones((8, 8))), rows=4, cols=4)
+        assert grid.shape == (4, 4)
+        assert np.allclose(grid, 1.0)
+
+    def test_empty_matrix(self):
+        grid = density_grid(sp.csr_matrix((10, 10)), rows=3, cols=3)
+        assert np.allclose(grid, 0.0)
+
+    def test_corner_entry_lands_in_corner_cell(self):
+        mat = sp.csr_matrix(([1.0], ([0], [0])), shape=(100, 100))
+        grid = density_grid(mat, rows=4, cols=4)
+        assert grid[0, 0] > 0
+        assert grid[1:, :].sum() == 0
+        assert grid[:, 1:].sum() == 0
+
+    def test_invalid_grid(self):
+        with pytest.raises(InvalidParameterError):
+            density_grid(sp.identity(4), rows=0, cols=4)
+
+    def test_zero_dimension_matrix(self):
+        grid = density_grid(sp.csr_matrix((0, 0)), rows=2, cols=2)
+        assert grid.shape == (2, 2)
+
+
+class TestSpyText:
+    def test_dimensions(self):
+        text = spy_text(sp.identity(50, format="csr"), rows=10, cols=20)
+        lines = text.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 20 for line in lines)
+
+    def test_empty_renders_blank(self):
+        text = spy_text(sp.csr_matrix((5, 5)), rows=2, cols=4)
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_identity_shows_diagonal(self):
+        text = spy_text(sp.identity(64, format="csr"), rows=8, cols=8)
+        lines = text.splitlines()
+        for i in range(8):
+            assert lines[i][i] != " "
+
+    def test_needs_two_shades(self):
+        with pytest.raises(InvalidParameterError):
+            spy_text(sp.identity(4), shades="x")
+
+
+class TestBlockDiagonalFraction:
+    def test_perfect_block_diagonal(self):
+        mat = sp.block_diag([np.ones((2, 2)), np.ones((3, 3))], format="csr")
+        assert block_diagonal_fraction(mat, [2, 3]) == 1.0
+
+    def test_off_block_entries_counted(self):
+        mat = sp.csr_matrix(np.array([[1.0, 0, 1.0], [0, 1.0, 0], [0, 0, 1.0]]))
+        fraction = block_diagonal_fraction(mat, [2, 1])
+        assert fraction == pytest.approx(3 / 4)
+
+    def test_empty_is_one(self):
+        assert block_diagonal_fraction(sp.csr_matrix((4, 4)), [2, 2]) == 1.0
+
+
+class TestBandwidthProfile:
+    def test_diagonal_is_zero(self):
+        assert bandwidth_profile(sp.identity(10, format="csr")) == 0.0
+
+    def test_anti_diagonal_is_large(self):
+        n = 10
+        mat = sp.csr_matrix((np.ones(n), (np.arange(n), np.arange(n)[::-1])),
+                            shape=(n, n))
+        assert bandwidth_profile(mat) > 0.4
+
+    def test_empty(self):
+        assert bandwidth_profile(sp.csr_matrix((3, 3))) == 0.0

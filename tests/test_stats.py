@@ -1,0 +1,48 @@
+"""Tests for graph statistics."""
+
+import numpy as np
+
+from repro import Graph, generate_erdos_renyi, generate_rmat
+from repro.graph.stats import compute_stats, degree_tail_slope
+
+
+class TestComputeStats:
+    def test_counts(self, tiny_graph):
+        stats = compute_stats(tiny_graph)
+        assert stats.n_nodes == 8
+        assert stats.n_edges == tiny_graph.n_edges
+        assert stats.n_deadends == 1
+
+    def test_mean_out_degree(self, tiny_graph):
+        stats = compute_stats(tiny_graph)
+        assert stats.mean_out_degree == tiny_graph.n_edges / 8
+
+    def test_max_degrees(self, tiny_graph):
+        stats = compute_stats(tiny_graph)
+        assert stats.max_out_degree == tiny_graph.out_degrees().max()
+        assert stats.max_in_degree == tiny_graph.in_degrees().max()
+
+    def test_empty_graph(self):
+        stats = compute_stats(Graph.empty(5))
+        assert stats.n_edges == 0
+        assert stats.n_deadends == 5
+        assert stats.max_out_degree == 0
+
+
+class TestDegreeTailSlope:
+    def test_degenerate_inputs(self):
+        assert degree_tail_slope(np.array([])) == 0.0
+        assert degree_tail_slope(np.array([0, 0, 0])) == 0.0
+        assert degree_tail_slope(np.array([2, 2, 2])) == 0.0
+
+    def test_rmat_has_heavier_tail_than_er(self):
+        rmat = generate_rmat(11, 20000, seed=0)
+        er = generate_erdos_renyi(2048, 20000, seed=0)
+        slope_rmat = degree_tail_slope(rmat.total_degrees())
+        slope_er = degree_tail_slope(er.total_degrees())
+        # Heavier tail = shallower (less negative) slope.
+        assert slope_rmat > slope_er
+
+    def test_slope_is_negative_for_real_distributions(self):
+        g = generate_rmat(10, 8000, seed=1)
+        assert degree_tail_slope(g.total_degrees()) < 0
