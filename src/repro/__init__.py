@@ -31,13 +31,14 @@ from repro.approximate import NBLinSolver
 from repro.baselines import BearSolver, DenseSolver, GMRESSolver, LUSolver, PowerSolver
 from repro.bench.memory import MemoryBudget
 from repro.core.accuracy import AccuracyBound, accuracy_bound, tolerance_for_target
-from repro.core.base import QueryResult, RWRSolver
+from repro.core.base import BatchQueryResult, QueryResult, RWRSolver
 from repro.core.bepi import BePI, BePIB, BePIS
 from repro.core.dynamic import DynamicRWR
 from repro.core.hub_ratio import choose_hub_ratio, sweep_hub_ratios
 from repro.persistence import load_solver, save_solver
 from repro.exceptions import (
     ConvergenceError,
+    ConvergenceWarning,
     GraphFormatError,
     InvalidParameterError,
     MemoryBudgetExceededError,
@@ -62,11 +63,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccuracyBound",
+    "BatchQueryResult",
     "BePI",
     "BePIB",
     "BePIS",
     "BearSolver",
     "ConvergenceError",
+    "ConvergenceWarning",
     "DenseSolver",
     "DynamicRWR",
     "GMRESSolver",

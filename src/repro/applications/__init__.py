@@ -34,7 +34,13 @@ from repro.applications.link_prediction import (
     sample_negative_edges,
     split_edges,
 )
-from repro.applications.ranking import multi_seed_ranking, personalized_ranking, top_k
+from repro.applications.ranking import (
+    multi_seed_ranking,
+    personalized_ranking,
+    personalized_ranking_many,
+    top_k,
+    top_k_many,
+)
 
 __all__ = [
     "Community",
@@ -54,7 +60,9 @@ __all__ = [
     "neighborhood_relevance",
     "normality_scores",
     "personalized_ranking",
+    "personalized_ranking_many",
     "recommend_links",
     "split_edges",
     "top_k",
+    "top_k_many",
 ]

@@ -177,8 +177,9 @@ def evaluate_link_prediction(
     """Score held-out edges vs. negatives and compute AUC.
 
     Queries are grouped by source node (one RWR solve scores all that
-    source's pairs); at most ``max_sources`` distinct sources are used to
-    bound the number of solves.
+    source's pairs), and all sources are solved together with one
+    :meth:`RWRSolver.query_many` call; at most ``max_sources`` distinct
+    sources are used to bound the batch size.
     """
     rng = _as_rng(seed)
     positives = np.asarray(test_edges, dtype=np.int64)
@@ -186,12 +187,13 @@ def evaluate_link_prediction(
     sources = np.unique(np.concatenate([positives[:, 0], negatives[:, 0]]))
     if sources.size > max_sources:
         sources = rng.choice(sources, size=max_sources, replace=False)
-    source_set = set(int(s) for s in sources)
+    ordered_sources = sorted(set(int(s) for s in sources))
 
+    all_scores = solver.query_many(ordered_sources)
     pos_scores: List[float] = []
     neg_scores: List[float] = []
-    for src in sorted(source_set):
-        scores = solver.query(src)
+    for i, src in enumerate(ordered_sources):
+        scores = all_scores[i]
         for v in positives[positives[:, 0] == src][:, 1]:
             pos_scores.append(float(scores[v]))
         for v in negatives[negatives[:, 0] == src][:, 1]:

@@ -7,12 +7,37 @@ the seed itself, limiting to the top k, multi-seed personalization).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.base import RWRSolver
 from repro.exceptions import InvalidParameterError
+
+
+def _ranking_from_scores(scores: np.ndarray, seed: int, exclude_seed: bool) -> np.ndarray:
+    order = np.lexsort((np.arange(scores.shape[0]), -scores))
+    if exclude_seed:
+        order = order[order != seed]
+    return order
+
+
+def _top_k_from_scores(
+    scores: np.ndarray,
+    seed: int,
+    k: int,
+    exclude_seed: bool,
+    candidates: Optional[np.ndarray],
+) -> List[Tuple[int, float]]:
+    if candidates is None:
+        pool = np.arange(scores.shape[0])
+    else:
+        pool = np.asarray(candidates, dtype=np.int64)
+    if exclude_seed:
+        pool = pool[pool != seed]
+    pool_scores = scores[pool]
+    order = np.lexsort((pool, -pool_scores))[:k]
+    return [(int(pool[i]), float(pool_scores[i])) for i in order]
 
 
 def personalized_ranking(
@@ -25,11 +50,25 @@ def personalized_ranking(
     Ties are broken toward the smaller node id so the ranking is
     deterministic.
     """
-    scores = solver.query(seed)
-    order = np.lexsort((np.arange(scores.shape[0]), -scores))
-    if exclude_seed:
-        order = order[order != seed]
-    return order
+    return _ranking_from_scores(solver.query(seed), seed, exclude_seed)
+
+
+def personalized_ranking_many(
+    solver: RWRSolver,
+    seeds: Sequence[int],
+    exclude_seed: bool = True,
+) -> List[np.ndarray]:
+    """Personalized rankings for several seeds from one batched solve.
+
+    All seed vectors are answered by a single :meth:`RWRSolver.query_many`
+    call — on solvers with a native batch path this amortizes the
+    permutation and block solves across the whole seed set.
+    """
+    scores = solver.query_many(seeds)
+    return [
+        _ranking_from_scores(scores[i], int(seed), exclude_seed)
+        for i, seed in enumerate(seeds)
+    ]
 
 
 def top_k(
@@ -49,16 +88,24 @@ def top_k(
     """
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
-    scores = solver.query(seed)
-    if candidates is None:
-        pool = np.arange(scores.shape[0])
-    else:
-        pool = np.asarray(candidates, dtype=np.int64)
-    if exclude_seed:
-        pool = pool[pool != seed]
-    pool_scores = scores[pool]
-    order = np.lexsort((pool, -pool_scores))[:k]
-    return [(int(pool[i]), float(pool_scores[i])) for i in order]
+    return _top_k_from_scores(solver.query(seed), seed, k, exclude_seed, candidates)
+
+
+def top_k_many(
+    solver: RWRSolver,
+    seeds: Sequence[int],
+    k: int,
+    exclude_seed: bool = True,
+    candidates: Optional[np.ndarray] = None,
+) -> List[List[Tuple[int, float]]]:
+    """Top-``k`` lists for several seeds from one batched solve."""
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    scores = solver.query_many(seeds)
+    return [
+        _top_k_from_scores(scores[i], int(seed), k, exclude_seed, candidates)
+        for i, seed in enumerate(seeds)
+    ]
 
 
 def multi_seed_ranking(

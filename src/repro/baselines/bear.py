@@ -15,7 +15,7 @@ benchmark harness can reproduce the paper's out-of-memory failures safely.
 from __future__ import annotations
 
 import time
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -135,3 +135,29 @@ class BearSolver(RWRSolver):
 
         r = np.concatenate([r1, r2, r3])
         return artifacts.permutation.unapply_to_vector(r), 0
+
+    def _query_batch(self, rhs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        """Lemma 1 on an ``(n, k)`` block: every product becomes a mat-mat."""
+        artifacts = self._artifacts
+        assert artifacts is not None and self._schur_inv is not None
+        c = self.c
+        n1, n2 = artifacts.n1, artifacts.n2
+        blocks = artifacts.blocks
+        k = rhs.shape[1]
+
+        qp = artifacts.permutation.apply_to_vector(rhs)
+        q1, q2, q3 = qp[:n1], qp[n1 : n1 + n2], qp[n1 + n2 :]
+
+        if n1 > 0:
+            q2_tilde = c * q2 - blocks["H21"] @ artifacts.h11_factors.solve(c * q1)
+        else:
+            q2_tilde = c * q2
+        r2 = self._schur_inv @ q2_tilde if n2 > 0 else np.zeros((0, k))
+        if n1 > 0:
+            r1 = artifacts.h11_factors.solve(c * q1 - blocks["H12"] @ r2)
+        else:
+            r1 = np.zeros((0, k))
+        r3 = c * q3 - blocks["H31"] @ r1 - blocks["H32"] @ r2
+
+        r = np.concatenate([r1, r2, r3], axis=0)
+        return artifacts.permutation.unapply_to_vector(r), np.zeros(k, dtype=np.int64), {}

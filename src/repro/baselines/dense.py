@@ -9,7 +9,7 @@ for the accuracy experiment of Appendix I.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -61,3 +61,9 @@ class DenseSolver(RWRSolver):
     def _query(self, q: np.ndarray) -> Tuple[np.ndarray, int]:
         assert self._h_inv is not None
         return self.c * (self._h_inv @ q), 0
+
+    def _query_batch(self, rhs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        """One dense mat-mat product answers the whole batch."""
+        assert self._h_inv is not None
+        k = rhs.shape[1]
+        return self.c * (self._h_inv @ rhs), np.zeros(k, dtype=np.int64), {}

@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.core.base import RWRSolver
 from repro.graph.graph import Graph
-from repro.linalg.gmres import gmres
+from repro.linalg.gmres import gmres, gmres_multi
 from repro.linalg.rwr_matrix import build_h_matrix
 
 
@@ -48,7 +48,7 @@ class GMRESSolver(RWRSolver):
         # preprocessed data in the paper's accounting.
         self._h = build_h_matrix(graph.adjacency, self.c)
 
-    def _query(self, q: np.ndarray) -> Tuple[np.ndarray, int]:
+    def _query(self, q: np.ndarray) -> Tuple[np.ndarray, int, Dict[str, Any]]:
         assert self._h is not None
         result = gmres(
             self._h,
@@ -57,4 +57,16 @@ class GMRESSolver(RWRSolver):
             restart=self.restart,
             max_iterations=self.max_iterations,
         )
-        return result.x, result.n_iterations
+        return result.x, result.n_iterations, {"converged": result.converged}
+
+    def _query_batch(self, rhs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        """One multi-RHS GMRES call sharing the Krylov workspace across seeds."""
+        assert self._h is not None
+        batch = gmres_multi(
+            self._h,
+            self.c * rhs,
+            tol=self.tol,
+            restart=self.restart,
+            max_iterations=self.max_iterations,
+        )
+        return batch.x, batch.n_iterations, {"converged": batch.converged}

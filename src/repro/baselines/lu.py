@@ -13,7 +13,7 @@ factors, which is where the method's scalability problem lives.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -65,3 +65,13 @@ class LUSolver(RWRSolver):
         qp = self._perm.apply_to_vector(q)
         r = self._lu.solve(self.c * qp)
         return self._perm.unapply_to_vector(r), 0
+
+    def _query_batch(self, rhs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        """Multi-RHS triangular solves: SuperLU handles all ``k`` columns at once."""
+        assert self._lu is not None and self._perm is not None
+        k = rhs.shape[1]
+        qp = self._perm.apply_to_vector(rhs)
+        # SuperLU's dgstrs wants column-major right-hand sides; handing it a
+        # C-ordered block costs an internal per-column copy.
+        r = self._lu.solve(np.asfortranarray(self.c * qp))
+        return self._perm.unapply_to_vector(r), np.zeros(k, dtype=np.int64), {}

@@ -72,6 +72,11 @@ class ExperimentRunner:
         Preprocessing budget; exceeding it marks the row ``"oot"``.  The
         check is post-hoc (pure-Python preprocessing cannot be safely
         interrupted), which is sufficient at laptop scale.
+    batch_queries:
+        When true (the default) the query phase runs as one
+        :meth:`RWRSolver.query_many_detailed` call, exercising each
+        solver's batched path; set to false to time seeds one
+        ``query_detailed`` at a time (the paper's per-query protocol).
     """
 
     def __init__(
@@ -79,10 +84,12 @@ class ExperimentRunner:
         n_queries: int = 30,
         seed: int = 0,
         time_budget_seconds: Optional[float] = None,
+        batch_queries: bool = True,
     ):
         self.n_queries = n_queries
         self.seed = seed
         self.time_budget_seconds = time_budget_seconds
+        self.batch_queries = batch_queries
 
     def query_seeds(self, graph: Graph) -> np.ndarray:
         """The shared random query nodes for ``graph``."""
@@ -142,13 +149,18 @@ class ExperimentRunner:
             return record
 
         seeds = self.query_seeds(graph)
-        query_seconds: List[float] = []
-        iterations: List[int] = []
         try:
-            for node in seeds:
-                result = solver.query_detailed(int(node))
-                query_seconds.append(result.seconds)
-                iterations.append(result.iterations)
+            if self.batch_queries:
+                batch = solver.query_many_detailed(seeds)
+                query_seconds = batch.per_seed_seconds.tolist()
+                iterations = batch.iterations.tolist()
+            else:
+                query_seconds = []
+                iterations = []
+                for node in seeds:
+                    result = solver.query_detailed(int(node))
+                    query_seconds.append(result.seconds)
+                    iterations.append(result.iterations)
         except (ConvergenceError, ReproError) as exc:
             record.status = "error"
             record.detail = f"query failed: {exc}"

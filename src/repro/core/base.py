@@ -7,19 +7,30 @@ benchmark harness and the applications can treat them interchangeably:
     solver = BePI(c=0.05)
     solver.preprocess(graph)
     scores = solver.query(seed)
+    matrix = solver.query_many(seeds)   # one batched Algorithm-4 pass
+
+Single queries go through :meth:`RWRSolver._query`; multi-seed queries go
+through :meth:`RWRSolver._query_batch`, a multi-right-hand-side hook whose
+base implementation loops ``_query`` and which solvers override with a
+vectorized path (the bulk-serving pattern preprocessing methods exist for).
 """
 
 from __future__ import annotations
 
 import abc
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
 from repro.bench.memory import MemoryBudget, matrix_memory_bytes
-from repro.exceptions import InvalidParameterError, NotPreprocessedError
+from repro.exceptions import (
+    ConvergenceWarning,
+    InvalidParameterError,
+    NotPreprocessedError,
+)
 from repro.graph.graph import Graph
 from repro.linalg.rwr_matrix import seed_vector
 
@@ -37,12 +48,61 @@ class QueryResult:
     iterations:
         Iterations the solver's inner iterative method used (0 for purely
         direct methods).
+    extras:
+        Solver-specific metadata.  Iterative solvers report ``"converged"``
+        (bool) here; ``False`` means the returned scores missed the
+        requested tolerance (a :class:`ConvergenceWarning` is emitted and
+        ``solver.stats["unconverged_queries"]`` is incremented).
     """
 
     scores: np.ndarray
     seconds: float
     iterations: int = 0
     extras: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class BatchQueryResult:
+    """A batch of scored queries answered through one multi-RHS solve.
+
+    Attributes
+    ----------
+    scores:
+        ``(k, n)`` matrix; row ``i`` holds the RWR scores of seed ``i`` in
+        original node order.
+    seconds:
+        Wall-clock time of the whole batch.
+    iterations:
+        ``(k,)`` inner-iteration counts, one per seed (0 for direct
+        methods).
+    per_seed_seconds:
+        ``(k,)`` per-seed wall-clock times.  Measured individually when the
+        solver fell back to the looped path; amortized (``seconds / k``)
+        when the batch was answered by one vectorized solve.
+    extras:
+        Solver-specific metadata.  Iterative solvers report ``"converged"``
+        as a ``(k,)`` boolean array (per-seed convergence of the inner
+        solve).
+    """
+
+    scores: np.ndarray
+    seconds: float
+    iterations: np.ndarray
+    per_seed_seconds: np.ndarray
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.scores.shape[0])
+
+    @property
+    def all_converged(self) -> bool:
+        """Whether every seed's inner solve converged (vacuously true for
+        direct methods, which report no ``"converged"`` flags)."""
+        flags = self.extras.get("converged")
+        if flags is None:
+            return True
+        return bool(np.all(np.asarray(flags, dtype=bool)))
 
 
 class RWRSolver(abc.ABC):
@@ -65,7 +125,11 @@ class RWRSolver(abc.ABC):
     Implement :meth:`_preprocess` (store whatever the query phase needs and
     register retained matrices via :meth:`_retain`), and :meth:`_query`
     (given a starting vector in *original* node order, return scores in
-    original order).
+    original order).  ``_query`` may return ``(scores, iterations)`` or
+    ``(scores, iterations, extras)``; put a boolean ``"converged"`` in
+    ``extras`` to opt into non-convergence accounting.  Optionally override
+    :meth:`_query_batch` with a vectorized multi-seed path; the default
+    loops ``_query`` per column.
     """
 
     #: Human-readable method name used by the benchmark harness.
@@ -115,6 +179,8 @@ class RWRSolver(abc.ABC):
         self._graph = graph
         self.stats["preprocess_seconds"] = elapsed
         self.stats["memory_bytes"] = self.memory_bytes()
+        self.stats["queries"] = 0
+        self.stats["unconverged_queries"] = 0
         self.memory_budget.check(self.stats["memory_bytes"], what=f"{self.name} preprocessed data")
         return self
 
@@ -123,9 +189,16 @@ class RWRSolver(abc.ABC):
         return self.query_detailed(seed).scores
 
     def query_detailed(self, seed: int) -> QueryResult:
-        """Like :meth:`query` but returns timing and iteration metadata."""
+        """Like :meth:`query` but returns timing and iteration metadata.
+
+        Raises
+        ------
+        InvalidParameterError
+            If ``seed`` is not an integer in ``[0, n_nodes)``.
+        """
         self._require_preprocessed()
-        q = seed_vector(self.graph.n_nodes, seed)
+        node = self._validate_seed(seed)
+        q = seed_vector(self.graph.n_nodes, node)
         return self.query_vector(q)
 
     def query_vector(self, q: np.ndarray) -> QueryResult:
@@ -143,24 +216,93 @@ class RWRSolver(abc.ABC):
                 f"got {q_arr.shape}"
             )
         start = time.perf_counter()
-        scores, iterations = self._query(q_arr)
+        scores, iterations, extras = self._unpack_query_result(self._query(q_arr))
         elapsed = time.perf_counter() - start
-        return QueryResult(scores=scores, seconds=elapsed, iterations=iterations)
+        self._record_convergence(extras.get("converged"), n_queries=1)
+        return QueryResult(scores=scores, seconds=elapsed, iterations=iterations, extras=extras)
 
-    def query_many(self, seeds) -> np.ndarray:
+    def query_many(self, seeds: Iterable[int], batch_size: Optional[int] = None) -> np.ndarray:
         """RWR scores for several seeds; returns an ``(len(seeds), n)`` matrix.
 
         Row ``i`` equals ``query(seeds[i])``.  This is the bulk-serving
         pattern preprocessing methods exist for: one preprocessing pass,
-        arbitrarily many cheap queries.
+        arbitrarily many cheap queries — answered here through the solver's
+        batched multi-RHS path (Algorithm 4 evaluated once on an
+        ``(n, k)`` block of one-hot columns instead of ``k`` times).
+        """
+        return self.query_many_detailed(seeds, batch_size=batch_size).scores
+
+    def query_many_detailed(
+        self,
+        seeds: Iterable[int],
+        batch_size: Optional[int] = None,
+    ) -> BatchQueryResult:
+        """Like :meth:`query_many` but with per-seed iterations and timings.
+
+        Parameters
+        ----------
+        seeds:
+            Seed node ids; each must be an integer in ``[0, n_nodes)``.
+        batch_size:
+            Optional chunk size.  ``None`` (default) answers all seeds in
+            one multi-RHS solve; a positive value caps the dense RHS block
+            at ``(n, batch_size)`` — the memory/throughput knob for very
+            large seed lists.
+
+        Raises
+        ------
+        InvalidParameterError
+            If any seed is outside ``[0, n_nodes)`` or ``batch_size < 1``.
         """
         self._require_preprocessed()
-        seed_list = [int(s) for s in seeds]
+        seed_arr = self._validate_seeds(seeds)
         n = self.graph.n_nodes
-        out = np.empty((len(seed_list), n), dtype=np.float64)
-        for i, seed in enumerate(seed_list):
-            out[i] = self.query(seed)
-        return out
+        k = seed_arr.shape[0]
+        if batch_size is not None and batch_size < 1:
+            raise InvalidParameterError(f"batch_size must be >= 1, got {batch_size}")
+        if k == 0:
+            return BatchQueryResult(
+                scores=np.empty((0, n), dtype=np.float64),
+                seconds=0.0,
+                iterations=np.zeros(0, dtype=np.int64),
+                per_seed_seconds=np.zeros(0, dtype=np.float64),
+            )
+
+        step = k if batch_size is None else int(batch_size)
+        score_rows = np.empty((k, n), dtype=np.float64)
+        iterations = np.empty(k, dtype=np.int64)
+        per_seed = np.empty(k, dtype=np.float64)
+        extras_chunks = []
+        chunk_sizes = []
+        start = time.perf_counter()
+        for lo in range(0, k, step):
+            chunk = seed_arr[lo : lo + step]
+            size = chunk.shape[0]
+            rhs = np.zeros((n, size), dtype=np.float64)
+            rhs[chunk, np.arange(size)] = 1.0
+            chunk_start = time.perf_counter()
+            scores, chunk_iterations, extras = self._query_batch(rhs)
+            chunk_seconds = time.perf_counter() - chunk_start
+            score_rows[lo : lo + size] = scores.T
+            iterations[lo : lo + size] = np.asarray(chunk_iterations, dtype=np.int64)
+            measured = extras.pop("per_seed_seconds", None)
+            if measured is None:
+                per_seed[lo : lo + size] = chunk_seconds / size
+            else:
+                per_seed[lo : lo + size] = measured
+            extras_chunks.append(extras)
+            chunk_sizes.append(size)
+        elapsed = time.perf_counter() - start
+
+        merged = self._merge_batch_extras(extras_chunks, chunk_sizes)
+        self._record_convergence(merged.get("converged"), n_queries=k)
+        return BatchQueryResult(
+            scores=score_rows,
+            seconds=elapsed,
+            iterations=iterations,
+            per_seed_seconds=per_seed,
+            extras=merged,
+        )
 
     def memory_bytes(self) -> int:
         """Bytes of preprocessed data retained for the query phase."""
@@ -178,8 +320,45 @@ class RWRSolver(abc.ABC):
         """Build and retain the method's preprocessed data."""
 
     @abc.abstractmethod
-    def _query(self, q: np.ndarray) -> "tuple[np.ndarray, int]":
-        """Solve for ``q`` (original order); return ``(scores, iterations)``."""
+    def _query(self, q: np.ndarray) -> Tuple:
+        """Solve for ``q`` (original order).
+
+        Return ``(scores, iterations)`` or ``(scores, iterations, extras)``.
+        """
+
+    def _query_batch(self, rhs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        """Solve for every column of the ``(n, k)`` block ``rhs`` at once.
+
+        Returns ``(scores, iterations, extras)`` where ``scores`` is
+        ``(n, k)`` (column ``j`` answers column ``j`` of ``rhs``),
+        ``iterations`` is ``(k,)``, and per-seed entries in ``extras``
+        (e.g. ``"converged"``) are length-``k`` arrays.
+
+        This default loops :meth:`_query` per column — correct for every
+        solver, with none of the batching speedups.  Solvers override it
+        with a vectorized multi-RHS pass and the base class handles seed
+        validation, timing, chunking, and convergence accounting.
+        """
+        n, k = rhs.shape
+        scores = np.empty((n, k), dtype=np.float64)
+        iterations = np.zeros(k, dtype=np.int64)
+        per_seed = np.zeros(k, dtype=np.float64)
+        extras_list = []
+        for j in range(k):
+            start = time.perf_counter()
+            column_scores, column_iterations, extras = self._unpack_query_result(
+                self._query(np.ascontiguousarray(rhs[:, j]))
+            )
+            per_seed[j] = time.perf_counter() - start
+            scores[:, j] = column_scores
+            iterations[j] = column_iterations
+            extras_list.append(extras)
+        merged: Dict[str, Any] = {"per_seed_seconds": per_seed}
+        if k and all("converged" in extras for extras in extras_list):
+            merged["converged"] = np.array(
+                [bool(extras["converged"]) for extras in extras_list], dtype=bool
+            )
+        return scores, iterations, merged
 
     def _retain(self, name: str, matrix: Any) -> None:
         """Register a matrix as part of the preprocessed data (for memory accounting)."""
@@ -190,6 +369,76 @@ class RWRSolver(abc.ABC):
             raise NotPreprocessedError(
                 f"{type(self).__name__}.preprocess(graph) must be called before querying"
             )
+
+    # ------------------------------------------------------------------
+    # Shared query plumbing
+    # ------------------------------------------------------------------
+    def _validate_seed(self, seed) -> int:
+        """Check one seed id against ``[0, n_nodes)``; return it as ``int``."""
+        n = self.graph.n_nodes
+        try:
+            node = int(seed)
+        except (TypeError, ValueError):
+            raise InvalidParameterError(f"seed must be an integer node id, got {seed!r}")
+        if node != seed:
+            raise InvalidParameterError(f"seed must be an integer node id, got {seed!r}")
+        if not 0 <= node < n:
+            raise InvalidParameterError(
+                f"seed node {node} out of range [0, {n})"
+            )
+        return node
+
+    def _validate_seeds(self, seeds: Iterable[int]) -> np.ndarray:
+        """Validate a seed list; return it as an ``int64`` array."""
+        return np.array([self._validate_seed(s) for s in seeds], dtype=np.int64)
+
+    @staticmethod
+    def _unpack_query_result(result: Tuple) -> Tuple[np.ndarray, int, Dict[str, Any]]:
+        """Normalize a ``_query`` return value to ``(scores, iterations, extras)``."""
+        if len(result) == 3:
+            scores, iterations, extras = result
+            return scores, int(iterations), dict(extras)
+        scores, iterations = result
+        return scores, int(iterations), {}
+
+    def _record_convergence(self, converged, n_queries: int) -> None:
+        """Count queries and warn about (and count) unconverged inner solves."""
+        self.stats["queries"] = self.stats.get("queries", 0) + n_queries
+        if converged is None:
+            return
+        flags = np.atleast_1d(np.asarray(converged, dtype=bool))
+        failures = int(np.count_nonzero(~flags))
+        if failures == 0:
+            return
+        self.stats["unconverged_queries"] = (
+            self.stats.get("unconverged_queries", 0) + failures
+        )
+        warnings.warn(
+            f"{self.name}: {failures} of {n_queries} queries did not reach "
+            f"tol={self.tol}; scores may be less accurate than requested "
+            "(raise max_iterations or loosen tol)",
+            ConvergenceWarning,
+            stacklevel=3,
+        )
+
+    @staticmethod
+    def _merge_batch_extras(chunks, chunk_sizes) -> Dict[str, Any]:
+        """Merge per-chunk extras; per-seed arrays are concatenated."""
+        if len(chunks) == 1:
+            return chunks[0]
+        merged: Dict[str, Any] = {}
+        keys = set().union(*chunks) if chunks else set()
+        for key in keys:
+            values = [chunk.get(key) for chunk in chunks]
+            arrays = [np.asarray(v) if v is not None else None for v in values]
+            if all(
+                a is not None and a.ndim >= 1 and a.shape[0] == size
+                for a, size in zip(arrays, chunk_sizes)
+            ):
+                merged[key] = np.concatenate(arrays)
+            else:
+                merged[key] = values
+        return merged
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "preprocessed" if self.is_preprocessed else "unfitted"

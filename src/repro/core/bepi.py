@@ -21,7 +21,7 @@ scores ``r3``.
 from __future__ import annotations
 
 import time
-from typing import Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -32,7 +32,7 @@ from repro.core.pipeline import PreprocessArtifacts, build_artifacts
 from repro.exceptions import InvalidParameterError
 from repro.graph.graph import Graph
 from repro.linalg.bicgstab import bicgstab
-from repro.linalg.gmres import gmres
+from repro.linalg.gmres import gmres, gmres_multi
 from repro.linalg.ilu import ILUFactors, ilu0, ilut, spilu_factors
 from repro.linalg.preconditioners import JacobiPreconditioner
 
@@ -96,6 +96,16 @@ class BePI(RWRSolver):
     >>> solver = BePI(c=0.05, tol=1e-9, hub_ratio=0.2).preprocess(graph)
     >>> scores = solver.query(0)
     >>> bool(scores[0] > 0)
+    True
+
+    Bulk serving goes through the batched query engine: one multi-RHS pass
+    of Algorithm 4 answers all seeds, with per-seed convergence reporting.
+
+    >>> matrix = solver.query_many([0, 1, 2])     # (3, n) — row i = query(i)
+    >>> matrix.shape == (3, graph.n_nodes)
+    True
+    >>> batch = solver.query_many_detailed([0, 1, 2])
+    >>> bool(batch.all_converged)
     True
     """
 
@@ -227,7 +237,7 @@ class BePI(RWRSolver):
     # ------------------------------------------------------------------
     # Query phase (Algorithm 4)
     # ------------------------------------------------------------------
-    def _query(self, q: np.ndarray) -> Tuple[np.ndarray, int]:
+    def _query(self, q: np.ndarray) -> Tuple[np.ndarray, int, Dict[str, Any]]:
         artifacts = self._artifacts
         assert artifacts is not None  # guarded by RWRSolver._require_preprocessed
         c = self.c
@@ -248,6 +258,8 @@ class BePI(RWRSolver):
 
         # Line 4: solve S r2 = q2~ with the (preconditioned) Krylov method.
         iterations = 0
+        converged = True
+        residual = 0.0
         if n2 > 0:
             if self.iterative_method == "gmres":
                 result = gmres(
@@ -268,6 +280,8 @@ class BePI(RWRSolver):
                 )
             r2 = result.x
             iterations = result.n_iterations
+            converged = result.converged
+            residual = result.final_residual
         else:
             r2 = np.zeros(0, dtype=np.float64)
 
@@ -281,7 +295,88 @@ class BePI(RWRSolver):
         r3 = c * q3 - blocks["H31"] @ r1 - blocks["H32"] @ r2
 
         r = np.concatenate([r1, r2, r3])
-        return artifacts.permutation.unapply_to_vector(r), iterations
+        scores = artifacts.permutation.unapply_to_vector(r)
+        return scores, iterations, {"converged": converged, "schur_residual": residual}
+
+    def _query_batch(self, rhs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        """Algorithm 4 evaluated once on an ``(n, k)`` block of starting vectors.
+
+        The permutation, the ``H11`` forward/back substitutions, and the
+        off-diagonal block products all act on the whole block (one sparse
+        matrix-matrix product instead of ``k`` matrix-vector products); the
+        Schur systems are solved by :func:`~repro.linalg.gmres.gmres_multi`,
+        which shares the preconditioner and the Krylov workspace across
+        columns and reports convergence per column.
+        """
+        artifacts = self._artifacts
+        assert artifacts is not None
+        c = self.c
+        n1, n2 = artifacts.n1, artifacts.n2
+        blocks = artifacts.blocks
+        k = rhs.shape[1]
+
+        qp = artifacts.permutation.apply_to_vector(rhs)
+        q1 = qp[:n1]
+        q2 = qp[n1 : n1 + n2]
+        q3 = qp[n1 + n2 :]
+
+        # Line 3, multi-RHS: Q2~ = c Q2 - H21 (U1^{-1} (L1^{-1} (c Q1))).
+        if n1 > 0:
+            q2_tilde = c * q2 - blocks["H21"] @ artifacts.h11_factors.solve(c * q1)
+        else:
+            q2_tilde = c * q2
+
+        # Line 4: solve S R2 = Q2~ column by column, sharing workspace.
+        if n2 > 0:
+            if self.iterative_method == "gmres":
+                batch = gmres_multi(
+                    artifacts.schur,
+                    q2_tilde,
+                    tol=self.tol,
+                    max_iterations=self.max_iterations,
+                    restart=self.gmres_restart,
+                    preconditioner=self._ilu,
+                )
+                r2 = batch.x
+                iterations = batch.n_iterations
+                converged = batch.converged
+                residuals = batch.final_residuals
+            else:
+                r2 = np.empty((n2, k), dtype=np.float64)
+                iterations = np.zeros(k, dtype=np.int64)
+                converged = np.zeros(k, dtype=bool)
+                residuals = np.zeros(k, dtype=np.float64)
+                for j in range(k):
+                    result = bicgstab(
+                        artifacts.schur,
+                        np.ascontiguousarray(q2_tilde[:, j]),
+                        tol=self.tol,
+                        max_iterations=self.max_iterations,
+                        preconditioner=self._ilu,
+                    )
+                    r2[:, j] = result.x
+                    iterations[j] = result.n_iterations
+                    converged[j] = result.converged
+                    residuals[j] = result.final_residual
+        else:
+            r2 = np.zeros((0, k), dtype=np.float64)
+            iterations = np.zeros(k, dtype=np.int64)
+            converged = np.ones(k, dtype=bool)
+            residuals = np.zeros(k, dtype=np.float64)
+
+        # Line 5: R1 = U1^{-1} (L1^{-1} (c Q1 - H12 R2)).
+        if n1 > 0:
+            r1 = artifacts.h11_factors.solve(c * q1 - blocks["H12"] @ r2)
+        else:
+            r1 = np.zeros((0, k), dtype=np.float64)
+
+        # Line 6: R3 = c Q3 - H31 R1 - H32 R2.
+        r3 = c * q3 - blocks["H31"] @ r1 - blocks["H32"] @ r2
+
+        r = np.concatenate([r1, r2, r3], axis=0)
+        scores = artifacts.permutation.unapply_to_vector(r)
+        extras = {"converged": converged, "schur_residuals": residuals}
+        return scores, iterations, extras
 
     # ------------------------------------------------------------------
     # Introspection used by benchmarks and the accuracy analysis

@@ -71,3 +71,13 @@ class TimeBudgetExceededError(ReproError):
 
 class InvalidParameterError(ReproError):
     """A user-supplied parameter is outside its valid range."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative solve finished without reaching its tolerance.
+
+    Emitted (rather than raised) by the query phase when a Krylov or power
+    solve exhausts its iteration budget: the returned scores are the best
+    available but may miss the requested accuracy.  The failure is also
+    counted in ``solver.stats["unconverged_queries"]``.
+    """

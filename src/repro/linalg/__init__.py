@@ -17,7 +17,13 @@ against scipy's reference implementations.
 
 from repro.linalg.bicgstab import bicgstab
 from repro.linalg.block_lu import BlockDiagonalLU, factorize_block_diagonal
-from repro.linalg.gmres import GMRESResult, gmres
+from repro.linalg.gmres import (
+    GMRESBatchResult,
+    GMRESResult,
+    GMRESWorkspace,
+    gmres,
+    gmres_multi,
+)
 from repro.linalg.ilu import ILUFactors, ilu0, ilut, spilu_factors
 from repro.linalg.power import PowerResult, power_iteration
 from repro.linalg.preconditioners import JacobiPreconditioner
@@ -30,7 +36,9 @@ from repro.linalg.triangular import solve_lower_triangular, solve_upper_triangul
 
 __all__ = [
     "BlockDiagonalLU",
+    "GMRESBatchResult",
     "GMRESResult",
+    "GMRESWorkspace",
     "ILUFactors",
     "JacobiPreconditioner",
     "PowerResult",
@@ -38,6 +46,7 @@ __all__ = [
     "build_h_matrix",
     "factorize_block_diagonal",
     "gmres",
+    "gmres_multi",
     "ilu0",
     "ilut",
     "partition_h",

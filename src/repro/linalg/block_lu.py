@@ -37,7 +37,7 @@ class BlockDiagonalLU:
     block_sizes: np.ndarray
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
-        """Apply ``A^{-1}`` to a vector."""
+        """Apply ``A^{-1}`` to a vector or to each column of an ``(n, k)`` block."""
         return self.u_inv @ (self.l_inv @ rhs)
 
     def solve_matrix(self, rhs: sp.spmatrix) -> sp.csr_matrix:

@@ -57,7 +57,8 @@ class ILUFactors:
 
         Applies the factors through forward/backward substitution; they are
         never inverted (Appendix B of the paper), so each application costs
-        about one sparse matvec.
+        about one sparse matvec.  ``rhs`` may be a vector or an ``(n, k)``
+        matrix (both substitution engines support multi-RHS blocks).
         """
         solve_lower, solve_upper = self._solvers()
         return solve_upper(solve_lower(np.asarray(rhs, dtype=np.float64)))

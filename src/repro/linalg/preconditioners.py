@@ -28,8 +28,10 @@ class JacobiPreconditioner:
         self._inv_diag = 1.0 / diag
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
-        """Apply ``M^{-1}``."""
-        return np.asarray(rhs, dtype=np.float64) * self._inv_diag
+        """Apply ``M^{-1}`` to a vector or to each column of an ``(n, k)`` matrix."""
+        arr = np.asarray(rhs, dtype=np.float64)
+        scale = self._inv_diag if arr.ndim == 1 else self._inv_diag[:, None]
+        return arr * scale
 
     @property
     def nnz(self) -> int:

@@ -170,7 +170,11 @@ class TriangularSolver:
         self.n_levels = n_levels
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
-        """Solve ``T x = rhs`` for this triangular matrix ``T``."""
+        """Solve ``T x = rhs`` for this triangular matrix ``T``.
+
+        ``rhs`` may be a vector or an ``(n, k)`` matrix; a matrix is solved
+        for all ``k`` columns in one level sweep (multi-RHS mode).
+        """
         b = np.asarray(rhs, dtype=np.float64)
         if b.shape[0] != self.shape[0]:
             raise SingularMatrixError(
@@ -178,8 +182,9 @@ class TriangularSolver:
             )
         x = np.zeros_like(b)
         for rows, sub in self._levels:
+            diag = self._diag[rows] if b.ndim == 1 else self._diag[rows, None]
             if sub is None:
-                x[rows] = b[rows] / self._diag[rows]
+                x[rows] = b[rows] / diag
             else:
-                x[rows] = (b[rows] - sub @ x) / self._diag[rows]
+                x[rows] = (b[rows] - sub @ x) / diag
         return x

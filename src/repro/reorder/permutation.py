@@ -73,7 +73,12 @@ class Permutation:
     # Application
     # ------------------------------------------------------------------
     def apply_to_vector(self, vector: np.ndarray) -> np.ndarray:
-        """Reorder a per-node vector into the new order: ``out[i] = v[order[i]]``."""
+        """Reorder a per-node vector into the new order: ``out[i] = v[order[i]]``.
+
+        Accepts an ``(n,)`` vector or an ``(n, k)`` block whose columns are
+        per-node vectors (the batched query path); rows are gathered either
+        way.
+        """
         vec = np.asarray(vector)
         if vec.shape[0] != len(self):
             raise InvalidParameterError(
@@ -82,15 +87,17 @@ class Permutation:
         return vec[self._order]
 
     def unapply_to_vector(self, vector: np.ndarray) -> np.ndarray:
-        """Inverse of :meth:`apply_to_vector`: map a new-order vector back."""
+        """Inverse of :meth:`apply_to_vector`: map a new-order vector (or
+        ``(n, k)`` block) back to the original order."""
         vec = np.asarray(vector)
         if vec.shape[0] != len(self):
             raise InvalidParameterError(
                 f"vector length {vec.shape[0]} != permutation size {len(self)}"
             )
-        out = np.empty_like(vec)
-        out[self._order] = vec
-        return out
+        # out[order[i]] = vec[i], expressed as the equivalent gather
+        # out[j] = vec[positions[j]] (a row gather is much faster than a
+        # scatter on (n, k) blocks).
+        return np.take(vec, self._positions, axis=0)
 
     def apply_to_matrix(self, matrix: sp.spmatrix) -> sp.csr_matrix:
         """Symmetrically permute a square sparse matrix into the new order."""

@@ -11,7 +11,6 @@ from repro import (
     InvalidParameterError,
     NotPreprocessedError,
     generate_bipartite,
-    generate_rmat,
 )
 
 from .conftest import exact_rwr

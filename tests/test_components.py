@@ -10,7 +10,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from scipy.sparse import csgraph
 
-from repro import Graph, generate_rmat
+from repro import Graph
 from repro.graph.components import (
     breadth_first_order,
     component_sizes,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import BePI, Graph, InvalidParameterError, generate_rmat
+from repro import BePI, Graph, InvalidParameterError
 from repro.applications.evaluation import (
     kendall_tau,
     ndcg_at_k,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Graph, generate_hub_and_spoke, generate_rmat
+from repro import Graph, generate_hub_and_spoke
 from repro.linalg.rwr_matrix import build_h_matrix
 from repro.reorder.hubspoke import hub_and_spoke_partition
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Graph, InvalidParameterError, generate_rmat
+from repro import Graph, InvalidParameterError
 from repro.approximate.monte_carlo import MonteCarloSolver
 
 from .conftest import exact_rwr

@@ -10,7 +10,6 @@ These capture invariants of RWR itself, independent of any single module:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,9 +1,8 @@
 """Tests for the Schur complement and the shared preprocessing pipeline."""
 
 import numpy as np
-import pytest
 
-from repro import Graph, generate_rmat
+from repro import Graph
 from repro.core.pipeline import build_artifacts
 from repro.core.schur import compute_schur_complement
 from repro.linalg.block_lu import factorize_block_diagonal
