@@ -34,7 +34,12 @@ from repro.core.accuracy import AccuracyBound, accuracy_bound, tolerance_for_tar
 from repro.core.base import BatchQueryResult, QueryResult, RWRSolver
 from repro.core.bepi import BePI, BePIB, BePIS
 from repro.core.dynamic import DynamicRWR
-from repro.core.hub_ratio import choose_hub_ratio, sweep_hub_ratios
+from repro.core.hub_ratio import (
+    HubRatioSelection,
+    choose_hub_ratio,
+    select_hub_ratio,
+    sweep_hub_ratios,
+)
 from repro.persistence import load_solver, save_solver
 from repro.exceptions import (
     ConvergenceError,
@@ -75,6 +80,7 @@ __all__ = [
     "GMRESSolver",
     "Graph",
     "GraphFormatError",
+    "HubRatioSelection",
     "InvalidParameterError",
     "LUSolver",
     "MemoryBudget",
@@ -100,6 +106,7 @@ __all__ = [
     "load_solver",
     "save_edge_list",
     "save_solver",
+    "select_hub_ratio",
     "sweep_hub_ratios",
     "tolerance_for_target",
     "__version__",

@@ -52,6 +52,7 @@ class ExperimentRecord:
     n_queries: int = 0
     detail: str = ""
     solver_stats: Dict = field(default_factory=dict)
+    stage_seconds: Dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -173,6 +174,7 @@ class ExperimentRunner:
         record.total_seconds = preprocess_seconds + float(np.sum(query_seconds))
         record.n_queries = len(seeds)
         record.solver_stats = dict(solver.stats)
+        record.stage_seconds = dict(solver.stats.get("stage_timings", {}))
         return record
 
     def run_matrix(

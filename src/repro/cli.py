@@ -45,6 +45,18 @@ _METHODS = {
 }
 
 
+def _hub_ratio_arg(value: str):
+    """``--hub-ratio`` accepts a float in (0, 1] or the literal ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        return float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"hub ratio must be a float or 'auto', got {value!r}"
+        )
+
+
 def _add_solver_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--method", choices=sorted(_METHODS), default="bepi",
                         help="RWR method (default: bepi)")
@@ -52,16 +64,27 @@ def _add_solver_options(parser: argparse.ArgumentParser) -> None:
                         help="restart probability (default: 0.05)")
     parser.add_argument("--tol", type=float, default=1e-9,
                         help="error tolerance (default: 1e-9)")
-    parser.add_argument("--hub-ratio", type=float, default=None,
-                        help="SlashBurn hub selection ratio k (BePI family)")
+    parser.add_argument("--hub-ratio", type=_hub_ratio_arg, default=None,
+                        help="SlashBurn hub selection ratio k, or 'auto' to "
+                             "sweep candidates and pick the |S| minimizer "
+                             "(BePI family)")
+    parser.add_argument("--n-jobs", type=int, default=1,
+                        help="worker threads for the parallel preprocessing "
+                             "stages; -1 = all CPUs (BePI family, default: 1)")
 
 
 def _build_solver(args: argparse.Namespace):
     cls = _METHODS[args.method]
     kwargs = {"c": args.c, "tol": args.tol}
-    if args.hub_ratio is not None and args.method.startswith("bepi"):
-        kwargs["hub_ratio"] = args.hub_ratio
+    if args.method.startswith("bepi"):
+        if args.hub_ratio is not None:
+            kwargs["hub_ratio"] = args.hub_ratio
+        if getattr(args, "n_jobs", 1) != 1:
+            kwargs["n_jobs"] = args.n_jobs
     if args.hub_ratio is not None and args.method == "bear":
+        if args.hub_ratio == "auto":
+            raise SystemExit("error: --hub-ratio auto is only supported by "
+                             "the BePI family")
         kwargs["hub_ratio"] = args.hub_ratio
     return cls(**kwargs)
 

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.bench.memory import MemoryBudget
 from repro.core.base import RWRSolver
-from repro.core.hub_ratio import DEFAULT_CANDIDATES, choose_hub_ratio
+from repro.core.hub_ratio import DEFAULT_CANDIDATES, select_hub_ratio
 from repro.core.pipeline import PreprocessArtifacts, build_artifacts
 from repro.exceptions import InvalidParameterError
 from repro.graph.graph import Graph
@@ -35,6 +35,7 @@ from repro.linalg.bicgstab import bicgstab
 from repro.linalg.gmres import gmres, gmres_multi
 from repro.linalg.ilu import ILUFactors, ilu0, ilut, spilu_factors
 from repro.linalg.preconditioners import JacobiPreconditioner
+from repro.parallel import resolve_n_jobs
 
 HubRatio = Union[float, str]
 
@@ -88,6 +89,10 @@ class BePI(RWRSolver):
     hub_selection:
         ``"slashburn"`` (paper) or ``"degree"`` — single highest-degree cut
         instead of the iterative shattering (ablation only).
+    n_jobs:
+        Worker threads for the parallel preprocessing stages (per-block
+        ``H11`` LU inversion, Schur column solves); ``-1`` = all CPUs.
+        Scores are bit-identical for every value.
 
     Examples
     --------
@@ -126,6 +131,7 @@ class BePI(RWRSolver):
         hub_selection: str = "slashburn",
         ilut_drop_tolerance: float = 1e-4,
         ilut_fill_factor: int = 20,
+        n_jobs: int = 1,
     ):
         super().__init__(c=c, tol=tol, memory_budget=memory_budget)
         if isinstance(hub_ratio, str):
@@ -161,6 +167,7 @@ class BePI(RWRSolver):
         self.hub_selection = hub_selection
         self.ilut_drop_tolerance = ilut_drop_tolerance
         self.ilut_fill_factor = ilut_fill_factor
+        self.n_jobs = resolve_n_jobs(n_jobs)
         self._artifacts: Optional[PreprocessArtifacts] = None
         self._ilu = None  # ILUFactors or JacobiPreconditioner
 
@@ -169,20 +176,34 @@ class BePI(RWRSolver):
     # ------------------------------------------------------------------
     def _preprocess(self, graph: Graph) -> None:
         if isinstance(self.hub_ratio, str):  # "auto"
+            # One sweep over the candidates (shared deadend stage, Schur
+            # sparsity read from build intermediates) whose winner's
+            # artifacts are adopted directly — no rebuild pass.
             start = time.perf_counter()
-            k = choose_hub_ratio(graph, self.c, DEFAULT_CANDIDATES)
+            selection = select_hub_ratio(
+                graph,
+                self.c,
+                DEFAULT_CANDIDATES,
+                deadend_reordering=self.deadend_reorder,
+                hub_selection=self.hub_selection,
+                n_jobs=self.n_jobs,
+            )
             sweep_seconds = time.perf_counter() - start
+            k = selection.best_k
+            artifacts = selection.artifacts
+            preprocess_passes = len(selection.records)
         else:
             k = float(self.hub_ratio)
             sweep_seconds = 0.0
-
-        artifacts = build_artifacts(
-            graph,
-            self.c,
-            k,
-            deadend_reordering=self.deadend_reorder,
-            hub_selection=self.hub_selection,
-        )
+            artifacts = build_artifacts(
+                graph,
+                self.c,
+                k,
+                deadend_reordering=self.deadend_reorder,
+                hub_selection=self.hub_selection,
+                n_jobs=self.n_jobs,
+            )
+            preprocess_passes = 1
         self._artifacts = artifacts
 
         self._ilu = None
@@ -222,6 +243,8 @@ class BePI(RWRSolver):
             {
                 "hub_ratio": k,
                 "hub_ratio_sweep_seconds": sweep_seconds,
+                "preprocess_passes": preprocess_passes,
+                "n_jobs": self.n_jobs,
                 "n1": artifacts.n1,
                 "n2": artifacts.n2,
                 "n3": artifacts.n3,

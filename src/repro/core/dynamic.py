@@ -19,7 +19,7 @@ suited to it because its preprocessing is fast.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,11 +68,15 @@ class DynamicRWR:
         self._factory = solver_factory or BePI
         self.auto_rebuild_threshold = auto_rebuild_threshold
         self._graph = graph
-        self._added: List[Edge] = []
+        # Buffered insertions as (u, v, weight-or-None); None means "insert
+        # with unit weight unless the edge already exists" (the unweighted
+        # insertion semantics), a float means "set the edge weight".
+        self._added: List[Tuple[int, int, Optional[float]]] = []
         self._removed: List[Edge] = []
         self._solver = self._factory()
         self._solver.preprocess(graph)
         self.n_rebuilds = 1
+        self.n_skipped_rebuilds = 0
 
     # ------------------------------------------------------------------
     # Updates
@@ -92,12 +96,33 @@ class DynamicRWR:
         """The active (possibly stale) solver."""
         return self._solver
 
-    def add_edges(self, edges: Iterable[Edge]) -> None:
-        """Buffer edge insertions (applied at the next rebuild)."""
-        for u, v in edges:
+    def add_edges(
+        self,
+        edges: Iterable[Edge],
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Buffer edge insertions (applied at the next rebuild).
+
+        Without ``weights``, an inserted edge gets unit weight — unless it
+        already exists at rebuild time, in which case its current weight is
+        kept (insertion is idempotent).  With ``weights``, each entry *sets*
+        the edge's weight, overwriting any existing value.
+        """
+        pairs = [(int(u), int(v)) for u, v in edges]
+        if weights is None:
+            weight_list: List[Optional[float]] = [None] * len(pairs)
+        else:
+            weight_list = [float(w) for w in weights]
+            if len(weight_list) != len(pairs):
+                raise InvalidParameterError(
+                    f"got {len(weight_list)} weights for {len(pairs)} edges"
+                )
+            if any(w <= 0.0 for w in weight_list):
+                raise InvalidParameterError("edge weights must be positive")
+        for (u, v), w in zip(pairs, weight_list):
             self._validate_node(u)
             self._validate_node(v)
-            self._added.append((int(u), int(v)))
+            self._added.append((u, v, w))
         self._maybe_rebuild()
 
     def remove_edges(self, edges: Iterable[Edge]) -> None:
@@ -113,21 +138,51 @@ class DynamicRWR:
         self._maybe_rebuild()
 
     def rebuild(self) -> None:
-        """Apply all buffered updates and re-preprocess."""
+        """Apply all buffered updates and re-preprocess.
+
+        Edge weights are carried through: the snapshot's weighted adjacency
+        is accumulated into an edge -> weight map, insertions and deletions
+        are applied to it, and the new graph is rebuilt with those weights
+        (a weighted graph no longer degrades to unit weights).  If the
+        buffered updates cancel out to exactly the current graph — e.g. an
+        insertion later removed, or deletions of absent edges — the full
+        re-preprocess is skipped and only the buffer is cleared
+        (``n_skipped_rebuilds`` counts these).
+        """
         if self.pending_updates == 0:
             return
-        edges = self._graph.edges()
-        edge_set = set(map(tuple, edges.tolist()))
-        edge_set.update(self._added)
-        edge_set.difference_update(self._removed)
-        if edge_set:
-            new_edges = np.asarray(sorted(edge_set), dtype=np.int64)
-            new_graph = Graph.from_edges(new_edges, n_nodes=self._graph.n_nodes)
+        coo = self._graph.adjacency.tocoo()
+        edge_weights: Dict[Edge, float] = {
+            (int(u), int(v)): float(w)
+            for u, v, w in zip(coo.row, coo.col, coo.data)
+        }
+        baseline = dict(edge_weights)
+        for u, v, w in self._added:
+            if w is None:
+                edge_weights.setdefault((u, v), 1.0)
+            else:
+                edge_weights[(u, v)] = w
+        for edge in self._removed:
+            edge_weights.pop(edge, None)
+        self._added.clear()
+        self._removed.clear()
+
+        if edge_weights == baseline:
+            # The buffered adds/removes cancelled to a no-op; the current
+            # snapshot is already exact, so skip the re-preprocess.
+            self.n_skipped_rebuilds += 1
+            return
+
+        if edge_weights:
+            items = sorted(edge_weights.items())
+            new_edges = np.asarray([edge for edge, _ in items], dtype=np.int64)
+            new_weights = np.asarray([w for _, w in items], dtype=np.float64)
+            new_graph = Graph.from_edges(
+                new_edges, n_nodes=self._graph.n_nodes, weights=new_weights
+            )
         else:
             new_graph = Graph.empty(self._graph.n_nodes)
         self._graph = new_graph
-        self._added.clear()
-        self._removed.clear()
         self._solver = self._factory()
         self._solver.preprocess(new_graph)
         self.n_rebuilds += 1

@@ -3,23 +3,77 @@
 ``S = H22 - H21 (U1^{-1} (L1^{-1} H12))`` — computed right-to-left through
 the inverted LU factors of the block-diagonal ``H11``, exactly as the paper
 prescribes, so no dense ``H11^{-1}`` is ever formed.
+
+:func:`compute_schur_complement_parts` additionally reports the non-zero
+counts of ``H22`` and of the correction term ``H21 H11^{-1} H12`` — the two
+sides of the Section 3.4 bound ``|S| <= |H22| + |H21 H11^{-1} H12|`` — as
+by-products of the build, so the hub-ratio sweep never recomputes the
+correction product just to count it.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from dataclasses import dataclass
+from typing import Mapping, Tuple
 
+import numpy as np
 import scipy.sparse as sp
 
 from repro.linalg.block_lu import BlockDiagonalLU
+from repro.parallel import balanced_chunks, resolve_n_jobs, thread_map
 
 
-def compute_schur_complement(
+@dataclass(frozen=True)
+class SchurComplementParts:
+    """The Schur complement plus the sparsity measurements of Section 3.4.
+
+    Attributes
+    ----------
+    schur:
+        ``S = H22 - H21 H11^{-1} H12`` as CSR.
+    nnz_h22:
+        Non-zeros of ``H22``.
+    nnz_correction:
+        Non-zeros of the correction term ``H21 H11^{-1} H12``.
+    """
+
+    schur: sp.csr_matrix
+    nnz_h22: int
+    nnz_correction: int
+
+
+def _solve_matrix_columns(
+    h11_factors: BlockDiagonalLU, h12: sp.spmatrix, n_jobs: int
+) -> sp.csr_matrix:
+    """``H11^{-1} H12`` with the columns of ``H12`` solved in chunks.
+
+    Each output column only depends on the matching input column, and the
+    per-entry accumulation order inside the sparse products is fixed by the
+    factors' row patterns, so chunking (and the ordered ``hstack``) is
+    bit-identical to the single full product.
+    """
+    n_cols = h12.shape[1]
+    if n_jobs == 1 or n_cols < 2:
+        return h11_factors.solve_matrix(h12)
+    csc = h12.tocsc()
+    nnz_per_column = np.diff(csc.indptr).astype(np.float64) + 1.0
+    chunks = balanced_chunks(nnz_per_column, n_jobs * 2)
+
+    def solve_chunk(bounds: Tuple[int, int]) -> sp.csr_matrix:
+        lo, hi = bounds
+        return h11_factors.solve_matrix(csc[:, lo:hi])
+
+    pieces = thread_map(solve_chunk, chunks, n_jobs)
+    return sp.hstack(pieces, format="csr")
+
+
+def compute_schur_complement_parts(
     blocks: Mapping[str, sp.csr_matrix],
     h11_factors: BlockDiagonalLU,
     drop_tolerance: float = 0.0,
-) -> sp.csr_matrix:
-    """Compute ``S = H22 - H21 H11^{-1} H12``.
+    n_jobs: int = 1,
+) -> SchurComplementParts:
+    """Compute ``S = H22 - H21 H11^{-1} H12`` and its sparsity breakdown.
 
     Parameters
     ----------
@@ -32,23 +86,45 @@ def compute_schur_complement(
         Entries with absolute value at or below this threshold are dropped
         from the result (0 keeps exact values; only numerically exact zeros
         are removed).
-
-    Returns
-    -------
-    The Schur complement as a CSR matrix of dimension ``n2 x n2``.
+    n_jobs:
+        Worker threads for the column-chunked ``H11^{-1} H12`` solve
+        (``-1`` = all CPUs).  The result is identical for every value.
     """
+    jobs = resolve_n_jobs(n_jobs)
     h12 = blocks["H12"]
     h21 = blocks["H21"]
     h22 = blocks["H22"]
     if h12.shape[0] == 0 or h12.shape[1] == 0:
         # No spokes (or no hubs): the correction term vanishes.
         schur = h22.copy().tocsr()
+        nnz_correction = 0
     else:
-        inner = h11_factors.solve_matrix(h12)
-        schur = (h22 - h21 @ inner).tocsr()
+        inner = _solve_matrix_columns(h11_factors, h12, jobs)
+        correction = (h21 @ inner).tocsr()
+        schur = (h22 - correction).tocsr()
+        correction.eliminate_zeros()
+        nnz_correction = int(correction.nnz)
     if drop_tolerance > 0.0:
         mask = abs(schur.data) <= drop_tolerance
         schur.data[mask] = 0.0
     schur.eliminate_zeros()
     schur.sort_indices()
-    return schur
+    return SchurComplementParts(
+        schur=schur, nnz_h22=int(h22.nnz), nnz_correction=nnz_correction
+    )
+
+
+def compute_schur_complement(
+    blocks: Mapping[str, sp.csr_matrix],
+    h11_factors: BlockDiagonalLU,
+    drop_tolerance: float = 0.0,
+    n_jobs: int = 1,
+) -> sp.csr_matrix:
+    """Compute ``S = H22 - H21 H11^{-1} H12``.
+
+    Thin wrapper around :func:`compute_schur_complement_parts` returning
+    only the Schur complement as a CSR matrix of dimension ``n2 x n2``.
+    """
+    return compute_schur_complement_parts(
+        blocks, h11_factors, drop_tolerance=drop_tolerance, n_jobs=n_jobs
+    ).schur

@@ -1,0 +1,91 @@
+"""Shared ``n_jobs`` plumbing for the parallel preprocessing paths.
+
+The embarrassingly-parallel hot loops of Algorithm 1 — per-block LU
+inversion of ``H11`` and the column-block solves of the Schur build — are
+dispatched through the helpers here.  Workers are *threads*: the per-block
+work bottoms out in LAPACK / sparse kernels that release the GIL, the
+inputs never need pickling, and results are gathered in submission order so
+every parallel path stays bit-identical to the serial one.
+
+Convention (matching the scikit-learn ``n_jobs`` idiom):
+
+- ``1`` — serial (the default everywhere),
+- ``k > 1`` — up to ``k`` worker threads,
+- ``-1`` — one worker per available CPU.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_n_jobs(n_jobs: int) -> int:
+    """Normalize an ``n_jobs`` knob to a concrete worker count (>= 1)."""
+    try:
+        jobs = int(n_jobs)
+    except (TypeError, ValueError):
+        raise InvalidParameterError(f"n_jobs must be an integer or -1, got {n_jobs!r}")
+    if jobs == -1:
+        return available_cpus()
+    if jobs < 1:
+        raise InvalidParameterError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    return jobs
+
+
+def thread_map(fn: Callable[[T], R], items: Sequence[T], n_jobs: int) -> List[R]:
+    """Ordered ``map(fn, items)``, on a thread pool when ``n_jobs > 1``.
+
+    Results come back in input order regardless of completion order, so a
+    deterministic ``fn`` makes the parallel result identical to the serial
+    one.
+    """
+    jobs = resolve_n_jobs(n_jobs)
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+def balanced_chunks(weights: Sequence[float], n_chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(len(weights))`` into contiguous ``[lo, hi)`` chunks.
+
+    Chunk boundaries are chosen so each chunk carries roughly equal total
+    weight — the load-balancing used when work items (e.g. diagonal blocks
+    of ``H11``) have very uneven costs.  Empty chunks are dropped.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    n = w.size
+    if n == 0:
+        return []
+    n_chunks = max(1, min(int(n_chunks), n))
+    cumulative = np.cumsum(w)
+    total = cumulative[-1]
+    if total <= 0.0:
+        bounds = np.linspace(0, n, n_chunks + 1).astype(np.int64)
+    else:
+        targets = total * np.arange(1, n_chunks) / n_chunks
+        cuts = np.searchsorted(cumulative, targets, side="left") + 1
+        bounds = np.concatenate(([0], cuts, [n]))
+    chunks = []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        lo, hi = int(lo), int(hi)
+        if hi > lo:
+            chunks.append((lo, min(hi, n)))
+    return chunks

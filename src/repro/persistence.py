@@ -11,6 +11,15 @@ preprocessing.
 Only matrices the query phase needs are stored — the same list the
 paper's Algorithm 3 returns — so file size tracks
 :meth:`~repro.core.base.RWRSolver.memory_bytes`.
+
+Format history
+--------------
+- **v2** (current): drops the ``H11`` block.  Algorithm 3's output list
+  and the query phase only ever use the *inverted factors* ``L1^{-1}`` /
+  ``U1^{-1}``, so storing ``H11`` was pure file bloat scaling with the
+  biggest spoke block.  Loaded solvers reconstruct ``blocks`` without it.
+- **v1**: stored all six ``H`` blocks including ``H11``.  Still loadable;
+  the stored ``H11`` is simply ignored.
 """
 
 from __future__ import annotations
@@ -34,7 +43,15 @@ from repro.reorder.permutation import Permutation
 
 PathLike = Union[str, os.PathLike]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: Versions ``load_solver`` accepts.  v1 archives additionally contain the
+#: (unused) ``H11`` block; it is ignored on load.
+_SUPPORTED_VERSIONS = (1, 2)
+
+#: Blocks the query phase (Algorithm 4) actually reads; ``H11`` is covered
+#: by its inverted LU factors and is deliberately not persisted.
+_STORED_BLOCKS = ("H12", "H21", "H22", "H31", "H32")
 
 
 def _pack_csr(arrays: dict, name: str, matrix: sp.spmatrix) -> None:
@@ -92,7 +109,7 @@ def save_solver(solver: BePI, path: PathLike) -> None:
     _pack_csr(arrays, "L1_inv", artifacts.h11_factors.l_inv)
     _pack_csr(arrays, "U1_inv", artifacts.h11_factors.u_inv)
     _pack_csr(arrays, "S", artifacts.schur)
-    for block in ("H11", "H12", "H21", "H22", "H31", "H32"):
+    for block in _STORED_BLOCKS:
         _pack_csr(arrays, block, artifacts.blocks[block])
     if isinstance(solver.ilu_factors, ILUFactors):
         _pack_csr(arrays, "L2", solver.ilu_factors.l)
@@ -117,7 +134,7 @@ def load_solver(path: PathLike) -> BePI:
             meta = json.loads(bytes(archive["meta_json"]).decode())
         except KeyError as exc:
             raise GraphFormatError(f"{path}: not a saved BePI solver") from exc
-        if meta.get("format_version") != _FORMAT_VERSION:
+        if meta.get("format_version") not in _SUPPORTED_VERSIONS:
             raise GraphFormatError(
                 f"{path}: unsupported format version {meta.get('format_version')}"
             )
@@ -132,10 +149,9 @@ def load_solver(path: PathLike) -> BePI:
         )
 
         graph = Graph(_unpack_csr(archive, "adjacency"))
-        blocks = {
-            name: _unpack_csr(archive, name)
-            for name in ("H11", "H12", "H21", "H22", "H31", "H32")
-        }
+        # v1 archives also carry "H11"; nothing downstream reads it, so the
+        # reconstructed blocks exclude it for both versions.
+        blocks = {name: _unpack_csr(archive, name) for name in _STORED_BLOCKS}
         block_sizes = archive["block_sizes"]
         h11_factors = BlockDiagonalLU(
             l_inv=_unpack_csr(archive, "L1_inv"),

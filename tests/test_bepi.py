@@ -190,3 +190,41 @@ class TestInterface:
     def test_preprocess_returns_self(self, small_graph):
         solver = BePI()
         assert solver.preprocess(small_graph) is solver
+
+
+class TestAutoKAdoption:
+    def test_auto_scores_bit_match_fixed_k(self, medium_graph):
+        """Auto-k adopts the sweep winner's artifacts, so its scores are
+        bit-identical to a fresh solver preprocessed at the chosen k."""
+        auto = BePI(hub_ratio="auto", tol=1e-11).preprocess(medium_graph)
+        chosen = auto.stats["hub_ratio"]
+        fixed = BePI(hub_ratio=chosen, tol=1e-11).preprocess(medium_graph)
+        for seed in (0, 7, 100):
+            assert np.array_equal(auto.query(seed), fixed.query(seed))
+
+    def test_auto_counts_passes_without_rebuild(self, medium_graph):
+        from repro.core.hub_ratio import DEFAULT_CANDIDATES
+
+        auto = BePI(hub_ratio="auto").preprocess(medium_graph)
+        assert auto.stats["preprocess_passes"] == len(DEFAULT_CANDIDATES)
+        fixed = BePI(hub_ratio=0.2).preprocess(medium_graph)
+        assert fixed.stats["preprocess_passes"] == 1
+
+
+class TestNJobs:
+    def test_parallel_scores_bit_identical(self, medium_graph):
+        serial = BePI(tol=1e-11, n_jobs=1).preprocess(medium_graph)
+        threaded = BePI(tol=1e-11, n_jobs=4).preprocess(medium_graph)
+        for seed in (0, 7, 100):
+            assert np.array_equal(serial.query(seed), threaded.query(seed))
+
+    def test_all_cpus_sentinel(self, small_graph):
+        solver = BePI(n_jobs=-1).preprocess(small_graph)
+        assert solver.stats["n_jobs"] >= 1
+        assert np.allclose(solver.query(0), exact_rwr(small_graph, 0.05, 0), atol=1e-7)
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(InvalidParameterError):
+            BePI(n_jobs=0)
+        with pytest.raises(InvalidParameterError):
+            BePI(n_jobs=-2)

@@ -101,6 +101,56 @@ class TestValidation:
         with pytest.raises(SingularMatrixError):
             factorize_block_diagonal(sp.csr_matrix(block), [2])
 
+    def test_near_singular_relative_to_scale(self):
+        """A block singular *relative to its magnitude* is caught even though
+        its pivots are not exactly zero."""
+        scale = 1e12
+        eps = np.finfo(np.float64).eps
+        block = np.array([[scale, scale], [scale, scale * (1.0 + eps)]])
+        # Elimination leaves the non-zero pivot scale * eps, far below
+        # size * eps * max|block|.
+        mat = sp.block_diag([np.eye(2), block], format="csr")
+        with pytest.raises(SingularMatrixError) as excinfo:
+            factorize_block_diagonal(mat, [2, 2])
+        # The error names the offending block.
+        assert "block 1" in str(excinfo.value)
+
+    def test_zero_singleton_block_names_index(self):
+        mat = sp.diags([2.0, 0.0]).tocsr()
+        with pytest.raises(SingularMatrixError) as excinfo:
+            factorize_block_diagonal(mat, [1, 1])
+        assert "block 1" in str(excinfo.value)
+
+    def test_well_conditioned_small_values_accepted(self):
+        """Uniformly tiny but well-conditioned blocks must NOT be rejected —
+        the tolerance is relative, not absolute."""
+        mat = sp.diags([1e-30, 2e-30]).tocsr()
+        factors = factorize_block_diagonal(mat, [1, 1])
+        assert np.allclose(
+            factors.solve(np.array([1e-30, 2e-30])), np.ones(2)
+        )
+
+
+class TestParallel:
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_bit_identical_to_serial(self, n_jobs):
+        sizes = [3, 1, 5, 2, 4, 1, 1, 6]
+        mat, _ = _block_diag_matrix(sizes, seed=11)
+        serial = factorize_block_diagonal(mat, sizes, n_jobs=1)
+        threaded = factorize_block_diagonal(mat, sizes, n_jobs=n_jobs)
+        assert np.array_equal(serial.l_inv.toarray(), threaded.l_inv.toarray())
+        assert np.array_equal(serial.u_inv.toarray(), threaded.u_inv.toarray())
+
+    def test_parallel_singular_block_still_raises(self):
+        mat = sp.block_diag([np.eye(3), np.zeros((2, 2))], format="csr")
+        with pytest.raises(SingularMatrixError):
+            factorize_block_diagonal(mat, [3, 2], n_jobs=4)
+
+    def test_invalid_n_jobs(self):
+        mat, _ = _block_diag_matrix([2, 2], seed=0)
+        with pytest.raises(InvalidParameterError):
+            factorize_block_diagonal(mat, [2, 2], n_jobs=0)
+
 
 class TestProperty:
     @given(

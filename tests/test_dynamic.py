@@ -84,6 +84,87 @@ class TestCorrectness:
         assert np.allclose(scores, expected)
 
 
+class TestWeighted:
+    def test_rebuild_preserves_edge_weights(self):
+        """A weighted snapshot survives a rebuild round-trip unchanged."""
+        edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 0)]
+        weights = [2.0, 0.5, 1.0, 3.0, 1.5]
+        graph = Graph.from_edges(edges, n_nodes=5, weights=weights)
+        dynamic = DynamicRWR(graph, solver_factory=lambda: BePI(tol=1e-12))
+        dynamic.add_edges([(3, 4)])
+        dynamic.rebuild()
+
+        combined = sorted(zip(edges + [(3, 4)], weights + [1.0]))
+        expected = Graph.from_edges(
+            [edge for edge, _ in combined],
+            n_nodes=5,
+            weights=[w for _, w in combined],
+        )
+        assert np.allclose(
+            dynamic.query(0), exact_rwr(expected, 0.05, 0), atol=1e-8
+        )
+
+    def test_explicit_weights_overwrite(self):
+        graph = Graph.from_edges([(0, 1), (1, 0)], n_nodes=3, weights=[2.0, 1.0])
+        dynamic = DynamicRWR(graph, solver_factory=lambda: BePI(tol=1e-12))
+        dynamic.add_edges([(0, 1), (0, 2)], weights=[5.0, 1.0])
+        dynamic.rebuild()
+        expected = Graph.from_edges(
+            [(0, 1), (0, 2), (1, 0)], n_nodes=3, weights=[5.0, 1.0, 1.0]
+        )
+        assert np.allclose(
+            dynamic.query(0), exact_rwr(expected, 0.05, 0), atol=1e-8
+        )
+
+    def test_unweighted_insert_keeps_existing_weight(self):
+        """Re-inserting an existing edge without a weight is idempotent."""
+        graph = Graph.from_edges([(0, 1), (1, 0)], n_nodes=2, weights=[3.0, 1.0])
+        dynamic = DynamicRWR(graph)
+        before = dynamic.query(0)
+        dynamic.add_edges([(0, 1)])
+        dynamic.rebuild()
+        # The edge already existed, so the graph is unchanged and the
+        # re-preprocess is skipped entirely.
+        assert dynamic.n_skipped_rebuilds == 1
+        assert np.array_equal(dynamic.query(0), before)
+
+    def test_weight_validation(self, dynamic):
+        with pytest.raises(InvalidParameterError):
+            dynamic.add_edges([(0, 1), (1, 2)], weights=[1.0])
+        with pytest.raises(InvalidParameterError):
+            dynamic.add_edges([(0, 1)], weights=[-2.0])
+        with pytest.raises(InvalidParameterError):
+            dynamic.add_edges([(0, 1)], weights=[0.0])
+
+
+class TestNoOpSkip:
+    def test_cancelling_updates_skip_repreprocess(self, dynamic):
+        rebuilds_before = dynamic.n_rebuilds
+        solver_before = dynamic.solver
+        dynamic.add_edges([(0, 99)])
+        dynamic.remove_edges([(0, 99)])
+        dynamic.rebuild()
+        assert dynamic.pending_updates == 0
+        assert dynamic.n_rebuilds == rebuilds_before
+        assert dynamic.n_skipped_rebuilds == 1
+        assert dynamic.solver is solver_before
+
+    def test_removing_absent_edges_skips(self, dynamic):
+        rebuilds_before = dynamic.n_rebuilds
+        dynamic.remove_edges([(0, 0)])
+        dynamic.rebuild()
+        assert dynamic.n_rebuilds == rebuilds_before
+        assert dynamic.n_skipped_rebuilds == 1
+
+    def test_real_change_still_rebuilds(self, dynamic):
+        dynamic.add_edges([(0, 99)])
+        dynamic.remove_edges([(0, 99)])
+        dynamic.add_edges([(0, 98)])
+        dynamic.rebuild()
+        assert dynamic.n_rebuilds == 2
+        assert dynamic.n_skipped_rebuilds == 0
+
+
 class TestAutoRebuild:
     def test_threshold_triggers_rebuild(self):
         graph = generate_rmat(6, 250, seed=4)

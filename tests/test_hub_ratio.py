@@ -1,8 +1,16 @@
 """Tests for the hub-ratio sweep (Section 3.4 / Figure 4)."""
 
+import numpy as np
 import pytest
 
-from repro import InvalidParameterError, choose_hub_ratio, sweep_hub_ratios
+from repro import (
+    InvalidParameterError,
+    choose_hub_ratio,
+    select_hub_ratio,
+    sweep_hub_ratios,
+)
+from repro.core import pipeline as pipeline_module
+from repro.core.pipeline import build_artifacts
 
 
 class TestSweep:
@@ -45,3 +53,62 @@ class TestChoose:
 
     def test_single_candidate(self, small_graph):
         assert choose_hub_ratio(small_graph, c=0.05, candidates=(0.25,)) == 0.25
+
+
+class TestSelect:
+    def test_winner_artifacts_match_direct_build(self, medium_graph):
+        """The adopted artifacts bit-match a from-scratch build at best_k."""
+        selection = select_hub_ratio(medium_graph, c=0.05, candidates=(0.1, 0.3))
+        direct = build_artifacts(medium_graph, c=0.05, hub_ratio=selection.best_k)
+        assert np.array_equal(
+            selection.artifacts.permutation.order, direct.permutation.order
+        )
+        assert np.array_equal(
+            selection.artifacts.schur.toarray(), direct.schur.toarray()
+        )
+
+    def test_best_record_consistency(self, medium_graph):
+        selection = select_hub_ratio(medium_graph, c=0.05, candidates=(0.1, 0.2, 0.4))
+        assert selection.best is selection.records[selection.best_index]
+        assert selection.best.nnz_schur == min(r.nnz_schur for r in selection.records)
+        assert int(selection.artifacts.schur.nnz) == selection.best.nnz_schur
+
+    def test_deadend_stage_runs_once_per_sweep(self, medium_graph, monkeypatch):
+        calls = []
+        original = pipeline_module.deadend_reorder
+
+        def counting(graph):
+            calls.append(graph)
+            return original(graph)
+
+        monkeypatch.setattr(pipeline_module, "deadend_reorder", counting)
+        select_hub_ratio(medium_graph, c=0.05, candidates=(0.1, 0.2, 0.3))
+        assert len(calls) == 1
+
+    def test_n_jobs_records_identical(self, medium_graph):
+        serial = select_hub_ratio(medium_graph, c=0.05, candidates=(0.1, 0.3))
+        threaded = select_hub_ratio(
+            medium_graph, c=0.05, candidates=(0.1, 0.3), n_jobs=2
+        )
+        assert serial.records == threaded.records
+        assert np.array_equal(
+            serial.artifacts.schur.toarray(), threaded.artifacts.schur.toarray()
+        )
+
+    def test_parallel_candidates_identical(self, medium_graph):
+        sequential = select_hub_ratio(medium_graph, c=0.05, candidates=(0.1, 0.3))
+        concurrent = select_hub_ratio(
+            medium_graph, c=0.05, candidates=(0.1, 0.3),
+            n_jobs=2, parallel_candidates=True,
+        )
+        assert sequential.records == concurrent.records
+        assert np.array_equal(
+            sequential.artifacts.schur.toarray(),
+            concurrent.artifacts.schur.toarray(),
+        )
+
+    def test_sparsity_counts_populated(self, medium_graph):
+        selection = select_hub_ratio(medium_graph, c=0.05, candidates=(0.2,))
+        assert selection.artifacts.nnz_h22 == selection.best.nnz_h22
+        assert selection.artifacts.nnz_correction == selection.best.nnz_correction
+        assert selection.best.nnz_h22 > 0

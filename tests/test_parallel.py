@@ -1,0 +1,65 @@
+"""Tests for the shared ``n_jobs`` plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.parallel import available_cpus, balanced_chunks, resolve_n_jobs, thread_map
+
+
+class TestResolveNJobs:
+    def test_positive_passthrough(self):
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(4) == 4
+
+    def test_all_cpus(self):
+        assert resolve_n_jobs(-1) == available_cpus()
+
+    @pytest.mark.parametrize("bad", [0, -2, -17])
+    def test_invalid_raises(self, bad):
+        with pytest.raises(InvalidParameterError):
+            resolve_n_jobs(bad)
+
+
+class TestThreadMap:
+    def test_preserves_order(self):
+        items = list(range(50))
+        assert thread_map(lambda x: x * x, items, 4) == [x * x for x in items]
+
+    def test_serial_path(self):
+        assert thread_map(lambda x: x + 1, [1, 2, 3], 1) == [2, 3, 4]
+
+    def test_empty(self):
+        assert thread_map(lambda x: x, [], 4) == []
+
+    def test_exception_propagates(self):
+        def boom(x):
+            raise ValueError("inner failure")
+
+        with pytest.raises(ValueError, match="inner failure"):
+            thread_map(boom, [1, 2], 2)
+
+
+class TestBalancedChunks:
+    def test_covers_all_indices_contiguously(self):
+        weights = np.arange(1, 20, dtype=np.float64)
+        chunks = balanced_chunks(weights, 4)
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == weights.size
+        for (_, hi), (lo, _) in zip(chunks, chunks[1:]):
+            assert hi == lo
+
+    def test_no_empty_chunks(self):
+        chunks = balanced_chunks(np.ones(3), 10)
+        assert all(hi > lo for lo, hi in chunks)
+        assert len(chunks) <= 3
+
+    def test_balances_skewed_weights(self):
+        # One huge item followed by many small ones: the huge item should
+        # get its own chunk rather than dragging half the tail along.
+        weights = np.array([1000.0] + [1.0] * 100)
+        chunks = balanced_chunks(weights, 2)
+        assert chunks[0] == (0, 1)
+
+    def test_empty_weights(self):
+        assert balanced_chunks(np.array([]), 4) == []

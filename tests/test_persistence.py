@@ -73,6 +73,89 @@ class TestRoundtrip:
         assert top_k(loaded, 0, 5) == top_k(original, 0, 5)
 
 
+class TestFormatVersions:
+    def test_v2_archive_omits_h11(self, medium_graph, tmp_path):
+        """The current format stores only the inverted factors, not H11."""
+        path = tmp_path / "solver.npz"
+        save_solver(BePI().preprocess(medium_graph), path)
+        with np.load(path) as archive:
+            names = set(archive.files)
+        assert not any(name.startswith("H11") for name in names)
+        assert {"L1_inv_data", "U1_inv_data", "H12_data", "H21_data"} <= names
+
+    def test_loaded_blocks_lack_h11(self, small_graph, tmp_path):
+        path = tmp_path / "solver.npz"
+        save_solver(BePI().preprocess(small_graph), path)
+        loaded = load_solver(path)
+        assert "H11" not in loaded.artifacts.blocks
+        assert set(loaded.artifacts.blocks) == {"H12", "H21", "H22", "H31", "H32"}
+
+    def test_v1_archive_still_loads(self, medium_graph, tmp_path):
+        """A v1 archive (with H11, format_version=1) loads transparently."""
+        import json
+
+        import scipy.sparse as sp
+
+        original = BePI(tol=1e-11).preprocess(medium_graph)
+        v2_path = tmp_path / "v2.npz"
+        save_solver(original, v2_path)
+
+        # Rewrite as a faithful v1 archive: add the H11 arrays back and
+        # stamp the old version number.
+        with np.load(v2_path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        meta = json.loads(bytes(arrays["meta_json"]).decode())
+        meta["format_version"] = 1
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        h11 = sp.csr_matrix(original.artifacts.blocks["H11"])
+        arrays["H11_data"] = h11.data
+        arrays["H11_indices"] = h11.indices
+        arrays["H11_indptr"] = h11.indptr
+        arrays["H11_shape"] = np.asarray(h11.shape, dtype=np.int64)
+        v1_path = tmp_path / "v1.npz"
+        np.savez_compressed(v1_path, **arrays)
+
+        loaded = load_solver(v1_path)
+        for seed in (0, 7):
+            assert np.allclose(loaded.query(seed), original.query(seed), atol=1e-12)
+
+    def test_future_version_rejected(self, small_graph, tmp_path):
+        import json
+
+        path = tmp_path / "solver.npz"
+        save_solver(BePI().preprocess(small_graph), path)
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        meta = json.loads(bytes(arrays["meta_json"]).decode())
+        meta["format_version"] = 99
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        future_path = tmp_path / "future.npz"
+        np.savez_compressed(future_path, **arrays)
+        with pytest.raises(GraphFormatError):
+            load_solver(future_path)
+
+    def test_accuracy_bound_works_without_h11(self, medium_graph, tmp_path):
+        """Theorem 4 ingredients are computable on a loaded (H11-less) solver."""
+        from repro import accuracy_bound
+
+        path = tmp_path / "solver.npz"
+        original = BePI(tol=1e-11).preprocess(medium_graph)
+        save_solver(original, path)
+        loaded = load_solver(path)
+        bound_fresh = accuracy_bound(original, 0)
+        bound_loaded = accuracy_bound(loaded, 0)
+        assert np.isclose(
+            bound_loaded.sigma_min_h11, bound_fresh.sigma_min_h11, rtol=1e-6
+        )
+        assert np.isclose(
+            bound_loaded.error_bound(1e-9), bound_fresh.error_bound(1e-9), rtol=1e-5
+        )
+
+
 class TestErrors:
     def test_save_unpreprocessed_raises(self, tmp_path):
         with pytest.raises(NotPreprocessedError):

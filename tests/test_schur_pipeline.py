@@ -1,10 +1,11 @@
 """Tests for the Schur complement and the shared preprocessing pipeline."""
 
 import numpy as np
+import pytest
 
-from repro import Graph
-from repro.core.pipeline import build_artifacts
-from repro.core.schur import compute_schur_complement
+from repro import Graph, InvalidParameterError
+from repro.core.pipeline import build_artifacts, run_deadend_stage
+from repro.core.schur import compute_schur_complement, compute_schur_complement_parts
 from repro.linalg.block_lu import factorize_block_diagonal
 from repro.linalg.rwr_matrix import build_h_matrix, partition_h
 
@@ -101,3 +102,64 @@ class TestPipeline:
         assert np.array_equal(
             artifacts.h11_factors.block_sizes, artifacts.block_sizes
         )
+
+
+class TestStagedPipeline:
+    def test_shared_stage_bit_matches_direct_build(self, medium_graph):
+        stage = run_deadend_stage(medium_graph)
+        direct = build_artifacts(medium_graph, c=0.05, hub_ratio=0.3)
+        staged = build_artifacts(
+            medium_graph, c=0.05, hub_ratio=0.3, deadend_stage=stage
+        )
+        assert np.array_equal(direct.permutation.order, staged.permutation.order)
+        assert np.array_equal(
+            direct.h11_factors.l_inv.toarray(), staged.h11_factors.l_inv.toarray()
+        )
+        assert np.array_equal(direct.schur.toarray(), staged.schur.toarray())
+
+    def test_mismatched_stage_rejected(self, small_graph, medium_graph):
+        stage = run_deadend_stage(small_graph)
+        with pytest.raises(InvalidParameterError):
+            build_artifacts(medium_graph, c=0.05, hub_ratio=0.3, deadend_stage=stage)
+
+    def test_mismatched_reordering_flag_rejected(self, medium_graph):
+        stage = run_deadend_stage(medium_graph, deadend_reordering=True)
+        with pytest.raises(InvalidParameterError):
+            build_artifacts(
+                medium_graph, c=0.05, hub_ratio=0.3,
+                deadend_reordering=False, deadend_stage=stage,
+            )
+
+    def test_nnz_byproducts_match_definition(self, medium_graph):
+        """nnz_h22 / nnz_correction equal the explicitly re-derived counts."""
+        artifacts = build_artifacts(medium_graph, c=0.05, hub_ratio=0.2)
+        blocks = artifacts.blocks
+        assert artifacts.nnz_h22 == int(blocks["H22"].nnz)
+        correction = (
+            blocks["H21"] @ artifacts.h11_factors.solve_matrix(blocks["H12"])
+        ).tocsr()
+        correction.eliminate_zeros()
+        assert artifacts.nnz_correction == int(correction.nnz)
+
+    def test_parallel_build_bit_identical(self, medium_graph):
+        serial = build_artifacts(medium_graph, c=0.05, hub_ratio=0.2, n_jobs=1)
+        threaded = build_artifacts(medium_graph, c=0.05, hub_ratio=0.2, n_jobs=4)
+        assert np.array_equal(
+            serial.h11_factors.l_inv.toarray(), threaded.h11_factors.l_inv.toarray()
+        )
+        assert np.array_equal(
+            serial.h11_factors.u_inv.toarray(), threaded.h11_factors.u_inv.toarray()
+        )
+        assert np.array_equal(serial.schur.toarray(), threaded.schur.toarray())
+
+    def test_parallel_schur_parts_bit_identical(self, medium_graph):
+        artifacts = build_artifacts(medium_graph, c=0.05, hub_ratio=0.2)
+        serial = compute_schur_complement_parts(
+            artifacts.blocks, artifacts.h11_factors, n_jobs=1
+        )
+        threaded = compute_schur_complement_parts(
+            artifacts.blocks, artifacts.h11_factors, n_jobs=3
+        )
+        assert np.array_equal(serial.schur.toarray(), threaded.schur.toarray())
+        assert serial.nnz_h22 == threaded.nnz_h22
+        assert serial.nnz_correction == threaded.nnz_correction
