@@ -23,7 +23,10 @@ Package map
 - :mod:`repro.linalg` — GMRES, ILU(0), triangular solves, block LU,
 - :mod:`repro.datasets` — seeded stand-ins for the paper's datasets,
 - :mod:`repro.applications` — ranking, link prediction, community detection,
-- :mod:`repro.bench` — experiment harness and memory accounting.
+- :mod:`repro.bench` — experiment harness and memory accounting,
+- :mod:`repro.persistence` / :mod:`repro.store` / :mod:`repro.serve` — the
+  build/serve split: immutable artifact directories, generation store with
+  atomic switchover, and multi-process mmap-backed query serving.
 """
 
 from repro import datasets
@@ -34,13 +37,28 @@ from repro.core.accuracy import AccuracyBound, accuracy_bound, tolerance_for_tar
 from repro.core.base import BatchQueryResult, QueryResult, RWRSolver
 from repro.core.bepi import BePI, BePIB, BePIS
 from repro.core.dynamic import DynamicRWR
+from repro.core.engine import (
+    BearQueryEngine,
+    BePIQueryEngine,
+    LUQueryEngine,
+    QueryEngine,
+    SolverArtifacts,
+)
 from repro.core.hub_ratio import (
     HubRatioSelection,
     choose_hub_ratio,
     select_hub_ratio,
     sweep_hub_ratios,
 )
-from repro.persistence import load_solver, save_solver
+from repro.persistence import (
+    artifact_nbytes,
+    load_artifacts,
+    load_solver,
+    save_artifacts,
+    save_solver,
+)
+from repro.serve import WorkerPool, open_query_engine
+from repro.store import ArtifactStore
 from repro.exceptions import (
     ConvergenceError,
     ConvergenceWarning,
@@ -68,10 +86,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccuracyBound",
+    "ArtifactStore",
     "BatchQueryResult",
     "BePI",
     "BePIB",
+    "BePIQueryEngine",
     "BePIS",
+    "BearQueryEngine",
     "BearSolver",
     "ConvergenceError",
     "ConvergenceWarning",
@@ -82,19 +103,24 @@ __all__ = [
     "GraphFormatError",
     "HubRatioSelection",
     "InvalidParameterError",
+    "LUQueryEngine",
     "LUSolver",
     "MemoryBudget",
     "MemoryBudgetExceededError",
     "NBLinSolver",
     "NotPreprocessedError",
     "PowerSolver",
+    "QueryEngine",
     "QueryResult",
     "RWRSolver",
     "ReproError",
     "SingularMatrixError",
+    "SolverArtifacts",
     "TimeBudgetExceededError",
+    "WorkerPool",
     "accuracy_bound",
     "add_deadends",
+    "artifact_nbytes",
     "choose_hub_ratio",
     "datasets",
     "generate_bipartite",
@@ -102,8 +128,11 @@ __all__ = [
     "generate_hub_and_spoke",
     "generate_preferential_attachment",
     "generate_rmat",
+    "load_artifacts",
     "load_edge_list",
     "load_solver",
+    "open_query_engine",
+    "save_artifacts",
     "save_edge_list",
     "save_solver",
     "select_hub_ratio",

@@ -22,6 +22,7 @@ import scipy.sparse as sp
 
 from repro.bench.memory import MemoryBudget, dense_memory_bytes
 from repro.core.base import RWRSolver
+from repro.core.engine import BearQueryEngine, SolverArtifacts
 from repro.core.pipeline import PreprocessArtifacts, build_artifacts
 from repro.exceptions import InvalidParameterError
 from repro.graph.graph import Graph
@@ -68,6 +69,7 @@ class BearSolver(RWRSolver):
         self.drop_tolerance = drop_tolerance
         self._artifacts: Optional[PreprocessArtifacts] = None
         self._schur_inv = None  # dense ndarray (exact) or sparse (approx)
+        self._engine: Optional[BearQueryEngine] = None
 
     def _preprocess(self, graph: Graph) -> None:
         artifacts = build_artifacts(graph, self.c, self.hub_ratio)
@@ -99,6 +101,17 @@ class BearSolver(RWRSolver):
         self._retain("H31", artifacts.blocks["H31"])
         self._retain("H32", artifacts.blocks["H32"])
 
+        self._engine = BearQueryEngine(
+            SolverArtifacts(
+                kind="bear",
+                config={"c": self.c, "tol": self.tol, "hub_ratio": self.hub_ratio,
+                        "drop_tolerance": self.drop_tolerance},
+                graph=graph,
+                preprocess=artifacts,
+                schur_inv=self._schur_inv,
+            )
+        )
+
         self.stats.update(
             {
                 "hub_ratio": self.hub_ratio,
@@ -111,53 +124,19 @@ class BearSolver(RWRSolver):
             }
         )
 
-    def _query(self, q: np.ndarray) -> Tuple[np.ndarray, int]:
-        artifacts = self._artifacts
-        assert artifacts is not None and self._schur_inv is not None
-        c = self.c
-        n1, n2 = artifacts.n1, artifacts.n2
-        blocks = artifacts.blocks
-
-        qp = artifacts.permutation.apply_to_vector(q)
-        q1, q2, q3 = qp[:n1], qp[n1 : n1 + n2], qp[n1 + n2 :]
-
-        # Lemma 1, evaluated with the precomputed dense S^{-1}.
-        if n1 > 0:
-            q2_tilde = c * q2 - blocks["H21"] @ artifacts.h11_factors.solve(c * q1)
-        else:
-            q2_tilde = c * q2
-        r2 = self._schur_inv @ q2_tilde if n2 > 0 else np.zeros(0)
-        if n1 > 0:
-            r1 = artifacts.h11_factors.solve(c * q1 - blocks["H12"] @ r2)
-        else:
-            r1 = np.zeros(0)
-        r3 = c * q3 - blocks["H31"] @ r1 - blocks["H32"] @ r2
-
-        r = np.concatenate([r1, r2, r3])
-        return artifacts.permutation.unapply_to_vector(r), 0
+    def _query(self, q: np.ndarray) -> Tuple[np.ndarray, int, Dict[str, Any]]:
+        # Lemma 1, evaluated by the stateless engine against the bundle.
+        assert self._engine is not None
+        return self._engine.query_vector(q)
 
     def _query_batch(self, rhs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
         """Lemma 1 on an ``(n, k)`` block: every product becomes a mat-mat."""
-        artifacts = self._artifacts
-        assert artifacts is not None and self._schur_inv is not None
-        c = self.c
-        n1, n2 = artifacts.n1, artifacts.n2
-        blocks = artifacts.blocks
-        k = rhs.shape[1]
+        assert self._engine is not None
+        return self._engine.query_block(rhs)
 
-        qp = artifacts.permutation.apply_to_vector(rhs)
-        q1, q2, q3 = qp[:n1], qp[n1 : n1 + n2], qp[n1 + n2 :]
-
-        if n1 > 0:
-            q2_tilde = c * q2 - blocks["H21"] @ artifacts.h11_factors.solve(c * q1)
-        else:
-            q2_tilde = c * q2
-        r2 = self._schur_inv @ q2_tilde if n2 > 0 else np.zeros((0, k))
-        if n1 > 0:
-            r1 = artifacts.h11_factors.solve(c * q1 - blocks["H12"] @ r2)
-        else:
-            r1 = np.zeros((0, k))
-        r3 = c * q3 - blocks["H31"] @ r1 - blocks["H32"] @ r2
-
-        r = np.concatenate([r1, r2, r3], axis=0)
-        return artifacts.permutation.unapply_to_vector(r), np.zeros(k, dtype=np.int64), {}
+    @property
+    def engine(self) -> BearQueryEngine:
+        """The stateless query engine (requires :meth:`preprocess`)."""
+        self._require_preprocessed()
+        assert self._engine is not None
+        return self._engine

@@ -20,6 +20,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.core.base import RWRSolver
+from repro.core.engine import LUQueryEngine
 from repro.graph.graph import Graph
 from repro.linalg.rwr_matrix import build_h_matrix
 from repro.reorder.permutation import Permutation
@@ -42,6 +43,7 @@ class LUSolver(RWRSolver):
         self.degree_reorder = degree_reorder
         self._lu: Optional[spla.SuperLU] = None
         self._perm: Optional[Permutation] = None
+        self._engine: Optional[LUQueryEngine] = None
 
     def _preprocess(self, graph: Graph) -> None:
         if self.degree_reorder:
@@ -56,22 +58,23 @@ class LUSolver(RWRSolver):
         # NATURAL column ordering honours our degree-based reordering instead
         # of SuperLU's own fill-reducing permutation.
         self._lu = spla.splu(sp.csc_matrix(h), permc_spec="NATURAL")
+        self._engine = LUQueryEngine(self._lu.solve, self._perm, self.c)
         self._retain("L", self._lu.L)
         self._retain("U", self._lu.U)
         self.stats["nnz_factors"] = int(self._lu.L.nnz + self._lu.U.nnz)
 
-    def _query(self, q: np.ndarray) -> Tuple[np.ndarray, int]:
-        assert self._lu is not None and self._perm is not None
-        qp = self._perm.apply_to_vector(q)
-        r = self._lu.solve(self.c * qp)
-        return self._perm.unapply_to_vector(r), 0
+    def _query(self, q: np.ndarray) -> Tuple[np.ndarray, int, Dict[str, Any]]:
+        assert self._engine is not None
+        return self._engine.query_vector(q)
 
     def _query_batch(self, rhs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
         """Multi-RHS triangular solves: SuperLU handles all ``k`` columns at once."""
-        assert self._lu is not None and self._perm is not None
-        k = rhs.shape[1]
-        qp = self._perm.apply_to_vector(rhs)
-        # SuperLU's dgstrs wants column-major right-hand sides; handing it a
-        # C-ordered block costs an internal per-column copy.
-        r = self._lu.solve(np.asfortranarray(self.c * qp))
-        return self._perm.unapply_to_vector(r), np.zeros(k, dtype=np.int64), {}
+        assert self._engine is not None
+        return self._engine.query_block(rhs)
+
+    @property
+    def engine(self) -> LUQueryEngine:
+        """The stateless query engine (requires :meth:`preprocess`)."""
+        self._require_preprocessed()
+        assert self._engine is not None
+        return self._engine

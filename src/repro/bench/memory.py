@@ -17,6 +17,8 @@ missing bars of Figure 1 without actually exhausting RAM.
 
 from __future__ import annotations
 
+import os
+import resource
 from typing import Iterable, Optional, Union
 
 import numpy as np
@@ -54,6 +56,25 @@ def matrix_memory_bytes(matrix: MatrixLike) -> int:
     if sp.issparse(matrix):
         return sparse_memory_bytes(matrix)
     return dense_memory_bytes(np.asarray(matrix).shape)
+
+
+def process_rss_bytes() -> int:
+    """Resident set size of the calling process, in bytes.
+
+    Reads ``/proc/self/statm`` where available (Linux); falls back to the
+    peak RSS reported by ``getrusage`` elsewhere.  Used by the serving
+    benchmark to show that mmap-backed workers share artifact pages
+    instead of each holding a private copy.
+    """
+    try:
+        with open("/proc/self/statm") as statm:
+            resident_pages = int(statm.read().split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        # ru_maxrss is kilobytes on Linux, bytes on macOS; this branch only
+        # runs off-Linux, where the bytes interpretation is the right one
+        # for Darwin and a safe overestimate elsewhere.
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 class MemoryBudget:

@@ -3,8 +3,10 @@
 Commands
 --------
 ``stats``       structural statistics of an edge-list graph
-``preprocess``  preprocess a graph with BePI and save the solver
-``query``       top-k RWR ranking for a seed (from an edge list or a saved solver)
+``preprocess``  preprocess a graph with BePI and save the solver (.npz)
+``build``       preprocess and export a serving artifact directory (or store)
+``query``       top-k RWR ranking for a seed (edge list, .npz, or artifact dir)
+``serve``       answer seed batches from worker processes over an artifact dir
 ``compare``     run the method comparison matrix on one graph
 ``datasets``    list the built-in stand-in datasets
 """
@@ -12,6 +14,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -30,7 +33,7 @@ from repro.approximate import MonteCarloSolver
 from repro.applications import top_k
 from repro.bench.harness import ExperimentRunner, format_records
 from repro.graph.stats import compute_stats
-from repro.persistence import load_solver, save_solver
+from repro.persistence import artifact_nbytes, load_solver, save_artifacts, save_solver
 
 _METHODS = {
     "bepi": BePI,
@@ -120,8 +123,63 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.graph)
+    solver = _build_solver(args)
+    if not isinstance(solver, BePI):
+        print("error: only the BePI family supports artifact export", file=sys.stderr)
+        return 2
+    solver.preprocess(graph)
+    if args.store:
+        from repro.store import ArtifactStore
+
+        generation = ArtifactStore(args.output).publish(solver)
+        print(f"published {generation.name} under {args.output}")
+        target = generation
+    else:
+        target = save_artifacts(solver, args.output)
+        print(f"wrote artifact directory {args.output}")
+    print(f"preprocessed {graph.n_nodes:,} nodes / {graph.n_edges:,} edges "
+          f"in {solver.stats['preprocess_seconds']:.3f}s")
+    print(f"partition: n1={solver.stats['n1']} n2={solver.stats['n2']} "
+          f"n3={solver.stats['n3']}")
+    print(f"artifact payload: {artifact_nbytes(target):,} bytes "
+          f"(mmap-shareable across serving workers)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.serve import WorkerPool
+
+    if args.seeds:
+        seeds = [int(s) for s in args.seeds.split(",")]
+    elif args.random:
+        rng = np.random.default_rng(0)
+        with WorkerPool(args.artifacts, n_workers=1) as probe:
+            n_nodes = probe.worker_stats()[0]["n_nodes"]
+        seeds = rng.integers(0, n_nodes, size=args.random).tolist()
+    else:
+        print("error: provide --seeds or --random", file=sys.stderr)
+        return 2
+
+    with WorkerPool(args.artifacts, n_workers=args.workers) as pool:
+        for stats in pool.worker_stats():
+            print(f"worker {stats['worker_id']} (pid {stats['pid']}): "
+                  f"opened {stats['n_nodes']:,} nodes in "
+                  f"{stats['load_seconds'] * 1e3:.1f} ms, "
+                  f"load RSS delta {stats['load_rss_delta_bytes'] / 1024:.0f} KiB")
+        scores = pool.scatter(seeds)
+        for seed, row in zip(seeds, scores):
+            order = np.argsort(row)[::-1][: args.top]
+            ranking = ", ".join(f"{node}:{row[node]:.6f}" for node in order)
+            print(f"seed {seed}: {ranking}")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    if str(args.graph).endswith(".npz"):
+    if str(args.graph).endswith(".npz") or os.path.isdir(args.graph):
         solver = load_solver(args.graph)
     else:
         graph = load_edge_list(args.graph)
@@ -199,8 +257,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_solver_options(p_pre)
     p_pre.set_defaults(func=_cmd_preprocess)
 
+    p_build = sub.add_parser(
+        "build", help="preprocess and export a serving artifact directory"
+    )
+    p_build.add_argument("graph", help="edge-list file")
+    p_build.add_argument("-o", "--output", required=True,
+                         help="artifact directory (or store root with --store)")
+    p_build.add_argument("--store", action="store_true",
+                         help="treat OUTPUT as an ArtifactStore root and "
+                              "publish a new generation atomically")
+    _add_solver_options(p_build)
+    p_build.set_defaults(func=_cmd_build)
+
+    p_serve = sub.add_parser(
+        "serve", help="answer seed batches from mmap-backed worker processes"
+    )
+    p_serve.add_argument("artifacts", help="artifact directory or store root")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="worker processes (default: 2)")
+    p_serve.add_argument("--seeds", default=None,
+                         help="comma-separated seed node ids")
+    p_serve.add_argument("--random", type=int, default=None, metavar="K",
+                         help="answer K random seeds instead of --seeds")
+    p_serve.add_argument("--top", type=int, default=5,
+                         help="ranking size printed per seed (default: 5)")
+    p_serve.set_defaults(func=_cmd_serve)
+
     p_query = sub.add_parser("query", help="top-k RWR ranking for a seed")
-    p_query.add_argument("graph", help="edge-list file or saved solver (.npz)")
+    p_query.add_argument("graph", help="edge-list file, saved solver (.npz), "
+                                       "or artifact directory")
     p_query.add_argument("--seed", type=int, required=True, help="seed node id")
     p_query.add_argument("--top", type=int, default=10, help="ranking size")
     _add_solver_options(p_query)

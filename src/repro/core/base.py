@@ -26,6 +26,7 @@ from typing import Any, Dict, Iterable, Optional, Tuple
 import numpy as np
 
 from repro.bench.memory import MemoryBudget, matrix_memory_bytes
+from repro.core.engine import validate_seed, validate_seeds
 from repro.exceptions import (
     ConvergenceWarning,
     InvalidParameterError,
@@ -375,22 +376,16 @@ class RWRSolver(abc.ABC):
     # ------------------------------------------------------------------
     def _validate_seed(self, seed) -> int:
         """Check one seed id against ``[0, n_nodes)``; return it as ``int``."""
-        n = self.graph.n_nodes
-        try:
-            node = int(seed)
-        except (TypeError, ValueError):
-            raise InvalidParameterError(f"seed must be an integer node id, got {seed!r}")
-        if node != seed:
-            raise InvalidParameterError(f"seed must be an integer node id, got {seed!r}")
-        if not 0 <= node < n:
-            raise InvalidParameterError(
-                f"seed node {node} out of range [0, {n})"
-            )
-        return node
+        return validate_seed(seed, self.graph.n_nodes)
 
     def _validate_seeds(self, seeds: Iterable[int]) -> np.ndarray:
-        """Validate a seed list; return it as an ``int64`` array."""
-        return np.array([self._validate_seed(s) for s in seeds], dtype=np.int64)
+        """Validate a seed list; return it as an ``int64`` array.
+
+        Vectorized (one array conversion + one bounds check) with error
+        messages identical to the scalar path; see
+        :func:`repro.core.engine.validate_seeds`.
+        """
+        return validate_seeds(seeds, self.graph.n_nodes)
 
     @staticmethod
     def _unpack_query_result(result: Tuple) -> Tuple[np.ndarray, int, Dict[str, Any]]:

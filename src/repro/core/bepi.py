@@ -27,12 +27,11 @@ import numpy as np
 
 from repro.bench.memory import MemoryBudget
 from repro.core.base import RWRSolver
+from repro.core.engine import BePIQueryEngine, SolverArtifacts
 from repro.core.hub_ratio import DEFAULT_CANDIDATES, select_hub_ratio
 from repro.core.pipeline import PreprocessArtifacts, build_artifacts
 from repro.exceptions import InvalidParameterError
 from repro.graph.graph import Graph
-from repro.linalg.bicgstab import bicgstab
-from repro.linalg.gmres import gmres, gmres_multi
 from repro.linalg.ilu import ILUFactors, ilu0, ilut, spilu_factors
 from repro.linalg.preconditioners import JacobiPreconditioner
 from repro.parallel import resolve_n_jobs
@@ -170,6 +169,7 @@ class BePI(RWRSolver):
         self.n_jobs = resolve_n_jobs(n_jobs)
         self._artifacts: Optional[PreprocessArtifacts] = None
         self._ilu = None  # ILUFactors or JacobiPreconditioner
+        self._engine: Optional[BePIQueryEngine] = None
 
     # ------------------------------------------------------------------
     # Preprocessing phase (Algorithm 3)
@@ -224,20 +224,15 @@ class BePI(RWRSolver):
                 self._ilu = JacobiPreconditioner(artifacts.schur)
             ilu_seconds = time.perf_counter() - start
 
-        # Retained matrices, exactly the output list of Algorithm 3:
-        # L1^{-1}, U1^{-1}, S, (L2, U2,) H12, H21, H31, H32.
-        self._retain("L1_inv", artifacts.h11_factors.l_inv)
-        self._retain("U1_inv", artifacts.h11_factors.u_inv)
-        self._retain("S", artifacts.schur)
-        self._retain("H12", artifacts.blocks["H12"])
-        self._retain("H21", artifacts.blocks["H21"])
-        self._retain("H31", artifacts.blocks["H31"])
-        self._retain("H32", artifacts.blocks["H32"])
-        if isinstance(self._ilu, ILUFactors):
-            self._retain("L2", self._ilu.l)
-            self._retain("U2", self._ilu.u)
-        elif self._ilu is not None:  # Jacobi: one value per row of S
-            self._retain("M_diag", self._ilu._inv_diag)
+        self._install_artifacts(
+            SolverArtifacts(
+                kind="bepi",
+                config=self._engine_config(),
+                graph=graph,
+                preprocess=artifacts,
+                preconditioner=self._ilu,
+            )
+        )
 
         self.stats.update(
             {
@@ -258,68 +253,50 @@ class BePI(RWRSolver):
         )
 
     # ------------------------------------------------------------------
-    # Query phase (Algorithm 4)
+    # Query phase (Algorithm 4) — delegated to the stateless engine
     # ------------------------------------------------------------------
+    def _engine_config(self) -> Dict[str, Any]:
+        """The query-phase configuration shipped inside the artifact bundle."""
+        return {
+            "c": self.c,
+            "tol": self.tol,
+            "iterative_method": self.iterative_method,
+            "gmres_restart": self.gmres_restart,
+            "max_iterations": self.max_iterations,
+            "hub_ratio": self.hub_ratio,
+            "use_preconditioner": self.use_preconditioner,
+            "ilu_engine": self.ilu_engine,
+        }
+
+    def _install_artifacts(self, bundle: SolverArtifacts) -> None:
+        """Adopt an artifact bundle: retain its matrices and build the engine.
+
+        Called at the end of :meth:`_preprocess` and by the persistence
+        loaders, so a loaded solver ends up in exactly the state a freshly
+        preprocessed one would.  Retained matrices are exactly the output
+        list of Algorithm 3: L1^{-1}, U1^{-1}, S, (L2, U2,) H12, H21, H31,
+        H32.
+        """
+        artifacts = bundle.preprocess
+        self._artifacts = artifacts
+        self._ilu = bundle.preconditioner
+        self._engine = BePIQueryEngine(bundle)
+        self._retain("L1_inv", artifacts.h11_factors.l_inv)
+        self._retain("U1_inv", artifacts.h11_factors.u_inv)
+        self._retain("S", artifacts.schur)
+        self._retain("H12", artifacts.blocks["H12"])
+        self._retain("H21", artifacts.blocks["H21"])
+        self._retain("H31", artifacts.blocks["H31"])
+        self._retain("H32", artifacts.blocks["H32"])
+        if isinstance(self._ilu, ILUFactors):
+            self._retain("L2", self._ilu.l)
+            self._retain("U2", self._ilu.u)
+        elif self._ilu is not None:  # Jacobi: one value per row of S
+            self._retain("M_diag", self._ilu._inv_diag)
+
     def _query(self, q: np.ndarray) -> Tuple[np.ndarray, int, Dict[str, Any]]:
-        artifacts = self._artifacts
-        assert artifacts is not None  # guarded by RWRSolver._require_preprocessed
-        c = self.c
-        n1, n2 = artifacts.n1, artifacts.n2
-        blocks = artifacts.blocks
-
-        qp = artifacts.permutation.apply_to_vector(q)
-        q1 = qp[:n1]
-        q2 = qp[n1 : n1 + n2]
-        q3 = qp[n1 + n2 :]
-
-        # Line 3: q2~ = c q2 - H21 (U1^{-1} (L1^{-1} (c q1))).
-        if n1 > 0:
-            h11_inv_q1 = artifacts.h11_factors.solve(c * q1)
-            q2_tilde = c * q2 - blocks["H21"] @ h11_inv_q1
-        else:
-            q2_tilde = c * q2
-
-        # Line 4: solve S r2 = q2~ with the (preconditioned) Krylov method.
-        iterations = 0
-        converged = True
-        residual = 0.0
-        if n2 > 0:
-            if self.iterative_method == "gmres":
-                result = gmres(
-                    artifacts.schur,
-                    q2_tilde,
-                    tol=self.tol,
-                    max_iterations=self.max_iterations,
-                    restart=self.gmres_restart,
-                    preconditioner=self._ilu,
-                )
-            else:
-                result = bicgstab(
-                    artifacts.schur,
-                    q2_tilde,
-                    tol=self.tol,
-                    max_iterations=self.max_iterations,
-                    preconditioner=self._ilu,
-                )
-            r2 = result.x
-            iterations = result.n_iterations
-            converged = result.converged
-            residual = result.final_residual
-        else:
-            r2 = np.zeros(0, dtype=np.float64)
-
-        # Line 5: r1 = U1^{-1} (L1^{-1} (c q1 - H12 r2)).
-        if n1 > 0:
-            r1 = artifacts.h11_factors.solve(c * q1 - blocks["H12"] @ r2)
-        else:
-            r1 = np.zeros(0, dtype=np.float64)
-
-        # Line 6: r3 = c q3 - H31 r1 - H32 r2.
-        r3 = c * q3 - blocks["H31"] @ r1 - blocks["H32"] @ r2
-
-        r = np.concatenate([r1, r2, r3])
-        scores = artifacts.permutation.unapply_to_vector(r)
-        return scores, iterations, {"converged": converged, "schur_residual": residual}
+        assert self._engine is not None  # guarded by _require_preprocessed
+        return self._engine.query_vector(q)
 
     def _query_batch(self, rhs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
         """Algorithm 4 evaluated once on an ``(n, k)`` block of starting vectors.
@@ -331,75 +308,8 @@ class BePI(RWRSolver):
         which shares the preconditioner and the Krylov workspace across
         columns and reports convergence per column.
         """
-        artifacts = self._artifacts
-        assert artifacts is not None
-        c = self.c
-        n1, n2 = artifacts.n1, artifacts.n2
-        blocks = artifacts.blocks
-        k = rhs.shape[1]
-
-        qp = artifacts.permutation.apply_to_vector(rhs)
-        q1 = qp[:n1]
-        q2 = qp[n1 : n1 + n2]
-        q3 = qp[n1 + n2 :]
-
-        # Line 3, multi-RHS: Q2~ = c Q2 - H21 (U1^{-1} (L1^{-1} (c Q1))).
-        if n1 > 0:
-            q2_tilde = c * q2 - blocks["H21"] @ artifacts.h11_factors.solve(c * q1)
-        else:
-            q2_tilde = c * q2
-
-        # Line 4: solve S R2 = Q2~ column by column, sharing workspace.
-        if n2 > 0:
-            if self.iterative_method == "gmres":
-                batch = gmres_multi(
-                    artifacts.schur,
-                    q2_tilde,
-                    tol=self.tol,
-                    max_iterations=self.max_iterations,
-                    restart=self.gmres_restart,
-                    preconditioner=self._ilu,
-                )
-                r2 = batch.x
-                iterations = batch.n_iterations
-                converged = batch.converged
-                residuals = batch.final_residuals
-            else:
-                r2 = np.empty((n2, k), dtype=np.float64)
-                iterations = np.zeros(k, dtype=np.int64)
-                converged = np.zeros(k, dtype=bool)
-                residuals = np.zeros(k, dtype=np.float64)
-                for j in range(k):
-                    result = bicgstab(
-                        artifacts.schur,
-                        np.ascontiguousarray(q2_tilde[:, j]),
-                        tol=self.tol,
-                        max_iterations=self.max_iterations,
-                        preconditioner=self._ilu,
-                    )
-                    r2[:, j] = result.x
-                    iterations[j] = result.n_iterations
-                    converged[j] = result.converged
-                    residuals[j] = result.final_residual
-        else:
-            r2 = np.zeros((0, k), dtype=np.float64)
-            iterations = np.zeros(k, dtype=np.int64)
-            converged = np.ones(k, dtype=bool)
-            residuals = np.zeros(k, dtype=np.float64)
-
-        # Line 5: R1 = U1^{-1} (L1^{-1} (c Q1 - H12 R2)).
-        if n1 > 0:
-            r1 = artifacts.h11_factors.solve(c * q1 - blocks["H12"] @ r2)
-        else:
-            r1 = np.zeros((0, k), dtype=np.float64)
-
-        # Line 6: R3 = c Q3 - H31 R1 - H32 R2.
-        r3 = c * q3 - blocks["H31"] @ r1 - blocks["H32"] @ r2
-
-        r = np.concatenate([r1, r2, r3], axis=0)
-        scores = artifacts.permutation.unapply_to_vector(r)
-        extras = {"converged": converged, "schur_residuals": residuals}
-        return scores, iterations, extras
+        assert self._engine is not None
+        return self._engine.query_block(rhs)
 
     # ------------------------------------------------------------------
     # Introspection used by benchmarks and the accuracy analysis
@@ -410,6 +320,18 @@ class BePI(RWRSolver):
         self._require_preprocessed()
         assert self._artifacts is not None
         return self._artifacts
+
+    @property
+    def engine(self) -> BePIQueryEngine:
+        """The stateless query engine (requires :meth:`preprocess`)."""
+        self._require_preprocessed()
+        assert self._engine is not None
+        return self._engine
+
+    @property
+    def solver_artifacts(self) -> SolverArtifacts:
+        """The immutable artifact bundle the engine serves."""
+        return self.engine.artifacts
 
     @property
     def ilu_factors(self) -> Optional[ILUFactors]:

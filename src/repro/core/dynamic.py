@@ -19,7 +19,7 @@ suited to it because its preprocessing is fast.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from repro.core.base import QueryResult, RWRSolver
 from repro.core.bepi import BePI
 from repro.exceptions import InvalidParameterError
 from repro.graph.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.store import ArtifactStore
 
 Edge = Tuple[int, int]
 
@@ -43,6 +46,14 @@ class DynamicRWR:
     auto_rebuild_threshold:
         Re-preprocess automatically once this many buffered updates
         accumulate; ``None`` disables auto-rebuild.
+    artifact_store:
+        Optional :class:`~repro.store.ArtifactStore`.  When set, the
+        initial snapshot and every *effective* rebuild (skipped no-op
+        rebuilds excluded) are published as a new artifact generation, so
+        serving workers (:mod:`repro.serve`) can re-open ``current`` and
+        pick up the refreshed graph without ever seeing a partial bundle.
+        Requires a BePI solver factory — the baselines have no persistable
+        artifact format.
 
     Examples
     --------
@@ -62,11 +73,13 @@ class DynamicRWR:
         graph: Graph,
         solver_factory: Optional[Callable[[], RWRSolver]] = None,
         auto_rebuild_threshold: Optional[int] = None,
+        artifact_store: Optional["ArtifactStore"] = None,
     ):
         if auto_rebuild_threshold is not None and auto_rebuild_threshold < 1:
             raise InvalidParameterError("auto_rebuild_threshold must be >= 1 or None")
         self._factory = solver_factory or BePI
         self.auto_rebuild_threshold = auto_rebuild_threshold
+        self.artifact_store = artifact_store
         self._graph = graph
         # Buffered insertions as (u, v, weight-or-None); None means "insert
         # with unit weight unless the edge already exists" (the unweighted
@@ -74,9 +87,16 @@ class DynamicRWR:
         self._added: List[Tuple[int, int, Optional[float]]] = []
         self._removed: List[Edge] = []
         self._solver = self._factory()
+        if artifact_store is not None and not isinstance(self._solver, BePI):
+            raise InvalidParameterError(
+                "artifact_store requires a BePI solver factory; "
+                f"got {type(self._solver).__name__}"
+            )
         self._solver.preprocess(graph)
         self.n_rebuilds = 1
         self.n_skipped_rebuilds = 0
+        self.n_published = 0
+        self._publish()
 
     # ------------------------------------------------------------------
     # Updates
@@ -186,6 +206,7 @@ class DynamicRWR:
         self._solver = self._factory()
         self._solver.preprocess(new_graph)
         self.n_rebuilds += 1
+        self._publish()
 
     # ------------------------------------------------------------------
     # Queries
@@ -207,6 +228,14 @@ class DynamicRWR:
                 f"node {node} out of range for {self._graph.n_nodes} nodes "
                 "(the batch-update wrapper does not grow the node set)"
             )
+
+    def _publish(self) -> None:
+        """Push the fresh snapshot's artifacts to the store, if configured."""
+        if self.artifact_store is None:
+            return
+        assert isinstance(self._solver, BePI)  # enforced in __init__
+        self.artifact_store.publish(self._solver)
+        self.n_published += 1
 
     def _maybe_rebuild(self) -> None:
         if (

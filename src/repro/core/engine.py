@@ -1,0 +1,453 @@
+"""Stateless query engines: the serve half of the build/serve split.
+
+Preprocessing (Algorithms 1-3) is a *build* step; answering queries
+(Algorithm 4) is a *serve* step.  Historically both lived inside the
+:class:`~repro.core.base.RWRSolver` subclasses, which meant the only way to
+answer a query was to hold a full solver object — with its statistics,
+memory budget, and preprocessing configuration — even in a worker process
+whose sole job is evaluating Algorithm 4 against data somebody else built.
+
+This module separates the two:
+
+- :class:`SolverArtifacts` is the **immutable boundary object** between the
+  phases: every matrix and configuration value the query phase reads,
+  bundled once, never mutated.  A bundle can come from a fresh
+  ``preprocess()`` run or be reassembled zero-copy from memory-mapped
+  arrays in an on-disk artifact directory (see :mod:`repro.persistence`) —
+  the engines cannot tell the difference.
+- :class:`QueryEngine` subclasses are **stateless executors**: they hold a
+  reference to a bundle and pure configuration, keep no counters and no
+  caches, and may therefore be shared freely across threads and opened
+  independently by any number of worker processes
+  (:mod:`repro.serve`).
+
+The solver classes now delegate their query phase here; the engine code is
+the *same* code that used to live in ``BePI._query`` / ``_query_batch``
+(and the Bear / LU equivalents), so scores are unchanged bit for bit.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import PreprocessArtifacts
+from repro.exceptions import InvalidParameterError
+from repro.graph.graph import Graph
+from repro.linalg.bicgstab import bicgstab
+from repro.linalg.gmres import gmres, gmres_multi
+from repro.reorder.permutation import Permutation
+
+
+@dataclass(frozen=True)
+class SolverArtifacts:
+    """Everything the query phase of a block-elimination solver reads.
+
+    Instances are immutable (the dataclass is frozen and every consumer
+    treats the member matrices as read-only); when loaded from a v3
+    artifact directory the underlying arrays are memory-mapped read-only,
+    so accidental mutation raises instead of corrupting shared state.
+
+    Attributes
+    ----------
+    kind:
+        Solver family that produced (and can serve) the bundle:
+        ``"bepi"`` or ``"bear"``.
+    config:
+        Query-phase configuration: ``c``, ``tol``, ``iterative_method``,
+        ``gmres_restart``, ``max_iterations`` for BePI; ``c`` for Bear.
+        Build-phase settings (``hub_ratio``, ``ilu_engine``, ...) ride
+        along for provenance.
+    graph:
+        The preprocessed graph (original node order).
+    preprocess:
+        The Algorithm 1-3 output bundle (permutation, blocks, inverted
+        ``H11`` factors, Schur complement).
+    preconditioner:
+        ``ILUFactors`` / ``JacobiPreconditioner`` / ``None`` (BePI only).
+    schur_inv:
+        The dense (or BEAR-Approx sparse) ``S^{-1}`` (Bear only).
+    """
+
+    kind: str
+    config: Dict[str, Any]
+    graph: Graph
+    preprocess: PreprocessArtifacts
+    preconditioner: Optional[Any] = None
+    schur_inv: Optional[Any] = None
+
+    @property
+    def n_nodes(self) -> int:
+        return self.graph.n_nodes
+
+
+def validate_seeds(seeds, n_nodes: int) -> np.ndarray:
+    """Validate a batch of seed node ids against ``[0, n_nodes)``.
+
+    Vectorized replacement for the historical per-seed Python loop: one
+    array conversion plus one bounds check for the common integer-array
+    case, which is what million-seed batch serving hands in.  Error
+    messages are identical to the scalar path — on any invalid input the
+    slow per-element loop re-runs purely to raise the same
+    :class:`InvalidParameterError` the loop would have raised.
+    """
+    if isinstance(seeds, np.ndarray):
+        arr = seeds
+    else:
+        seeds = list(seeds)
+        try:
+            arr = np.asarray(seeds)
+        except (ValueError, TypeError):
+            arr = np.asarray(seeds, dtype=object)
+    if arr.ndim != 1:
+        return _validate_seeds_slow(seeds, n_nodes)
+    kind = arr.dtype.kind
+    if kind in "uib":
+        if kind == "u" and arr.size and int(arr.max()) > np.iinfo(np.int64).max:
+            return _validate_seeds_slow(seeds, n_nodes)
+        out = arr.astype(np.int64)
+    elif kind == "f":
+        if arr.size and (
+            not np.all(np.isfinite(arr)) or np.any(arr != np.floor(arr))
+        ):
+            return _validate_seeds_slow(seeds, n_nodes)
+        out = arr.astype(np.int64)
+    else:
+        return _validate_seeds_slow(seeds, n_nodes)
+    invalid = (out < 0) | (out >= n_nodes)
+    if np.any(invalid):
+        node = int(out[int(np.argmax(invalid))])
+        raise InvalidParameterError(f"seed node {node} out of range [0, {n_nodes})")
+    return out
+
+
+def validate_seed(seed, n_nodes: int) -> int:
+    """Check one seed id against ``[0, n_nodes)``; return it as ``int``."""
+    try:
+        node = int(seed)
+    except (TypeError, ValueError):
+        raise InvalidParameterError(f"seed must be an integer node id, got {seed!r}")
+    if node != seed:
+        raise InvalidParameterError(f"seed must be an integer node id, got {seed!r}")
+    if not 0 <= node < n_nodes:
+        raise InvalidParameterError(f"seed node {node} out of range [0, {n_nodes})")
+    return node
+
+
+def _validate_seeds_slow(seeds, n_nodes: int) -> np.ndarray:
+    """The historical per-seed loop, kept for its exact error messages."""
+    return np.array([validate_seed(s, n_nodes) for s in seeds], dtype=np.int64)
+
+
+class QueryEngine(abc.ABC):
+    """Stateless executor of a solver's query phase.
+
+    An engine is a pure function of its (immutable) inputs: it keeps no
+    statistics, mutates nothing, and returns plain
+    ``(scores, iterations, extras)`` tuples.  Timing, convergence
+    accounting and warnings stay in :class:`~repro.core.base.RWRSolver`,
+    which now delegates the math here; serving workers use the engine
+    directly (:mod:`repro.serve`) without any solver object around it.
+    """
+
+    #: Solver family served by this engine class.
+    kind: str = "rwr"
+
+    @property
+    @abc.abstractmethod
+    def n_nodes(self) -> int:
+        """Number of nodes scored per query."""
+
+    @abc.abstractmethod
+    def query_vector(self, q: np.ndarray) -> Tuple[np.ndarray, int, Dict[str, Any]]:
+        """Solve ``H r = c q`` for one starting vector in original order."""
+
+    @abc.abstractmethod
+    def query_block(
+        self, rhs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        """Solve for every column of an ``(n, k)`` block of starting vectors."""
+
+    def query_many(self, seeds, batch_size: Optional[int] = None) -> np.ndarray:
+        """RWR scores for a batch of seed ids; returns a ``(k, n)`` matrix.
+
+        The serving entry point: validates seeds, builds the one-hot
+        right-hand-side block(s), and runs :meth:`query_block`.  Row ``i``
+        holds the scores of ``seeds[i]`` in original node order.
+        """
+        n = self.n_nodes
+        seed_arr = validate_seeds(seeds, n)
+        if batch_size is not None and batch_size < 1:
+            raise InvalidParameterError(f"batch_size must be >= 1, got {batch_size}")
+        k = seed_arr.shape[0]
+        scores = np.empty((k, n), dtype=np.float64)
+        step = k if batch_size is None else int(batch_size)
+        for lo in range(0, k, step):
+            chunk = seed_arr[lo : lo + step]
+            size = chunk.shape[0]
+            rhs = np.zeros((n, size), dtype=np.float64)
+            rhs[chunk, np.arange(size)] = 1.0
+            block_scores, _, _ = self.query_block(rhs)
+            scores[lo : lo + size] = block_scores.T
+        return scores
+
+
+class BlockEliminationEngine(QueryEngine):
+    """Shared skeleton of the block-elimination query phase.
+
+    BePI (Algorithm 4) and Bear (Lemma 1) run the *same* elimination
+    dance — forward-substitute through ``H11``, solve the Schur system,
+    back-substitute for spokes and deadends — and differ only in how the
+    Schur system is solved.  Subclasses supply that one step.
+    """
+
+    def __init__(self, artifacts: SolverArtifacts):
+        if artifacts.kind != self.kind:
+            raise InvalidParameterError(
+                f"{type(self).__name__} serves {self.kind!r} artifacts, "
+                f"got {artifacts.kind!r}"
+            )
+        self.artifacts = artifacts
+
+    @property
+    def n_nodes(self) -> int:
+        return self.artifacts.n_nodes
+
+    # -- the one step BePI and Bear disagree on -------------------------
+    @abc.abstractmethod
+    def _solve_schur(self, rhs: np.ndarray) -> Tuple[np.ndarray, int, bool, float]:
+        """Solve ``S r2 = rhs`` for one vector.
+
+        Returns ``(r2, iterations, converged, residual)``.
+        """
+
+    @abc.abstractmethod
+    def _solve_schur_block(
+        self, rhs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Solve ``S R2 = RHS`` for an ``(n2, k)`` block.
+
+        Returns ``(r2, iterations, converged, residuals)`` with per-column
+        ``(k,)`` metadata arrays.
+        """
+
+    # -- Algorithm 4 / Lemma 1 skeleton ---------------------------------
+    def query_vector(self, q: np.ndarray) -> Tuple[np.ndarray, int, Dict[str, Any]]:
+        pre = self.artifacts.preprocess
+        c = self.artifacts.config["c"]
+        n1, n2 = pre.n1, pre.n2
+        blocks = pre.blocks
+
+        qp = pre.permutation.apply_to_vector(q)
+        q1 = qp[:n1]
+        q2 = qp[n1 : n1 + n2]
+        q3 = qp[n1 + n2 :]
+
+        # Line 3: q2~ = c q2 - H21 (U1^{-1} (L1^{-1} (c q1))).
+        if n1 > 0:
+            q2_tilde = c * q2 - blocks["H21"] @ pre.h11_factors.solve(c * q1)
+        else:
+            q2_tilde = c * q2
+
+        # Line 4: solve S r2 = q2~.
+        if n2 > 0:
+            r2, iterations, converged, residual = self._solve_schur(q2_tilde)
+        else:
+            r2 = np.zeros(0, dtype=np.float64)
+            iterations, converged, residual = 0, True, 0.0
+
+        # Line 5: r1 = U1^{-1} (L1^{-1} (c q1 - H12 r2)).
+        if n1 > 0:
+            r1 = pre.h11_factors.solve(c * q1 - blocks["H12"] @ r2)
+        else:
+            r1 = np.zeros(0, dtype=np.float64)
+
+        # Line 6: r3 = c q3 - H31 r1 - H32 r2.
+        r3 = c * q3 - blocks["H31"] @ r1 - blocks["H32"] @ r2
+
+        r = np.concatenate([r1, r2, r3])
+        scores = pre.permutation.unapply_to_vector(r)
+        return scores, iterations, self._vector_extras(converged, residual)
+
+    def query_block(
+        self, rhs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        pre = self.artifacts.preprocess
+        c = self.artifacts.config["c"]
+        n1, n2 = pre.n1, pre.n2
+        blocks = pre.blocks
+        k = rhs.shape[1]
+
+        qp = pre.permutation.apply_to_vector(rhs)
+        q1 = qp[:n1]
+        q2 = qp[n1 : n1 + n2]
+        q3 = qp[n1 + n2 :]
+
+        # Line 3, multi-RHS: Q2~ = c Q2 - H21 (U1^{-1} (L1^{-1} (c Q1))).
+        if n1 > 0:
+            q2_tilde = c * q2 - blocks["H21"] @ pre.h11_factors.solve(c * q1)
+        else:
+            q2_tilde = c * q2
+
+        # Line 4: solve S R2 = Q2~ for the whole block.
+        if n2 > 0:
+            r2, iterations, converged, residuals = self._solve_schur_block(q2_tilde)
+        else:
+            r2 = np.zeros((0, k), dtype=np.float64)
+            iterations = np.zeros(k, dtype=np.int64)
+            converged = np.ones(k, dtype=bool)
+            residuals = np.zeros(k, dtype=np.float64)
+
+        # Line 5: R1 = U1^{-1} (L1^{-1} (c Q1 - H12 R2)).
+        if n1 > 0:
+            r1 = pre.h11_factors.solve(c * q1 - blocks["H12"] @ r2)
+        else:
+            r1 = np.zeros((0, k), dtype=np.float64)
+
+        # Line 6: R3 = c Q3 - H31 R1 - H32 R2.
+        r3 = c * q3 - blocks["H31"] @ r1 - blocks["H32"] @ r2
+
+        r = np.concatenate([r1, r2, r3], axis=0)
+        scores = pre.permutation.unapply_to_vector(r)
+        return scores, iterations, self._block_extras(converged, residuals)
+
+    # -- extras policy (BePI reports convergence; Bear is direct) -------
+    def _vector_extras(self, converged: bool, residual: float) -> Dict[str, Any]:
+        return {}
+
+    def _block_extras(
+        self, converged: np.ndarray, residuals: np.ndarray
+    ) -> Dict[str, Any]:
+        return {}
+
+
+class BePIQueryEngine(BlockEliminationEngine):
+    """Algorithm 4: the Schur system is solved iteratively per query."""
+
+    kind = "bepi"
+
+    def _solve_schur(self, rhs: np.ndarray) -> Tuple[np.ndarray, int, bool, float]:
+        config = self.artifacts.config
+        if config["iterative_method"] == "gmres":
+            result = gmres(
+                self.artifacts.preprocess.schur,
+                rhs,
+                tol=config["tol"],
+                max_iterations=config["max_iterations"],
+                restart=config["gmres_restart"],
+                preconditioner=self.artifacts.preconditioner,
+            )
+        else:
+            result = bicgstab(
+                self.artifacts.preprocess.schur,
+                rhs,
+                tol=config["tol"],
+                max_iterations=config["max_iterations"],
+                preconditioner=self.artifacts.preconditioner,
+            )
+        return result.x, result.n_iterations, result.converged, result.final_residual
+
+    def _solve_schur_block(
+        self, rhs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        config = self.artifacts.config
+        k = rhs.shape[1]
+        if config["iterative_method"] == "gmres":
+            batch = gmres_multi(
+                self.artifacts.preprocess.schur,
+                rhs,
+                tol=config["tol"],
+                max_iterations=config["max_iterations"],
+                restart=config["gmres_restart"],
+                preconditioner=self.artifacts.preconditioner,
+            )
+            return batch.x, batch.n_iterations, batch.converged, batch.final_residuals
+        r2 = np.empty((rhs.shape[0], k), dtype=np.float64)
+        iterations = np.zeros(k, dtype=np.int64)
+        converged = np.zeros(k, dtype=bool)
+        residuals = np.zeros(k, dtype=np.float64)
+        for j in range(k):
+            result = bicgstab(
+                self.artifacts.preprocess.schur,
+                np.ascontiguousarray(rhs[:, j]),
+                tol=config["tol"],
+                max_iterations=config["max_iterations"],
+                preconditioner=self.artifacts.preconditioner,
+            )
+            r2[:, j] = result.x
+            iterations[j] = result.n_iterations
+            converged[j] = result.converged
+            residuals[j] = result.final_residual
+        return r2, iterations, converged, residuals
+
+    def _vector_extras(self, converged: bool, residual: float) -> Dict[str, Any]:
+        return {"converged": converged, "schur_residual": residual}
+
+    def _block_extras(
+        self, converged: np.ndarray, residuals: np.ndarray
+    ) -> Dict[str, Any]:
+        return {"converged": converged, "schur_residuals": residuals}
+
+
+class BearQueryEngine(BlockEliminationEngine):
+    """Lemma 1: the Schur system is applied through the precomputed inverse."""
+
+    kind = "bear"
+
+    def _solve_schur(self, rhs: np.ndarray) -> Tuple[np.ndarray, int, bool, float]:
+        return self.artifacts.schur_inv @ rhs, 0, True, 0.0
+
+    def _solve_schur_block(
+        self, rhs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        k = rhs.shape[1]
+        return (
+            self.artifacts.schur_inv @ rhs,
+            np.zeros(k, dtype=np.int64),
+            np.ones(k, dtype=bool),
+            np.zeros(k, dtype=np.float64),
+        )
+
+
+class LUQueryEngine(QueryEngine):
+    """Two triangular solves per query against a one-time LU of ``H``.
+
+    Unlike the block-elimination engines this one is built from the pieces
+    directly (the SuperLU solve closure is not a persistable matrix bundle),
+    but the contract is the same: stateless, shareable, no solver object
+    required.
+    """
+
+    kind = "lu"
+
+    def __init__(
+        self,
+        solve: Callable[[np.ndarray], np.ndarray],
+        permutation: Permutation,
+        c: float,
+    ):
+        self._solve = solve
+        self._permutation = permutation
+        self._c = c
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._permutation)
+
+    def query_vector(self, q: np.ndarray) -> Tuple[np.ndarray, int, Dict[str, Any]]:
+        qp = self._permutation.apply_to_vector(q)
+        r = self._solve(self._c * qp)
+        return self._permutation.unapply_to_vector(r), 0, {}
+
+    def query_block(
+        self, rhs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        k = rhs.shape[1]
+        qp = self._permutation.apply_to_vector(rhs)
+        # SuperLU's dgstrs wants column-major right-hand sides; handing it a
+        # C-ordered block costs an internal per-column copy.
+        r = self._solve(np.asfortranarray(self._c * qp))
+        return self._permutation.unapply_to_vector(r), np.zeros(k, dtype=np.int64), {}

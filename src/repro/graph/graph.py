@@ -106,6 +106,26 @@ class Graph:
         """An edgeless graph on ``n_nodes`` nodes."""
         return cls(sp.csr_matrix((n_nodes, n_nodes)))
 
+    @classmethod
+    def from_canonical_csr(cls, adjacency: sp.csr_matrix) -> "Graph":
+        """Wrap an already-canonical CSR matrix without copying or normalizing.
+
+        The constructor's canonicalization (``sum_duplicates`` /
+        ``eliminate_zeros`` / ``sort_indices``) mutates the CSR buffers, which
+        fails on the read-only arrays produced by ``np.load(mmap_mode="r")``.
+        This trusted constructor skips it so memory-mapped artifact archives
+        stay zero-copy; the caller guarantees the matrix is square, sorted,
+        duplicate-free, non-negative and float64 (true for anything written by
+        :mod:`repro.persistence`, which serializes canonical CSR buffers).
+        """
+        if adjacency.shape[0] != adjacency.shape[1]:
+            raise GraphFormatError(
+                f"adjacency matrix must be square, got shape {adjacency.shape}"
+            )
+        graph = cls.__new__(cls)
+        graph._adj = adjacency
+        return graph
+
     # ------------------------------------------------------------------
     # Basic properties
     # ------------------------------------------------------------------

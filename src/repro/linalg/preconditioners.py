@@ -27,6 +27,22 @@ class JacobiPreconditioner:
             )
         self._inv_diag = 1.0 / diag
 
+    @classmethod
+    def from_inverse_diagonal(cls, inv_diag: np.ndarray) -> "JacobiPreconditioner":
+        """Rebuild a preconditioner from a stored ``1 / diag(A)`` array.
+
+        Used by the persistence layer, which saves :attr:`inverse_diagonal`
+        rather than the matrix it came from.
+        """
+        preconditioner = cls.__new__(cls)
+        preconditioner._inv_diag = np.asarray(inv_diag, dtype=np.float64)
+        return preconditioner
+
+    @property
+    def inverse_diagonal(self) -> np.ndarray:
+        """The stored ``1 / diag(A)`` array (one entry per row)."""
+        return self._inv_diag
+
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Apply ``M^{-1}`` to a vector or to each column of an ``(n, k)`` matrix."""
         arr = np.asarray(rhs, dtype=np.float64)

@@ -1,0 +1,319 @@
+"""Multi-process query serving over memory-mapped artifact directories.
+
+The payoff of the build/serve split: once preprocessing has been exported
+with :func:`repro.persistence.save_artifacts`, any number of worker
+processes can serve Algorithm 4 queries against the *same* on-disk bundle.
+Each worker opens the directory with ``mmap_mode="r"``, so
+
+- startup is near-instant (no decompression, nothing is read until the
+  first query touches it),
+- the matrices live in the OS page cache **once**, shared by every worker
+  on the machine, instead of once per process as with the ``.npz`` format,
+- the mappings are read-only, so no worker can corrupt another's state.
+
+:func:`open_query_engine` is the single-process entry point (give it an
+artifact directory, a store root, or a ``.npz`` archive);
+:class:`WorkerPool` manages a set of worker processes answering
+``query_many`` batches over task queues, and is what
+``repro-cli serve`` and the serving benchmark build on.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.bench.memory import process_rss_bytes
+from repro.core.engine import (
+    BearQueryEngine,
+    BePIQueryEngine,
+    QueryEngine,
+    SolverArtifacts,
+)
+from repro.exceptions import GraphFormatError, InvalidParameterError
+from repro.persistence import PathLike, load_artifacts
+from repro.store import ArtifactStore
+
+#: Seconds a pool waits for a worker reply before giving up.
+DEFAULT_TIMEOUT = 300.0
+
+
+class WorkerError(RuntimeError):
+    """A worker process reported a failure instead of a result."""
+
+
+def engine_for_bundle(bundle: SolverArtifacts) -> QueryEngine:
+    """The query engine class matching a bundle's ``kind``."""
+    if bundle.kind == "bepi":
+        return BePIQueryEngine(bundle)
+    if bundle.kind == "bear":
+        return BearQueryEngine(bundle)
+    raise InvalidParameterError(f"no query engine for artifact kind {bundle.kind!r}")
+
+
+def resolve_artifact_path(path: PathLike) -> Path:
+    """Resolve ``path`` to a concrete artifact directory.
+
+    Accepts an artifact directory itself, or an
+    :class:`~repro.store.ArtifactStore` root (resolved through its
+    ``current`` pointer, so re-resolving after a publish picks up the new
+    generation).
+    """
+    p = Path(path)
+    if (p / "manifest.json").is_file():
+        return p
+    if (p / "generations").is_dir():
+        current = ArtifactStore(p).current_path()
+        if current is None:
+            raise GraphFormatError(f"{path}: store has no published generation")
+        return current
+    raise GraphFormatError(f"{path}: neither an artifact directory nor a store root")
+
+
+def open_query_engine(path: PathLike, mmap: bool = True) -> QueryEngine:
+    """Open an artifact directory (or store root) as a stateless query engine.
+
+    This is what a serving worker calls: no solver object, no
+    re-preprocessing — just the Algorithm 4 executor over memory-mapped
+    matrices.
+    """
+    bundle = load_artifacts(resolve_artifact_path(path), mmap=mmap)
+    return engine_for_bundle(bundle)
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(worker_id, path, mmap, task_queue, result_queue):
+    """Worker loop: open the artifact directory, then answer until ``stop``.
+
+    Replies on the shared result queue as ``(kind, worker_id, request_id,
+    payload)`` tuples; the load-time RSS delta in the ready message is what
+    the serving benchmark reports (for mmap workers it stays far below the
+    artifact size — the pages are shared, not copied).
+    """
+    rss_before = process_rss_bytes()
+    start = time.perf_counter()
+    try:
+        engine = open_query_engine(path, mmap=mmap)
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        result_queue.put(("error", worker_id, "ready", f"{type(exc).__name__}: {exc}"))
+        return
+    load_seconds = time.perf_counter() - start
+    rss_after = process_rss_bytes()
+    result_queue.put(
+        (
+            "ready",
+            worker_id,
+            "ready",
+            {
+                "worker_id": worker_id,
+                "pid": os.getpid(),
+                "n_nodes": engine.n_nodes,
+                "load_seconds": load_seconds,
+                "rss_before_load_bytes": rss_before,
+                "rss_after_load_bytes": rss_after,
+                "load_rss_delta_bytes": rss_after - rss_before,
+            },
+        )
+    )
+    while True:
+        message = task_queue.get()
+        command, request_id = message[0], message[1]
+        if command == "stop":
+            return
+        try:
+            if command == "query_many":
+                payload: Any = engine.query_many(message[2])
+            elif command == "rss":
+                payload = process_rss_bytes()
+            else:
+                raise ValueError(f"unknown worker command {command!r}")
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            result_queue.put(
+                ("error", worker_id, request_id, f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            result_queue.put(("result", worker_id, request_id, payload))
+
+
+class WorkerPool:
+    """A fixed set of query-serving worker processes over one artifact path.
+
+    Parameters
+    ----------
+    path:
+        Artifact directory or store root; every worker opens it
+        independently (see :func:`open_query_engine`).
+    n_workers:
+        Number of worker processes.
+    mmap:
+        Open the arrays memory-mapped (the point of the exercise); pass
+        ``False`` only to measure what private copies would cost.
+    start_method:
+        ``multiprocessing`` start method.  The default ``"spawn"`` gives
+        every worker a cold interpreter, so its RSS numbers measure the
+        artifact-loading cost alone rather than pages inherited from the
+        parent.
+
+    Examples
+    --------
+    ::
+
+        with WorkerPool(artifact_dir, n_workers=2) as pool:
+            scores = pool.query_many([0, 1, 2])          # one worker
+            parts = pool.scatter(range(100))             # all workers
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        n_workers: int = 2,
+        mmap: bool = True,
+        start_method: str = "spawn",
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        if n_workers < 1:
+            raise InvalidParameterError(f"n_workers must be >= 1, got {n_workers}")
+        self.path = Path(path)
+        self.n_workers = n_workers
+        self.timeout = timeout
+        ctx = mp.get_context(start_method)
+        self._result_queue = ctx.Queue()
+        self._task_queues = []
+        self._processes = []
+        self._request_counter = 0
+        self._closed = False
+        for worker_id in range(n_workers):
+            task_queue = ctx.Queue()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(worker_id, str(path), mmap, task_queue, self._result_queue),
+                daemon=True,
+            )
+            process.start()
+            self._task_queues.append(task_queue)
+            self._processes.append(process)
+        self._stats: List[Dict[str, Any]] = [{} for _ in range(n_workers)]
+        try:
+            pending = set(range(n_workers))
+            while pending:
+                kind, worker_id, _, payload = self._result_queue.get(timeout=timeout)
+                if kind == "error":
+                    raise WorkerError(f"worker {worker_id} failed to start: {payload}")
+                self._stats[worker_id] = payload
+                pending.discard(worker_id)
+        except BaseException:
+            self._terminate()
+            raise
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_many(self, seeds: Sequence[int], worker: int = 0) -> np.ndarray:
+        """``(k, n)`` RWR scores for ``seeds``, answered by one worker."""
+        request_id = self._submit(worker, seeds)
+        return self._collect({request_id})[request_id]
+
+    def query_many_each(self, seeds: Sequence[int]) -> List[np.ndarray]:
+        """Have *every* worker answer the same batch; returns one ``(k, n)``
+        matrix per worker (the cross-process determinism check)."""
+        requests = {self._submit(w, seeds): w for w in range(self.n_workers)}
+        results = self._collect(set(requests))
+        return [results[rid] for rid in sorted(requests, key=requests.get)]
+
+    def scatter(self, seeds: Sequence[int]) -> np.ndarray:
+        """Split a batch across all workers; rows come back in seed order."""
+        seed_list = list(seeds)
+        chunks = [c for c in np.array_split(np.arange(len(seed_list)), self.n_workers)]
+        requests = {}
+        for worker, chunk in enumerate(chunks):
+            if chunk.size:
+                requests[self._submit(worker, [seed_list[i] for i in chunk])] = chunk
+        results = self._collect(set(requests))
+        n = next(iter(results.values())).shape[1] if results else 0
+        scores = np.empty((len(seed_list), n), dtype=np.float64)
+        for request_id, chunk in requests.items():
+            scores[chunk] = results[request_id]
+        return scores
+
+    def rss_bytes(self) -> List[int]:
+        """Current resident set size of every worker, in bytes."""
+        requests = {}
+        for worker in range(self.n_workers):
+            request_id = self._next_request_id()
+            self._task_queues[worker].put(("rss", request_id))
+            requests[request_id] = worker
+        results = self._collect(set(requests))
+        return [results[rid] for rid in sorted(requests, key=requests.get)]
+
+    def worker_stats(self) -> List[Dict[str, Any]]:
+        """Per-worker load statistics reported at startup."""
+        return [dict(stats) for stats in self._stats]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Shut every worker down and reap the processes."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(("stop", None))
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=10)
+        self._terminate()
+
+    def _terminate(self) -> None:
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _next_request_id(self) -> int:
+        self._request_counter += 1
+        return self._request_counter
+
+    def _submit(self, worker: int, seeds: Sequence[int]) -> int:
+        if self._closed:
+            raise WorkerError("pool is stopped")
+        if not 0 <= worker < self.n_workers:
+            raise InvalidParameterError(
+                f"worker must be in [0, {self.n_workers}), got {worker}"
+            )
+        request_id = self._next_request_id()
+        self._task_queues[worker].put(("query_many", request_id, list(seeds)))
+        return request_id
+
+    def _collect(self, expected: set) -> Dict[int, Any]:
+        results: Dict[int, Any] = {}
+        while expected - set(results):
+            kind, worker_id, request_id, payload = self._result_queue.get(
+                timeout=self.timeout
+            )
+            if kind == "error":
+                raise WorkerError(f"worker {worker_id}: {payload}")
+            results[request_id] = payload
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "stopped" if self._closed else "running"
+        return f"WorkerPool(path={str(self.path)!r}, n_workers={self.n_workers}, {state})"

@@ -1,0 +1,185 @@
+"""Generation-based artifact store with atomic publication.
+
+A serving deployment needs two things the raw artifact directory
+(:func:`repro.persistence.save_artifacts`) does not provide on its own:
+
+- **history** — each rebuild of an evolving graph produces a new artifact
+  bundle, and workers holding the old one must keep working until they
+  re-open;
+- **atomic switchover** — a reader must never observe a half-written
+  bundle.
+
+:class:`ArtifactStore` provides both with plain filesystem primitives::
+
+    <root>/
+        generations/
+            gen-000001/        complete artifact directory (format v3)
+            gen-000002/
+        current -> generations/gen-000002
+
+:meth:`ArtifactStore.publish` writes the new generation into a hidden
+staging directory (``generations/.incoming-*``), where the manifest is the
+last file written, then ``os.rename``\\ s it to its final name — so a
+``gen-*`` directory either does not exist or is complete.  The ``current``
+pointer is then swapped with ``os.replace`` of a freshly created symlink
+(or, on filesystems without symlink support, of a one-line ``CURRENT``
+text file).  Readers that resolve ``current`` therefore always land on a
+fully published generation; readers that already opened the previous one
+keep their memory maps alive regardless of what the pointer does.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.bepi import BePI
+from repro.core.engine import SolverArtifacts
+from repro.exceptions import GraphFormatError
+from repro.persistence import PathLike, load_artifacts, save_artifacts
+
+_GENERATIONS_DIR = "generations"
+_CURRENT_LINK = "current"
+_CURRENT_FILE = "CURRENT"
+_GENERATION_RE = re.compile(r"^gen-(\d{6})$")
+
+
+class ArtifactStore:
+    """A directory of artifact generations with an atomic ``current`` pointer.
+
+    Parameters
+    ----------
+    root:
+        Store root directory; created (with the ``generations/``
+        subdirectory) if missing.
+
+    Examples
+    --------
+    >>> from repro import BePI, generate_rmat
+    >>> from repro.store import ArtifactStore
+    >>> import tempfile
+    >>> solver = BePI(hub_ratio=0.3).preprocess(generate_rmat(6, 150, seed=1))
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     store = ArtifactStore(tmp)
+    ...     path = store.publish(solver)
+    ...     store.generations()
+    ['gen-000001']
+    """
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.generations_dir = self.root / _GENERATIONS_DIR
+        self.generations_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def publish(self, source: Union[BePI, SolverArtifacts]) -> Path:
+        """Write ``source`` as the next generation and point ``current`` at it.
+
+        The new generation becomes visible to readers only once it is
+        complete; the returned path is the final ``gen-*`` directory.
+        """
+        index = self._next_index()
+        name = f"gen-{index:06d}"
+        staging = self.generations_dir / f".incoming-{os.getpid()}-{name}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        try:
+            save_artifacts(source, staging)
+            final = self.generations_dir / name
+            os.rename(staging, final)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        self._set_current(name)
+        return final
+
+    def prune(self, keep: int = 2) -> List[str]:
+        """Delete all but the newest ``keep`` generations; returns the names
+        removed.  The current generation is never deleted."""
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        current = self.current_path()
+        current_name = current.name if current is not None else None
+        removed = []
+        for name in self.generations()[:-keep]:
+            if name == current_name:
+                continue
+            shutil.rmtree(self.generations_dir / name)
+            removed.append(name)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def generations(self) -> List[str]:
+        """Names of all complete generations, oldest first."""
+        names = [
+            entry.name
+            for entry in self.generations_dir.iterdir()
+            if entry.is_dir() and _GENERATION_RE.match(entry.name)
+        ]
+        return sorted(names)
+
+    def current_path(self) -> Optional[Path]:
+        """Directory of the current generation, or ``None`` before the first
+        publish."""
+        link = self.root / _CURRENT_LINK
+        if link.is_symlink() or link.exists():
+            target = link.resolve()
+            if target.is_dir():
+                return target
+        marker = self.root / _CURRENT_FILE
+        if marker.is_file():
+            target = self.generations_dir / marker.read_text().strip()
+            if target.is_dir():
+                return target
+        return None
+
+    def open_current(self, mmap: bool = True) -> SolverArtifacts:
+        """Load the current generation (see
+        :func:`repro.persistence.load_artifacts`)."""
+        current = self.current_path()
+        if current is None:
+            raise GraphFormatError(f"{self.root}: store has no published generation")
+        return load_artifacts(current, mmap=mmap)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _next_index(self) -> int:
+        names = self.generations()
+        if not names:
+            return 1
+        match = _GENERATION_RE.match(names[-1])
+        assert match is not None
+        return int(match.group(1)) + 1
+
+    def _set_current(self, name: str) -> None:
+        target = os.path.join(_GENERATIONS_DIR, name)
+        link = self.root / _CURRENT_LINK
+        staged = self.root / f".current-{os.getpid()}"
+        try:
+            if staged.is_symlink() or staged.exists():
+                staged.unlink()
+            os.symlink(target, staged)
+            os.replace(staged, link)
+        except OSError:
+            # Filesystem without symlinks: fall back to an atomically
+            # replaced one-line marker file.
+            staged.unlink(missing_ok=True)
+            marker_tmp = self.root / f".{_CURRENT_FILE}-{os.getpid()}"
+            marker_tmp.write_text(name + "\n")
+            os.replace(marker_tmp, self.root / _CURRENT_FILE)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        current = self.current_path()
+        return (
+            f"ArtifactStore(root={str(self.root)!r}, "
+            f"generations={len(self.generations())}, "
+            f"current={current.name if current else None})"
+        )

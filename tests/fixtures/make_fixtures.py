@@ -1,0 +1,63 @@
+"""Regenerate the checked-in legacy solver archives.
+
+The compatibility tests in ``test_persistence.py`` load these fixtures to
+prove that archives written by *older* releases keep loading through the
+unified reader.  They are deliberately committed as binary files — the
+point is that the bytes predate the current writer — but this script
+records exactly how they were produced (the ``small_graph`` recipe from
+``conftest.py``) so they can be regenerated if the fixture recipe ever
+has to change:
+
+    PYTHONPATH=src python tests/fixtures/make_fixtures.py
+
+- ``solver_v1.npz``: format_version 1 — includes the ``H11`` block, no
+  ``hubspoke_order`` array.
+- ``solver_v2_legacy.npz``: format_version 2 as written before the
+  ``hubspoke_order`` field existed.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import BePI, add_deadends, generate_rmat
+from repro.persistence import save_solver
+
+FIXTURE_DIR = Path(__file__).parent
+
+
+def small_graph():
+    return add_deadends(generate_rmat(7, 700, seed=1), 0.15, seed=2)
+
+
+def main() -> None:
+    solver = BePI(tol=1e-11, hub_ratio=0.2).preprocess(small_graph())
+    current = FIXTURE_DIR / "solver_current.npz"
+    save_solver(solver, current)
+    with np.load(current) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    current.unlink()
+
+    # v2 as written before the hubspoke_order field existed.
+    legacy = {name: arr for name, arr in arrays.items() if name != "hubspoke_order"}
+    np.savez_compressed(FIXTURE_DIR / "solver_v2_legacy.npz", **legacy)
+
+    # v1: additionally carries H11 and the old version stamp.
+    v1 = dict(legacy)
+    meta = json.loads(bytes(v1["meta_json"]).decode())
+    meta["format_version"] = 1
+    v1["meta_json"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    h11 = sp.csr_matrix(solver.artifacts.blocks["H11"])
+    v1["H11_data"] = h11.data
+    v1["H11_indices"] = h11.indices
+    v1["H11_indptr"] = h11.indptr
+    v1["H11_shape"] = np.asarray(h11.shape, dtype=np.int64)
+    np.savez_compressed(FIXTURE_DIR / "solver_v1.npz", **v1)
+    print("wrote", FIXTURE_DIR / "solver_v1.npz")
+    print("wrote", FIXTURE_DIR / "solver_v2_legacy.npz")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,23 @@
 """Tests for saving / loading preprocessed solvers."""
 
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro import BePI, BePIS, GraphFormatError, NotPreprocessedError
-from repro.persistence import load_solver, save_solver
+from repro.persistence import (
+    artifact_nbytes,
+    load_artifacts,
+    load_solver,
+    save_artifacts,
+    save_solver,
+)
 
 from .conftest import exact_rwr
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures"
 
 
 class TestRoundtrip:
@@ -153,6 +164,175 @@ class TestFormatVersions:
         )
         assert np.isclose(
             bound_loaded.error_bound(1e-9), bound_fresh.error_bound(1e-9), rtol=1e-5
+        )
+
+
+class TestSuffixNormalization:
+    """save/load agree on the file name whether or not .npz is given."""
+
+    def test_save_without_suffix_load_without_suffix(self, small_graph, tmp_path):
+        original = BePI(tol=1e-11).preprocess(small_graph)
+        written = save_solver(original, tmp_path / "model")
+        assert written == tmp_path / "model.npz"
+        assert written.is_file()
+        loaded = load_solver(tmp_path / "model")
+        assert np.array_equal(loaded.query(0), original.query(0))
+
+    def test_save_without_suffix_load_with_suffix(self, small_graph, tmp_path):
+        save_solver(BePI().preprocess(small_graph), tmp_path / "model")
+        assert load_solver(tmp_path / "model.npz").is_preprocessed
+
+    def test_save_with_suffix_load_without_suffix(self, small_graph, tmp_path):
+        save_solver(BePI().preprocess(small_graph), tmp_path / "model.npz")
+        assert load_solver(tmp_path / "model").is_preprocessed
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="no such saved solver"):
+            load_solver(tmp_path / "absent")
+
+
+class TestHubspokePermutation:
+    def test_roundtrip_preserves_real_permutation(self, small_graph, tmp_path):
+        """The loaded partition carries the actual hub-and-spoke ordering,
+        not a fabricated identity."""
+        original = BePI().preprocess(small_graph)
+        save_solver(original, tmp_path / "solver.npz")
+        loaded = load_solver(tmp_path / "solver.npz")
+        fresh = original.artifacts.hubspoke.permutation
+        assert not np.array_equal(fresh.order, np.arange(len(fresh)))
+        assert np.array_equal(
+            loaded.artifacts.hubspoke.permutation.order, fresh.order
+        )
+
+    def test_legacy_archive_reports_permutation_unavailable(
+        self, small_graph, tmp_path
+    ):
+        """Pre-hubspoke_order archives load with permutation=None instead of
+        silently lying with an identity."""
+        save_solver(BePI().preprocess(small_graph), tmp_path / "solver.npz")
+        with np.load(tmp_path / "solver.npz") as archive:
+            arrays = {
+                name: archive[name]
+                for name in archive.files
+                if name != "hubspoke_order"
+            }
+        np.savez_compressed(tmp_path / "legacy.npz", **arrays)
+        loaded = load_solver(tmp_path / "legacy.npz")
+        assert loaded.artifacts.hubspoke.permutation is None
+        assert np.array_equal(loaded.query(0), load_solver(tmp_path / "solver.npz").query(0))
+
+
+class TestArtifactDirectory:
+    """Format v3: directory of raw .npy files, loaded zero-copy via mmap."""
+
+    @pytest.mark.parametrize(
+        "make_solver",
+        [
+            lambda: BePI(tol=1e-11),
+            lambda: BePIS(tol=1e-11),
+            lambda: BePI(tol=1e-11, ilu_engine="jacobi"),
+        ],
+        ids=["ilu", "none", "jacobi"],
+    )
+    def test_roundtrip_is_bit_equal(self, small_graph, tmp_path, make_solver):
+        original = make_solver().preprocess(small_graph)
+        save_artifacts(original, tmp_path / "artifacts")
+        loaded = load_solver(tmp_path / "artifacts")
+        seeds = [0, 3, 9]
+        assert np.array_equal(loaded.query_many(seeds), original.query_many(seeds))
+        for seed in seeds:
+            assert np.array_equal(loaded.query(seed), original.query(seed))
+
+    def test_mmap_arrays_are_read_only(self, small_graph, tmp_path):
+        save_artifacts(BePI().preprocess(small_graph), tmp_path / "artifacts")
+        bundle = load_artifacts(tmp_path / "artifacts")
+        schur = bundle.preprocess.schur
+        assert not schur.data.flags.writeable
+        with pytest.raises(ValueError):
+            schur.data[0] = 123.0
+
+    def test_mmap_arrays_share_the_file_mapping(self, small_graph, tmp_path):
+        """Zero-copy: the CSR buffers must be backed by the file mapping, not
+        private copies."""
+        import mmap as mmap_module
+
+        save_artifacts(BePI().preprocess(small_graph), tmp_path / "artifacts")
+        bundle = load_artifacts(tmp_path / "artifacts")
+        for matrix in (bundle.preprocess.schur, bundle.graph.adjacency):
+            for part in (matrix.data, matrix.indices, matrix.indptr):
+                base = part
+                while getattr(base, "base", None) is not None:
+                    base = base.base
+                assert isinstance(base, mmap_module.mmap)
+
+    def test_eager_load_matches_mmap(self, small_graph, tmp_path):
+        original = BePI(tol=1e-11).preprocess(small_graph)
+        save_artifacts(original, tmp_path / "artifacts")
+        eager = load_artifacts(tmp_path / "artifacts", mmap=False)
+        mapped = load_artifacts(tmp_path / "artifacts", mmap=True)
+        assert np.array_equal(
+            eager.preprocess.schur.toarray(), mapped.preprocess.schur.toarray()
+        )
+
+    def test_artifact_nbytes(self, small_graph, tmp_path):
+        save_artifacts(BePI().preprocess(small_graph), tmp_path / "artifacts")
+        nbytes = artifact_nbytes(tmp_path / "artifacts")
+        payload = sum(
+            f.stat().st_size for f in (tmp_path / "artifacts" / "arrays").iterdir()
+        )
+        assert nbytes == payload > 0
+
+    def test_loaded_stats_and_config(self, small_graph, tmp_path):
+        original = BePI(c=0.1, tol=1e-8, hub_ratio=0.3).preprocess(small_graph)
+        save_artifacts(original, tmp_path / "artifacts")
+        loaded = load_solver(tmp_path / "artifacts")
+        assert loaded.c == 0.1
+        assert loaded.tol == 1e-8
+        assert loaded.stats["n1"] == original.stats["n1"]
+        assert loaded.stats["loaded_from"] == str(tmp_path / "artifacts")
+
+    def test_unknown_version_rejected(self, small_graph, tmp_path):
+        save_artifacts(BePI().preprocess(small_graph), tmp_path / "artifacts")
+        manifest_path = tmp_path / "artifacts" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(GraphFormatError, match="unsupported artifact format"):
+            load_artifacts(tmp_path / "artifacts")
+
+    def test_directory_without_manifest_rejected(self, tmp_path):
+        (tmp_path / "junk").mkdir()
+        with pytest.raises(GraphFormatError, match="no manifest"):
+            load_solver(tmp_path / "junk")
+
+    def test_save_unpreprocessed_raises(self, tmp_path):
+        with pytest.raises(NotPreprocessedError):
+            save_artifacts(BePI(), tmp_path / "artifacts")
+
+
+class TestFixtureArchives:
+    """Archives written by older releases keep loading byte-for-byte.
+
+    The fixtures are checked-in binaries (see ``fixtures/make_fixtures.py``
+    for their provenance); correctness is judged against the dense oracle
+    on the identical ``small_graph`` recipe rather than against bytes the
+    current writer happens to produce.
+    """
+
+    def test_v1_fixture_loads_and_is_exact(self, small_graph):
+        loaded = load_solver(FIXTURE_DIR / "solver_v1.npz")
+        assert loaded.graph == small_graph
+        assert loaded.artifacts.hubspoke.permutation is None
+        assert np.allclose(
+            loaded.query(1), exact_rwr(small_graph, 0.05, 1), atol=1e-8
+        )
+
+    def test_v2_legacy_fixture_loads_and_is_exact(self, small_graph):
+        loaded = load_solver(FIXTURE_DIR / "solver_v2_legacy.npz")
+        assert loaded.graph == small_graph
+        assert loaded.artifacts.hubspoke.permutation is None
+        assert np.allclose(
+            loaded.query(1), exact_rwr(small_graph, 0.05, 1), atol=1e-8
         )
 
 

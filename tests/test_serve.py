@@ -1,0 +1,177 @@
+"""Tests for the artifact store and the multi-process serving layer."""
+
+import numpy as np
+import pytest
+
+from repro import BePI, DynamicRWR, GraphFormatError, InvalidParameterError, LUSolver
+from repro.persistence import save_artifacts
+from repro.serve import WorkerPool, open_query_engine, resolve_artifact_path
+from repro.store import ArtifactStore
+
+
+@pytest.fixture(scope="module")
+def served_solver(small_graph):
+    return BePI(tol=1e-11, hub_ratio=0.2).preprocess(small_graph)
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(served_solver, tmp_path_factory):
+    path = tmp_path_factory.mktemp("artifacts") / "solver"
+    save_artifacts(served_solver, path)
+    return path
+
+
+class TestArtifactStore:
+    def test_publish_creates_generation_and_current(self, served_solver, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        generation = store.publish(served_solver)
+        assert store.generations() == ["gen-000001"]
+        assert store.current_path() == generation.resolve()
+        assert (generation / "manifest.json").is_file()
+
+    def test_second_publish_swaps_current(self, served_solver, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.publish(served_solver)
+        second = store.publish(served_solver)
+        assert store.generations() == ["gen-000001", "gen-000002"]
+        assert store.current_path() == second.resolve()
+
+    def test_partial_generation_never_visible(self, served_solver, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        first = store.publish(served_solver)
+        # Simulate a crashed publish: a staging directory with arrays but
+        # no manifest must be invisible to readers.
+        staging = store.generations_dir / ".incoming-dead-gen-000002"
+        (staging / "arrays").mkdir(parents=True)
+        np.save(staging / "arrays" / "junk.npy", np.arange(3))
+        assert store.generations() == ["gen-000001"]
+        assert store.current_path() == first.resolve()
+        bundle = store.open_current()
+        assert bundle.kind == "bepi"
+
+    def test_open_current_before_publish_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.current_path() is None
+        with pytest.raises(GraphFormatError):
+            store.open_current()
+
+    def test_prune_never_deletes_current(self, served_solver, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        for _ in range(3):
+            store.publish(served_solver)
+        removed = store.prune(keep=1)
+        assert removed == ["gen-000001", "gen-000002"]
+        assert store.generations() == ["gen-000003"]
+        assert store.current_path() is not None
+
+    def test_open_current_scores_match_fresh_solver(
+        self, served_solver, small_graph, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "store")
+        store.publish(served_solver)
+        engine = open_query_engine(store.root)
+        assert np.array_equal(
+            engine.query_many([0, 5]), served_solver.query_many([0, 5])
+        )
+
+
+class TestResolve:
+    def test_resolves_artifact_dir(self, artifact_dir):
+        assert resolve_artifact_path(artifact_dir) == artifact_dir
+
+    def test_resolves_store_root_through_current(self, served_solver, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        generation = store.publish(served_solver)
+        assert resolve_artifact_path(store.root) == generation.resolve()
+
+    def test_garbage_path_rejected(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            resolve_artifact_path(tmp_path)
+
+    def test_store_without_generation_rejected(self, tmp_path):
+        ArtifactStore(tmp_path / "store")
+        with pytest.raises(GraphFormatError):
+            resolve_artifact_path(tmp_path / "store")
+
+
+class TestWorkerPool:
+    def test_workers_serve_bit_identical_scores(self, served_solver, artifact_dir):
+        """Acceptance: two separate processes over the same mmap'd artifact
+        directory return scores bit-identical to a fresh in-process solver."""
+        seeds = [0, 5, 11]
+        expected = served_solver.query_many(seeds)
+        with WorkerPool(artifact_dir, n_workers=2, timeout=120) as pool:
+            per_worker = pool.query_many_each(seeds)
+            assert len(per_worker) == 2
+            for scores in per_worker:
+                assert np.array_equal(scores, expected)
+
+            # Scatter answers in seed order, matching per-chunk evaluation.
+            scatter_seeds = list(range(8))
+            scattered = pool.scatter(scatter_seeds)
+            chunks = np.array_split(np.arange(len(scatter_seeds)), pool.n_workers)
+            chunked = np.vstack(
+                [served_solver.query_many([scatter_seeds[i] for i in chunk])
+                 for chunk in chunks if chunk.size]
+            )
+            assert np.array_equal(scattered, chunked)
+
+            stats = pool.worker_stats()
+            assert [s["worker_id"] for s in stats] == [0, 1]
+            assert all(s["n_nodes"] == served_solver.graph.n_nodes for s in stats)
+            assert all(s["load_seconds"] >= 0 for s in stats)
+            rss = pool.rss_bytes()
+            assert len(rss) == 2 and all(r > 0 for r in rss)
+
+    def test_worker_error_is_reported(self, artifact_dir):
+        with WorkerPool(artifact_dir, n_workers=1, timeout=120) as pool:
+            from repro.serve import WorkerError
+
+            with pytest.raises(WorkerError, match="out of range"):
+                pool.query_many([10**9])
+            # The worker survives a failed request.
+            assert pool.query_many([0]).shape[0] == 1
+
+    def test_rejects_bad_worker_count(self, artifact_dir):
+        with pytest.raises(InvalidParameterError):
+            WorkerPool(artifact_dir, n_workers=0)
+
+
+class TestDynamicPublishing:
+    def test_rebuilds_publish_generations(self, tiny_graph, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        dyn = DynamicRWR(
+            tiny_graph,
+            solver_factory=lambda: BePI(hub_ratio=0.3),
+            artifact_store=store,
+        )
+        assert store.generations() == ["gen-000001"]
+        assert dyn.n_published == 1
+
+        dyn.add_edges([(6, 0)])
+        dyn.rebuild()
+        assert store.generations() == ["gen-000001", "gen-000002"]
+        assert store.current_path().name == "gen-000002"
+
+        # A rebuild that cancels to a no-op must not publish.
+        dyn.add_edges([(6, 0)])  # already present
+        dyn.rebuild()
+        assert dyn.n_skipped_rebuilds == 1
+        assert store.generations() == ["gen-000001", "gen-000002"]
+
+    def test_published_generation_reflects_update(self, tiny_graph, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        dyn = DynamicRWR(
+            tiny_graph,
+            solver_factory=lambda: BePI(hub_ratio=0.3, tol=1e-11),
+            artifact_store=store,
+        )
+        dyn.add_edges([(7, 0)])  # the deadend gains an outgoing edge
+        dyn.rebuild()
+        engine = open_query_engine(store.root)
+        assert np.array_equal(engine.query_many([0])[0], dyn.query(0))
+
+    def test_non_bepi_factory_rejected(self, tiny_graph, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(InvalidParameterError):
+            DynamicRWR(tiny_graph, solver_factory=LUSolver, artifact_store=store)
