@@ -115,6 +115,11 @@ def run(scale: int, n_edges: Optional[int], repeats: int, smoke: bool) -> None:
 
         mmap_deltas = _pool_load_deltas(artifact_dir, 2, mmap=True)
         copy_deltas = _pool_load_deltas(artifact_dir, 2, mmap=False)
+        if any(d is None for d in mmap_deltas + copy_deltas):
+            # process_rss_bytes degraded (non-Linux without getrusage);
+            # skip the RSS comparison rather than crash.
+            print("load RSS delta unavailable on this platform; skipping")
+            return
         for label, deltas in (("mmap", mmap_deltas), ("private-copy", copy_deltas)):
             shares = ", ".join(
                 f"worker {i}: {d / 1024:,.0f} KiB ({d / payload:.0%} of payload)"

@@ -29,7 +29,7 @@ Package map
   atomic switchover, and multi-process mmap-backed query serving.
 """
 
-from repro import datasets
+from repro import datasets, telemetry
 from repro.approximate import NBLinSolver
 from repro.baselines import BearSolver, DenseSolver, GMRESSolver, LUSolver, PowerSolver
 from repro.bench.memory import MemoryBudget
@@ -59,6 +59,7 @@ from repro.persistence import (
 )
 from repro.serve import WorkerPool, open_query_engine
 from repro.store import ArtifactStore
+from repro.telemetry import MetricsRegistry, merge_snapshots
 from repro.exceptions import (
     ConvergenceError,
     ConvergenceWarning,
@@ -107,6 +108,7 @@ __all__ = [
     "LUSolver",
     "MemoryBudget",
     "MemoryBudgetExceededError",
+    "MetricsRegistry",
     "NBLinSolver",
     "NotPreprocessedError",
     "PowerSolver",
@@ -131,12 +133,14 @@ __all__ = [
     "load_artifacts",
     "load_edge_list",
     "load_solver",
+    "merge_snapshots",
     "open_query_engine",
     "save_artifacts",
     "save_edge_list",
     "save_solver",
     "select_hub_ratio",
     "sweep_hub_ratios",
+    "telemetry",
     "tolerance_for_target",
     "__version__",
 ]

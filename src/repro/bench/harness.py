@@ -53,6 +53,9 @@ class ExperimentRecord:
     detail: str = ""
     solver_stats: Dict = field(default_factory=dict)
     stage_seconds: Dict = field(default_factory=dict)
+    #: Full metrics snapshot (repro.telemetry schema) of the solver's run:
+    #: GMRES iteration/residual histograms, Algorithm 4 span timings, etc.
+    telemetry: Dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -175,6 +178,7 @@ class ExperimentRunner:
         record.n_queries = len(seeds)
         record.solver_stats = dict(solver.stats)
         record.stage_seconds = dict(solver.stats.get("stage_timings", {}))
+        record.telemetry = solver.telemetry.snapshot()
         return record
 
     def run_matrix(

@@ -18,8 +18,12 @@ missing bars of Figure 1 without actually exhausting RAM.
 from __future__ import annotations
 
 import os
-import resource
 from typing import Iterable, Optional, Union
+
+try:  # the resource module is POSIX-only (absent on Windows)
+    import resource
+except ImportError:  # pragma: no cover - exercised only off-POSIX
+    resource = None  # type: ignore[assignment]
 
 import numpy as np
 import scipy.sparse as sp
@@ -58,23 +62,31 @@ def matrix_memory_bytes(matrix: MatrixLike) -> int:
     return dense_memory_bytes(np.asarray(matrix).shape)
 
 
-def process_rss_bytes() -> int:
-    """Resident set size of the calling process, in bytes.
+def process_rss_bytes() -> Optional[int]:
+    """Resident set size of the calling process in bytes, or ``None``.
 
     Reads ``/proc/self/statm`` where available (Linux); falls back to the
-    peak RSS reported by ``getrusage`` elsewhere.  Used by the serving
-    benchmark to show that mmap-backed workers share artifact pages
-    instead of each holding a private copy.
+    peak RSS reported by ``getrusage`` elsewhere, and returns ``None`` on
+    platforms where neither works (callers must exclude ``None`` from
+    aggregation rather than crash).  Used by the serving benchmark to show
+    that mmap-backed workers share artifact pages instead of each holding a
+    private copy.
     """
     try:
         with open("/proc/self/statm") as statm:
             resident_pages = int(statm.read().split()[1])
         return resident_pages * os.sysconf("SC_PAGE_SIZE")
     except (OSError, IndexError, ValueError):
+        pass
+    if resource is None:
+        return None
+    try:
         # ru_maxrss is kilobytes on Linux, bytes on macOS; this branch only
         # runs off-Linux, where the bytes interpretation is the right one
         # for Darwin and a safe overestimate elsewhere.
         return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except (OSError, ValueError):  # pragma: no cover - platform-specific
+        return None
 
 
 class MemoryBudget:

@@ -23,6 +23,16 @@ _STAGE_LABELS = (
     ("schur_complement", "Schur complement S"),
 )
 
+#: Display order and labels for the Algorithm 4 query-phase spans
+#: (histograms named ``<span>.seconds`` in the solver's telemetry registry).
+_QUERY_SPAN_LABELS = (
+    ("query.partition", "q partition (line 2)"),
+    ("query.h11_solves", "H11 solves (lines 3+5)"),
+    ("query.schur", "Schur GMRES (line 4)"),
+    ("query.backsub", "back-substitution"),
+    ("query.lu_solve", "LU solve"),
+)
+
 
 def format_preprocess_profile(solver: RWRSolver) -> str:
     """A text table of the solver's preprocessing stage timings.
@@ -75,4 +85,38 @@ def format_preprocess_profile(solver: RWRSolver) -> str:
             structure.append(f"{label} = {stats[key]:,}")
     if structure:
         lines.append("structure: " + ", ".join(structure))
+    lines.extend(_query_phase_lines(solver))
     return "\n".join(lines)
+
+
+def _query_phase_lines(solver: RWRSolver) -> List[str]:
+    """Algorithm 4 step timings from the solver's telemetry spans.
+
+    Empty until the solver has answered queries (the spans are recorded at
+    query time); this is the serve-cost half of the Fig. 12 build/serve
+    split.  Shares are deliberately omitted (spans overlap GMRES-internal
+    time, so they would not sum to a meaningful total).
+    """
+    registry = getattr(solver, "telemetry", None)
+    if registry is None:
+        return []
+    rows = []
+    for span_name, label in _QUERY_SPAN_LABELS:
+        histogram = registry.get(f"{span_name}.seconds")
+        if histogram is None or histogram.count == 0:
+            continue
+        rows.append((label, histogram))
+    if not rows:
+        return []
+    lines = [
+        "",
+        "query phase (Algorithm 4 spans)",
+        f"{'step':<24} {'calls':>7} {'total s':>9} {'mean s':>9} {'p95 s':>9}",
+    ]
+    for label, histogram in rows:
+        summary = histogram.summary()
+        lines.append(
+            f"{label:<24} {histogram.count:>7d} {summary['sum']:>9.4f} "
+            f"{summary['mean']:>9.6f} {summary['p95']:>9.6f}"
+        )
+    return lines

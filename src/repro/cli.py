@@ -9,6 +9,12 @@ Commands
 ``serve``       answer seed batches from worker processes over an artifact dir
 ``compare``     run the method comparison matrix on one graph
 ``datasets``    list the built-in stand-in datasets
+``metrics``     render a telemetry snapshot (JSON file written by --metrics-out)
+
+``build``, ``query`` and ``serve`` accept ``--metrics-out PATH`` to export
+the run's metrics (see :mod:`repro.telemetry`) as a JSON snapshot; ``serve``
+keeps the file fresh after every batch, so a long-running pool can be
+observed with ``repro-cli metrics PATH`` from another terminal.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.applications import top_k
 from repro.bench.harness import ExperimentRunner, format_records
 from repro.graph.stats import compute_stats
 from repro.persistence import artifact_nbytes, load_solver, save_artifacts, save_solver
+from repro.telemetry import MetricsRegistry
 
 _METHODS = {
     "bepi": BePI,
@@ -92,6 +99,15 @@ def _build_solver(args: argparse.Namespace):
     return cls(**kwargs)
 
 
+def _write_metrics(registry: MetricsRegistry, path: str) -> None:
+    """Write a registry's JSON snapshot to ``path`` (parents created)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(registry.to_json())
+    print(f"wrote metrics snapshot to {path}")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     graph = load_edge_list(args.graph)
     stats = compute_stats(graph)
@@ -145,6 +161,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
           f"n3={solver.stats['n3']}")
     print(f"artifact payload: {artifact_nbytes(target):,} bytes "
           f"(mmap-shareable across serving workers)")
+    if args.metrics_out:
+        _write_metrics(solver.telemetry, args.metrics_out)
     return 0
 
 
@@ -164,17 +182,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: provide --seeds or --random", file=sys.stderr)
         return 2
 
-    with WorkerPool(args.artifacts, n_workers=args.workers) as pool:
+    with WorkerPool(
+        args.artifacts, n_workers=args.workers, metrics_path=args.metrics_out
+    ) as pool:
         for stats in pool.worker_stats():
+            delta = stats["load_rss_delta_bytes"]
+            delta_text = f"{delta / 1024:.0f} KiB" if delta is not None else "n/a"
             print(f"worker {stats['worker_id']} (pid {stats['pid']}): "
                   f"opened {stats['n_nodes']:,} nodes in "
                   f"{stats['load_seconds'] * 1e3:.1f} ms, "
-                  f"load RSS delta {stats['load_rss_delta_bytes'] / 1024:.0f} KiB")
+                  f"load RSS delta {delta_text}")
         scores = pool.scatter(seeds)
         for seed, row in zip(seeds, scores):
             order = np.argsort(row)[::-1][: args.top]
             ranking = ", ".join(f"{node}:{row[node]:.6f}" for node in order)
             print(f"seed {seed}: {ranking}")
+        pool_stats = pool.pool_stats()
+        print(f"served {pool_stats['queries_submitted']} queries across "
+              f"{pool_stats['n_workers']} workers")
+        if args.metrics_out:
+            print(f"wrote metrics snapshot to {args.metrics_out}")
     return 0
 
 
@@ -195,6 +222,43 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if ranking and ranking[0][1] == 0.0:
         print("note: every other node scores 0 — the seed has no outgoing "
               "edges (deadend) or its component is unreachable")
+    if args.metrics_out:
+        _write_metrics(solver.telemetry, args.metrics_out)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    path = args.snapshot
+    if os.path.isdir(path):
+        path = os.path.join(path, "metrics.json")
+    if not os.path.isfile(path):
+        print(f"error: no metrics snapshot at {path}", file=sys.stderr)
+        return 2
+    with open(path) as handle:
+        registry = MetricsRegistry.from_json(handle.read())
+    if args.format == "json":
+        print(registry.to_json())
+    elif args.format == "prometheus":
+        print(registry.to_prometheus(), end="")
+    else:
+        snapshot = registry.snapshot()
+        if snapshot["counters"]:
+            print("counters")
+            for name in sorted(snapshot["counters"]):
+                print(f"  {name:<32} {snapshot['counters'][name]['value']:>14,.0f}")
+        if snapshot["gauges"]:
+            print("gauges")
+            for name in sorted(snapshot["gauges"]):
+                print(f"  {name:<32} {snapshot['gauges'][name]['value']:>14,.3f}")
+        if snapshot["histograms"]:
+            print("histograms")
+            header = f"  {'name':<32} {'count':>8} {'mean':>12} {'p50':>12} {'p95':>12} {'p99':>12}"
+            print(header)
+            for name in sorted(snapshot["histograms"]):
+                summary = registry.get(name).summary()
+                print(f"  {name:<32} {summary['count']:>8.0f} {summary['mean']:>12.6g} "
+                      f"{summary['p50']:>12.6g} {summary['p95']:>12.6g} "
+                      f"{summary['p99']:>12.6g}")
     return 0
 
 
@@ -266,6 +330,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--store", action="store_true",
                          help="treat OUTPUT as an ArtifactStore root and "
                               "publish a new generation atomically")
+    p_build.add_argument("--metrics-out", metavar="PATH", default=None,
+                         help="write the build's telemetry snapshot (JSON)")
     _add_solver_options(p_build)
     p_build.set_defaults(func=_cmd_build)
 
@@ -281,6 +347,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="answer K random seeds instead of --seeds")
     p_serve.add_argument("--top", type=int, default=5,
                          help="ranking size printed per seed (default: 5)")
+    p_serve.add_argument("--metrics-out", metavar="PATH", default=None,
+                         help="keep a merged worker-metrics snapshot (JSON) "
+                              "fresh at PATH")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_query = sub.add_parser("query", help="top-k RWR ranking for a seed")
@@ -288,6 +357,8 @@ def build_parser() -> argparse.ArgumentParser:
                                        "or artifact directory")
     p_query.add_argument("--seed", type=int, required=True, help="seed node id")
     p_query.add_argument("--top", type=int, default=10, help="ranking size")
+    p_query.add_argument("--metrics-out", metavar="PATH", default=None,
+                         help="write the query run's telemetry snapshot (JSON)")
     _add_solver_options(p_query)
     p_query.set_defaults(func=_cmd_query)
 
@@ -305,6 +376,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_ds.add_argument("--export", metavar="DIR", default=None,
                       help="also write every dataset as an edge list into DIR")
     p_ds.set_defaults(func=_cmd_datasets)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="render a telemetry snapshot written by --metrics-out"
+    )
+    p_metrics.add_argument("snapshot",
+                           help="snapshot file, or a directory containing "
+                                "metrics.json")
+    p_metrics.add_argument("--format", choices=("summary", "json", "prometheus"),
+                           default="summary",
+                           help="output format (default: summary)")
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     return parser
 

@@ -25,6 +25,7 @@ from typing import Any, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.bench.memory import MemoryBudget, matrix_memory_bytes
 from repro.core.engine import validate_seed, validate_seeds
 from repro.exceptions import (
@@ -34,6 +35,13 @@ from repro.exceptions import (
 )
 from repro.graph.graph import Graph
 from repro.linalg.rwr_matrix import seed_vector
+from repro.telemetry import MetricsRegistry, RegistryStats
+
+#: ``stats`` keys that read through to registry counters (name mapping).
+_STAT_COUNTERS = {
+    "queries": telemetry.QUERIES_TOTAL,
+    "unconverged_queries": telemetry.QUERIES_UNCONVERGED,
+}
 
 
 @dataclass
@@ -151,7 +159,11 @@ class RWRSolver(abc.ABC):
         self.memory_budget = memory_budget if memory_budget is not None else MemoryBudget()
         self._graph: Optional[Graph] = None
         self._retained: Dict[str, Any] = {}
-        self.stats: Dict[str, Any] = {}
+        #: Per-solver metrics registry: the source of truth behind ``stats``.
+        #: It is activated (made ambient) around every query, so nested
+        #: GMRES/engine instrumentation lands here without plumbing.
+        self.telemetry = MetricsRegistry()
+        self.stats: Dict[str, Any] = RegistryStats(self.telemetry, _STAT_COUNTERS)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -173,15 +185,25 @@ class RWRSolver(abc.ABC):
         ``scores = BePI().preprocess(g).query(0)``.
         """
         self._retained = {}
-        self.stats = {}
+        self.telemetry = MetricsRegistry(sampling=self.telemetry.sampling)
+        self.stats = RegistryStats(self.telemetry, _STAT_COUNTERS)
         start = time.perf_counter()
-        self._preprocess(graph)
+        with self.telemetry.activate():
+            self._preprocess(graph)
         elapsed = time.perf_counter() - start
         self._graph = graph
         self.stats["preprocess_seconds"] = elapsed
         self.stats["memory_bytes"] = self.memory_bytes()
         self.stats["queries"] = 0
         self.stats["unconverged_queries"] = 0
+        self.telemetry.gauge("preprocess.seconds", help="preprocessing wall time").set(elapsed)
+        self.telemetry.gauge(
+            "memory.bytes", help="bytes of preprocessed data (Table 5)"
+        ).set(self.stats["memory_bytes"])
+        for stage, seconds in (self.stats.get("stage_timings") or {}).items():
+            self.telemetry.gauge(
+                f"preprocess.stage.{stage}.seconds", help=f"preprocessing stage: {stage}"
+            ).set(seconds)
         self.memory_budget.check(self.stats["memory_bytes"], what=f"{self.name} preprocessed data")
         return self
 
@@ -217,8 +239,12 @@ class RWRSolver(abc.ABC):
                 f"got {q_arr.shape}"
             )
         start = time.perf_counter()
-        scores, iterations, extras = self._unpack_query_result(self._query(q_arr))
+        with self.telemetry.activate():
+            scores, iterations, extras = self._unpack_query_result(self._query(q_arr))
         elapsed = time.perf_counter() - start
+        self.telemetry.histogram(
+            telemetry.QUERY_SECONDS, help="wall seconds per query"
+        ).observe(elapsed)
         self._record_convergence(extras.get("converged"), n_queries=1)
         return QueryResult(scores=scores, seconds=elapsed, iterations=iterations, extras=extras)
 
@@ -282,7 +308,8 @@ class RWRSolver(abc.ABC):
             rhs = np.zeros((n, size), dtype=np.float64)
             rhs[chunk, np.arange(size)] = 1.0
             chunk_start = time.perf_counter()
-            scores, chunk_iterations, extras = self._query_batch(rhs)
+            with self.telemetry.activate():
+                scores, chunk_iterations, extras = self._query_batch(rhs)
             chunk_seconds = time.perf_counter() - chunk_start
             score_rows[lo : lo + size] = scores.T
             iterations[lo : lo + size] = np.asarray(chunk_iterations, dtype=np.int64)
@@ -295,6 +322,17 @@ class RWRSolver(abc.ABC):
             chunk_sizes.append(size)
         elapsed = time.perf_counter() - start
 
+        self.telemetry.histogram(
+            telemetry.BATCH_SECONDS, help="wall seconds per multi-seed batch"
+        ).observe(elapsed)
+        self.telemetry.histogram(
+            telemetry.BATCH_SIZE,
+            buckets=telemetry.BATCH_SIZE_BUCKETS,
+            help="seeds per query_many call",
+        ).observe(k)
+        self.telemetry.histogram(
+            telemetry.QUERY_SECONDS, help="wall seconds per query"
+        ).observe_many(per_seed)
         merged = self._merge_batch_extras(extras_chunks, chunk_sizes)
         self._record_convergence(merged.get("converged"), n_queries=k)
         return BatchQueryResult(
@@ -398,16 +436,19 @@ class RWRSolver(abc.ABC):
 
     def _record_convergence(self, converged, n_queries: int) -> None:
         """Count queries and warn about (and count) unconverged inner solves."""
-        self.stats["queries"] = self.stats.get("queries", 0) + n_queries
+        self.telemetry.counter(telemetry.QUERIES_TOTAL, help="queries answered").inc(n_queries)
+        self.stats.touch("queries")
         if converged is None:
             return
         flags = np.atleast_1d(np.asarray(converged, dtype=bool))
         failures = int(np.count_nonzero(~flags))
         if failures == 0:
             return
-        self.stats["unconverged_queries"] = (
-            self.stats.get("unconverged_queries", 0) + failures
-        )
+        self.telemetry.counter(
+            telemetry.QUERIES_UNCONVERGED,
+            help="queries whose inner solve missed the requested tolerance",
+        ).inc(failures)
+        self.stats.touch("unconverged_queries")
         warnings.warn(
             f"{self.name}: {failures} of {n_queries} queries did not reach "
             f"tol={self.tol}; scores may be less accurate than requested "

@@ -19,6 +19,7 @@ suited to it because its preprocessing is fast.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -27,6 +28,7 @@ from repro.core.base import QueryResult, RWRSolver
 from repro.core.bepi import BePI
 from repro.exceptions import InvalidParameterError
 from repro.graph.graph import Graph
+from repro.telemetry import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.store import ArtifactStore
@@ -92,11 +94,17 @@ class DynamicRWR:
                 "artifact_store requires a BePI solver factory; "
                 f"got {type(self._solver).__name__}"
             )
+        #: Lifecycle metrics of the update/rebuild loop (per-query metrics
+        #: live on the active solver's own ``telemetry`` registry).
+        self.telemetry = MetricsRegistry()
+        start = time.perf_counter()
         self._solver.preprocess(graph)
         self.n_rebuilds = 1
         self.n_skipped_rebuilds = 0
         self.n_published = 0
+        self._record_rebuild(time.perf_counter() - start)
         self._publish()
+        self._update_gauges()
 
     # ------------------------------------------------------------------
     # Updates
@@ -143,6 +151,7 @@ class DynamicRWR:
             self._validate_node(u)
             self._validate_node(v)
             self._added.append((u, v, w))
+        self._update_gauges()
         self._maybe_rebuild()
 
     def remove_edges(self, edges: Iterable[Edge]) -> None:
@@ -155,6 +164,7 @@ class DynamicRWR:
             self._validate_node(u)
             self._validate_node(v)
             self._removed.append((int(u), int(v)))
+        self._update_gauges()
         self._maybe_rebuild()
 
     def rebuild(self) -> None:
@@ -191,6 +201,10 @@ class DynamicRWR:
             # The buffered adds/removes cancelled to a no-op; the current
             # snapshot is already exact, so skip the re-preprocess.
             self.n_skipped_rebuilds += 1
+            self.telemetry.counter(
+                "dynamic.rebuilds.skipped", help="rebuilds skipped as no-ops"
+            ).inc()
+            self._update_gauges()
             return
 
         if edge_weights:
@@ -204,9 +218,12 @@ class DynamicRWR:
             new_graph = Graph.empty(self._graph.n_nodes)
         self._graph = new_graph
         self._solver = self._factory()
+        start = time.perf_counter()
         self._solver.preprocess(new_graph)
         self.n_rebuilds += 1
+        self._record_rebuild(time.perf_counter() - start)
         self._publish()
+        self._update_gauges()
 
     # ------------------------------------------------------------------
     # Queries
@@ -236,6 +253,27 @@ class DynamicRWR:
         assert isinstance(self._solver, BePI)  # enforced in __init__
         self.artifact_store.publish(self._solver)
         self.n_published += 1
+        self.telemetry.counter(
+            "dynamic.publishes", help="artifact generations published"
+        ).inc()
+
+    def _record_rebuild(self, seconds: float) -> None:
+        self.telemetry.counter(
+            "dynamic.rebuilds", help="effective re-preprocessing passes (incl. initial)"
+        ).inc()
+        self.telemetry.histogram(
+            "dynamic.rebuild.seconds", help="re-preprocessing wall time"
+        ).observe(seconds)
+
+    def _update_gauges(self) -> None:
+        self.telemetry.gauge(
+            "dynamic.pending_updates", help="buffered edge changes not yet applied"
+        ).set(self.pending_updates)
+        decided = self.n_skipped_rebuilds + self.n_rebuilds
+        self.telemetry.gauge(
+            "dynamic.skipped_rebuild_ratio",
+            help="share of rebuild decisions skipped as no-ops",
+        ).set(self.n_skipped_rebuilds / decided if decided else 0.0)
 
     def _maybe_rebuild(self) -> None:
         if (

@@ -29,11 +29,13 @@ the *same* code that used to live in ``BePI._query`` / ``_query_batch``
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.pipeline import PreprocessArtifacts
 from repro.exceptions import InvalidParameterError
 from repro.graph.graph import Graph
@@ -142,6 +144,24 @@ def _validate_seeds_slow(seeds, n_nodes: int) -> np.ndarray:
     return np.array([validate_seed(s, n_nodes) for s in seeds], dtype=np.int64)
 
 
+def _record_engine_chunk(registry, size: int, seconds: float, converged) -> None:
+    """Count one answered chunk (queries, amortized latency, failures)."""
+    registry.counter(
+        telemetry.QUERIES_TOTAL, help="queries answered"
+    ).inc(size)
+    if size:
+        registry.histogram(
+            telemetry.QUERY_SECONDS, help="wall seconds per query (amortized in batches)"
+        ).observe_many([seconds / size] * size)
+    if converged is not None:
+        failures = int(np.count_nonzero(~np.atleast_1d(np.asarray(converged, dtype=bool))))
+        if failures:
+            registry.counter(
+                telemetry.QUERIES_UNCONVERGED,
+                help="queries whose inner solve missed the requested tolerance",
+            ).inc(failures)
+
+
 class QueryEngine(abc.ABC):
     """Stateless executor of a solver's query phase.
 
@@ -177,21 +197,42 @@ class QueryEngine(abc.ABC):
         The serving entry point: validates seeds, builds the one-hot
         right-hand-side block(s), and runs :meth:`query_block`.  Row ``i``
         holds the scores of ``seeds[i]`` in original node order.
+
+        Although engines keep no state of their own, this path *does*
+        report into the ambient telemetry registry
+        (:func:`repro.telemetry.get_registry`): query counts, amortized
+        per-query latency, and — crucially — convergence failures, which a
+        stateless serving worker would otherwise drop on the floor (the
+        flags only lived in the discarded ``query_block`` extras).
         """
         n = self.n_nodes
         seed_arr = validate_seeds(seeds, n)
         if batch_size is not None and batch_size < 1:
             raise InvalidParameterError(f"batch_size must be >= 1, got {batch_size}")
         k = seed_arr.shape[0]
+        registry = telemetry.get_registry()
         scores = np.empty((k, n), dtype=np.float64)
         step = k if batch_size is None else int(batch_size)
+        batch_start = time.perf_counter()
         for lo in range(0, k, step):
             chunk = seed_arr[lo : lo + step]
             size = chunk.shape[0]
             rhs = np.zeros((n, size), dtype=np.float64)
             rhs[chunk, np.arange(size)] = 1.0
-            block_scores, _, _ = self.query_block(rhs)
+            chunk_start = time.perf_counter()
+            block_scores, _, extras = self.query_block(rhs)
+            chunk_seconds = time.perf_counter() - chunk_start
             scores[lo : lo + size] = block_scores.T
+            _record_engine_chunk(registry, size, chunk_seconds, extras.get("converged"))
+        if k:
+            registry.histogram(
+                telemetry.BATCH_SECONDS, help="wall seconds per query_many batch"
+            ).observe(time.perf_counter() - batch_start)
+            registry.histogram(
+                telemetry.BATCH_SIZE,
+                buckets=telemetry.BATCH_SIZE_BUCKETS,
+                help="seeds per query_many batch",
+            ).observe(k)
         return scores
 
 
@@ -241,35 +282,43 @@ class BlockEliminationEngine(QueryEngine):
         n1, n2 = pre.n1, pre.n2
         blocks = pre.blocks
 
-        qp = pre.permutation.apply_to_vector(q)
-        q1 = qp[:n1]
-        q2 = qp[n1 : n1 + n2]
-        q3 = qp[n1 + n2 :]
+        # Spans mirror Algorithm 4's steps: partition q, the two H11
+        # triangular-solve passes (lines 3 and 5), the Schur solve (line 4)
+        # and the deadend back-substitution (line 6).
+        with telemetry.span("query.partition"):
+            qp = pre.permutation.apply_to_vector(q)
+            q1 = qp[:n1]
+            q2 = qp[n1 : n1 + n2]
+            q3 = qp[n1 + n2 :]
 
         # Line 3: q2~ = c q2 - H21 (U1^{-1} (L1^{-1} (c q1))).
-        if n1 > 0:
-            q2_tilde = c * q2 - blocks["H21"] @ pre.h11_factors.solve(c * q1)
-        else:
-            q2_tilde = c * q2
+        with telemetry.span("query.h11_solves"):
+            if n1 > 0:
+                q2_tilde = c * q2 - blocks["H21"] @ pre.h11_factors.solve(c * q1)
+            else:
+                q2_tilde = c * q2
 
         # Line 4: solve S r2 = q2~.
-        if n2 > 0:
-            r2, iterations, converged, residual = self._solve_schur(q2_tilde)
-        else:
-            r2 = np.zeros(0, dtype=np.float64)
-            iterations, converged, residual = 0, True, 0.0
+        with telemetry.span("query.schur"):
+            if n2 > 0:
+                r2, iterations, converged, residual = self._solve_schur(q2_tilde)
+            else:
+                r2 = np.zeros(0, dtype=np.float64)
+                iterations, converged, residual = 0, True, 0.0
 
         # Line 5: r1 = U1^{-1} (L1^{-1} (c q1 - H12 r2)).
-        if n1 > 0:
-            r1 = pre.h11_factors.solve(c * q1 - blocks["H12"] @ r2)
-        else:
-            r1 = np.zeros(0, dtype=np.float64)
+        with telemetry.span("query.h11_solves"):
+            if n1 > 0:
+                r1 = pre.h11_factors.solve(c * q1 - blocks["H12"] @ r2)
+            else:
+                r1 = np.zeros(0, dtype=np.float64)
 
         # Line 6: r3 = c q3 - H31 r1 - H32 r2.
-        r3 = c * q3 - blocks["H31"] @ r1 - blocks["H32"] @ r2
+        with telemetry.span("query.backsub"):
+            r3 = c * q3 - blocks["H31"] @ r1 - blocks["H32"] @ r2
 
-        r = np.concatenate([r1, r2, r3])
-        scores = pre.permutation.unapply_to_vector(r)
+            r = np.concatenate([r1, r2, r3])
+            scores = pre.permutation.unapply_to_vector(r)
         return scores, iterations, self._vector_extras(converged, residual)
 
     def query_block(
@@ -281,37 +330,42 @@ class BlockEliminationEngine(QueryEngine):
         blocks = pre.blocks
         k = rhs.shape[1]
 
-        qp = pre.permutation.apply_to_vector(rhs)
-        q1 = qp[:n1]
-        q2 = qp[n1 : n1 + n2]
-        q3 = qp[n1 + n2 :]
+        with telemetry.span("query.partition"):
+            qp = pre.permutation.apply_to_vector(rhs)
+            q1 = qp[:n1]
+            q2 = qp[n1 : n1 + n2]
+            q3 = qp[n1 + n2 :]
 
         # Line 3, multi-RHS: Q2~ = c Q2 - H21 (U1^{-1} (L1^{-1} (c Q1))).
-        if n1 > 0:
-            q2_tilde = c * q2 - blocks["H21"] @ pre.h11_factors.solve(c * q1)
-        else:
-            q2_tilde = c * q2
+        with telemetry.span("query.h11_solves"):
+            if n1 > 0:
+                q2_tilde = c * q2 - blocks["H21"] @ pre.h11_factors.solve(c * q1)
+            else:
+                q2_tilde = c * q2
 
         # Line 4: solve S R2 = Q2~ for the whole block.
-        if n2 > 0:
-            r2, iterations, converged, residuals = self._solve_schur_block(q2_tilde)
-        else:
-            r2 = np.zeros((0, k), dtype=np.float64)
-            iterations = np.zeros(k, dtype=np.int64)
-            converged = np.ones(k, dtype=bool)
-            residuals = np.zeros(k, dtype=np.float64)
+        with telemetry.span("query.schur"):
+            if n2 > 0:
+                r2, iterations, converged, residuals = self._solve_schur_block(q2_tilde)
+            else:
+                r2 = np.zeros((0, k), dtype=np.float64)
+                iterations = np.zeros(k, dtype=np.int64)
+                converged = np.ones(k, dtype=bool)
+                residuals = np.zeros(k, dtype=np.float64)
 
         # Line 5: R1 = U1^{-1} (L1^{-1} (c Q1 - H12 R2)).
-        if n1 > 0:
-            r1 = pre.h11_factors.solve(c * q1 - blocks["H12"] @ r2)
-        else:
-            r1 = np.zeros((0, k), dtype=np.float64)
+        with telemetry.span("query.h11_solves"):
+            if n1 > 0:
+                r1 = pre.h11_factors.solve(c * q1 - blocks["H12"] @ r2)
+            else:
+                r1 = np.zeros((0, k), dtype=np.float64)
 
         # Line 6: R3 = c Q3 - H31 R1 - H32 R2.
-        r3 = c * q3 - blocks["H31"] @ r1 - blocks["H32"] @ r2
+        with telemetry.span("query.backsub"):
+            r3 = c * q3 - blocks["H31"] @ r1 - blocks["H32"] @ r2
 
-        r = np.concatenate([r1, r2, r3], axis=0)
-        scores = pre.permutation.unapply_to_vector(r)
+            r = np.concatenate([r1, r2, r3], axis=0)
+            scores = pre.permutation.unapply_to_vector(r)
         return scores, iterations, self._block_extras(converged, residuals)
 
     # -- extras policy (BePI reports convergence; Bear is direct) -------
@@ -438,16 +492,18 @@ class LUQueryEngine(QueryEngine):
         return len(self._permutation)
 
     def query_vector(self, q: np.ndarray) -> Tuple[np.ndarray, int, Dict[str, Any]]:
-        qp = self._permutation.apply_to_vector(q)
-        r = self._solve(self._c * qp)
-        return self._permutation.unapply_to_vector(r), 0, {}
+        with telemetry.span("query.lu_solve"):
+            qp = self._permutation.apply_to_vector(q)
+            r = self._solve(self._c * qp)
+            return self._permutation.unapply_to_vector(r), 0, {}
 
     def query_block(
         self, rhs: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
         k = rhs.shape[1]
-        qp = self._permutation.apply_to_vector(rhs)
-        # SuperLU's dgstrs wants column-major right-hand sides; handing it a
-        # C-ordered block costs an internal per-column copy.
-        r = self._solve(np.asfortranarray(self._c * qp))
-        return self._permutation.unapply_to_vector(r), np.zeros(k, dtype=np.int64), {}
+        with telemetry.span("query.lu_solve"):
+            qp = self._permutation.apply_to_vector(rhs)
+            # SuperLU's dgstrs wants column-major right-hand sides; handing it a
+            # C-ordered block costs an internal per-column copy.
+            r = self._solve(np.asfortranarray(self._c * qp))
+            return self._permutation.unapply_to_vector(r), np.zeros(k, dtype=np.int64), {}

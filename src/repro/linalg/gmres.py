@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Union
 import numpy as np
 import scipy.sparse as sp
 
+from repro import telemetry
 from repro.exceptions import ConvergenceError, InvalidParameterError
 
 MatVec = Callable[[np.ndarray], np.ndarray]
@@ -54,12 +55,16 @@ class GMRESResult:
         Total Arnoldi steps across all restart cycles.
     residual_norms:
         Relative residual after each iteration (length ``n_iterations``).
+    n_restarts:
+        Restart cycles beyond the first (0 for full GMRES or solves that
+        finish within one cycle).
     """
 
     x: np.ndarray
     converged: bool
     n_iterations: int
     residual_norms: List[float] = field(default_factory=list)
+    n_restarts: int = 0
 
     @property
     def final_residual(self) -> float:
@@ -185,6 +190,55 @@ def _as_matvec(operator: Operator) -> MatVec:
     return matvec
 
 
+def _record_solves(results: List[GMRESResult]) -> None:
+    """Record finished solves into the ambient telemetry registry.
+
+    Always-on signals: solve/iteration/restart counts, final residuals and
+    non-convergence (the Fig. 6-7 and Fig. 10 axes).  The full per-iteration
+    residual trajectory is high-volume and only recorded when the ambient
+    registry has ``sampling`` enabled.
+    """
+    registry = telemetry.get_registry()
+    solves = registry.counter(
+        "gmres.solves", help="GMRES solves completed (one per right-hand side)"
+    )
+    iterations = registry.histogram(
+        "gmres.iterations",
+        buckets=telemetry.ITERATION_BUCKETS,
+        help="Arnoldi steps per solve (Fig. 6)",
+    )
+    residuals = registry.histogram(
+        "gmres.final_residual",
+        buckets=telemetry.RESIDUAL_BUCKETS,
+        help="final relative residual per solve (Fig. 10)",
+    )
+    restarts = registry.counter("gmres.restarts", help="restart cycles beyond the first")
+    trajectory = (
+        registry.histogram(
+            "gmres.residual_trajectory",
+            buckets=telemetry.RESIDUAL_BUCKETS,
+            help="per-iteration relative residuals (sampling only)",
+        )
+        if registry.sampling
+        else None
+    )
+    unconverged = 0
+    for result in results:
+        solves.inc()
+        iterations.observe(result.n_iterations)
+        residuals.observe(result.final_residual)
+        if result.n_restarts:
+            restarts.inc(result.n_restarts)
+        if not result.converged:
+            unconverged += 1
+        if trajectory is not None:
+            trajectory.observe_many(result.residual_norms)
+    if unconverged:
+        registry.counter(
+            "gmres.unconverged", help="solves that missed the requested tolerance"
+        ).inc(unconverged)
+
+
 def _run_gmres(
     matvec: MatVec,
     precondition: _Preconditioner,
@@ -207,6 +261,7 @@ def _run_gmres(
 
     residual_norms: List[float] = []
     total_iterations = 0
+    cycles = 0
 
     while total_iterations < max_iterations:
         t = precondition(b - matvec(x))
@@ -218,7 +273,9 @@ def _run_gmres(
                 converged=True,
                 n_iterations=total_iterations,
                 residual_norms=residual_norms,
+                n_restarts=max(cycles - 1, 0),
             )
+        cycles += 1
 
         cycle = min(restart, max_iterations - total_iterations)
         workspace.reserve(min(cycle, max(workspace.capacity, workspace.initial_capacity)), n)
@@ -287,6 +344,7 @@ def _run_gmres(
                 converged=True,
                 n_iterations=total_iterations,
                 residual_norms=residual_norms,
+                n_restarts=max(cycles - 1, 0),
             )
 
     final = residual_norms[-1] if residual_norms else float("inf")
@@ -295,6 +353,7 @@ def _run_gmres(
         converged=final <= tol,
         n_iterations=total_iterations,
         residual_norms=residual_norms,
+        n_restarts=max(cycles - 1, 0),
     )
 
 
@@ -368,6 +427,7 @@ def gmres(
     result = _run_gmres(
         matvec, precondition, b, tol, max_iterations, restart, x0, callback, workspace
     )
+    _record_solves([result])
     if raise_on_stagnation and not result.converged:
         raise ConvergenceError(
             f"GMRES did not reach tol={tol} in {result.n_iterations} iterations "
@@ -419,6 +479,7 @@ def _run_gmres_block(
     results: List[Optional[GMRESResult]] = [None] * k
     histories: List[List[float]] = [[] for _ in range(k)]
     iterations = np.zeros(k, dtype=np.int64)
+    n_cycles = np.zeros(k, dtype=np.int64)
 
     # Columns whose preconditioned rhs is zero are solved by x = 0 exactly.
     for col in np.flatnonzero(reference == 0.0):
@@ -442,6 +503,7 @@ def _run_gmres_block(
         cols = active[~at_start]
         if not cols.size:
             break
+        n_cycles[cols] += 1
         t, beta = t[:, ~at_start], beta[~at_start]
         ref = reference[cols]
 
@@ -581,6 +643,8 @@ def _run_gmres_block(
             n_iterations=int(iterations[col]),
             residual_norms=histories[col],
         )
+    for col, result in enumerate(results):
+        result.n_restarts = max(int(n_cycles[col]) - 1, 0)
     return GMRESBatchResult(x=x, columns=results)  # type: ignore[arg-type]
 
 
@@ -711,6 +775,7 @@ def gmres_multi(
             callback,
             workspace.initial_capacity,
         )
+        _record_solves(batch.columns)
         if raise_on_stagnation:
             for j, column in enumerate(batch.columns):
                 if not column.converged:

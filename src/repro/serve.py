@@ -24,10 +24,11 @@ import multiprocessing as mp
 import os
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.bench.memory import process_rss_bytes
 from repro.core.engine import (
     BearQueryEngine,
@@ -38,6 +39,7 @@ from repro.core.engine import (
 from repro.exceptions import GraphFormatError, InvalidParameterError
 from repro.persistence import PathLike, load_artifacts
 from repro.store import ArtifactStore
+from repro.telemetry import MetricsRegistry
 
 #: Seconds a pool waits for a worker reply before giving up.
 DEFAULT_TIMEOUT = 300.0
@@ -97,6 +99,7 @@ def _worker_main(worker_id, path, mmap, task_queue, result_queue):
     the serving benchmark reports (for mmap workers it stays far below the
     artifact size — the pages are shared, not copied).
     """
+    registry = MetricsRegistry()
     rss_before = process_rss_bytes()
     start = time.perf_counter()
     try:
@@ -106,6 +109,10 @@ def _worker_main(worker_id, path, mmap, task_queue, result_queue):
         return
     load_seconds = time.perf_counter() - start
     rss_after = process_rss_bytes()
+    rss_delta = (
+        rss_after - rss_before if rss_before is not None and rss_after is not None else None
+    )
+    registry.gauge("serve.load.seconds", help="artifact open time").set(load_seconds)
     result_queue.put(
         (
             "ready",
@@ -118,28 +125,46 @@ def _worker_main(worker_id, path, mmap, task_queue, result_queue):
                 "load_seconds": load_seconds,
                 "rss_before_load_bytes": rss_before,
                 "rss_after_load_bytes": rss_after,
-                "load_rss_delta_bytes": rss_after - rss_before,
+                "load_rss_delta_bytes": rss_delta,
             },
         )
     )
-    while True:
-        message = task_queue.get()
-        command, request_id = message[0], message[1]
-        if command == "stop":
-            return
-        try:
-            if command == "query_many":
-                payload: Any = engine.query_many(message[2])
-            elif command == "rss":
-                payload = process_rss_bytes()
+    started = time.perf_counter()
+    with registry.activate():
+        while True:
+            message = task_queue.get()
+            command, request_id = message[0], message[1]
+            if command == "stop":
+                return
+            try:
+                if command == "query_many":
+                    seeds = message[2]
+                    registry.counter("serve.requests", help="query batches served").inc()
+                    registry.histogram(
+                        "serve.batch.size",
+                        buckets=telemetry.BATCH_SIZE_BUCKETS,
+                        help="seeds per served batch",
+                    ).observe(len(seeds))
+                    with registry.span("serve.batch"):
+                        payload: Any = engine.query_many(seeds)
+                elif command == "rss":
+                    payload = process_rss_bytes()
+                elif command == "metrics":
+                    registry.gauge(
+                        "serve.uptime.seconds", help="worker loop uptime"
+                    ).set(time.perf_counter() - started)
+                    rss_now = process_rss_bytes()
+                    if rss_now is not None:
+                        registry.gauge("serve.rss.bytes", help="worker RSS").set(rss_now)
+                    payload = registry.snapshot()
+                else:
+                    raise ValueError(f"unknown worker command {command!r}")
+            except Exception as exc:  # noqa: BLE001 - reported to the parent
+                result_queue.put(
+                    ("error", worker_id, request_id, f"{type(exc).__name__}: {exc}")
+                )
             else:
-                raise ValueError(f"unknown worker command {command!r}")
-        except Exception as exc:  # noqa: BLE001 - reported to the parent
-            result_queue.put(
-                ("error", worker_id, request_id, f"{type(exc).__name__}: {exc}")
-            )
-        else:
-            result_queue.put(("result", worker_id, request_id, payload))
+                result_queue.put(("result", worker_id, request_id, payload))
 
 
 class WorkerPool:
@@ -160,6 +185,10 @@ class WorkerPool:
         every worker a cold interpreter, so its RSS numbers measure the
         artifact-loading cost alone rather than pages inherited from the
         parent.
+    metrics_path:
+        Optional path of a JSON metrics snapshot the pool keeps fresh: the
+        merged worker metrics are rewritten there after every query batch
+        and at shutdown, which is the file ``repro-cli metrics`` reads.
 
     Examples
     --------
@@ -177,12 +206,16 @@ class WorkerPool:
         mmap: bool = True,
         start_method: str = "spawn",
         timeout: float = DEFAULT_TIMEOUT,
+        metrics_path: Optional[PathLike] = None,
     ):
         if n_workers < 1:
             raise InvalidParameterError(f"n_workers must be >= 1, got {n_workers}")
         self.path = Path(path)
         self.n_workers = n_workers
         self.timeout = timeout
+        self.metrics_path = Path(metrics_path) if metrics_path is not None else None
+        self._started = time.perf_counter()
+        self._worker_queries = [0] * n_workers
         ctx = mp.get_context(start_method)
         self._result_queue = ctx.Queue()
         self._task_queues = []
@@ -218,13 +251,16 @@ class WorkerPool:
     def query_many(self, seeds: Sequence[int], worker: int = 0) -> np.ndarray:
         """``(k, n)`` RWR scores for ``seeds``, answered by one worker."""
         request_id = self._submit(worker, seeds)
-        return self._collect({request_id})[request_id]
+        result = self._collect({request_id})[request_id]
+        self._maybe_write_metrics()
+        return result
 
     def query_many_each(self, seeds: Sequence[int]) -> List[np.ndarray]:
         """Have *every* worker answer the same batch; returns one ``(k, n)``
         matrix per worker (the cross-process determinism check)."""
         requests = {self._submit(w, seeds): w for w in range(self.n_workers)}
         results = self._collect(set(requests))
+        self._maybe_write_metrics()
         return [results[rid] for rid in sorted(requests, key=requests.get)]
 
     def scatter(self, seeds: Sequence[int]) -> np.ndarray:
@@ -240,6 +276,7 @@ class WorkerPool:
         scores = np.empty((len(seed_list), n), dtype=np.float64)
         for request_id, chunk in requests.items():
             scores[chunk] = results[request_id]
+        self._maybe_write_metrics()
         return scores
 
     def rss_bytes(self) -> List[int]:
@@ -257,12 +294,89 @@ class WorkerPool:
         return [dict(stats) for stats in self._stats]
 
     # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def worker_metrics(self) -> List[Dict[str, Any]]:
+        """One metrics snapshot per worker (see :mod:`repro.telemetry`)."""
+        requests = {}
+        for worker in range(self.n_workers):
+            request_id = self._next_request_id()
+            self._task_queues[worker].put(("metrics", request_id))
+            requests[request_id] = worker
+        results = self._collect(set(requests))
+        return [results[rid] for rid in sorted(requests, key=requests.get)]
+
+    def metrics(self) -> MetricsRegistry:
+        """Merged metrics across every worker.
+
+        Counters and gauges sum, histograms merge bucket-wise, so the pool
+        totals (``rwr.queries``, ``rwr.queries.unconverged``, latency
+        distributions) match what a single-process run of the same batches
+        would have recorded.
+        """
+        return telemetry.merge_snapshots(self.worker_metrics())
+
+    def pool_stats(self) -> Dict[str, Any]:
+        """Pool-level serving statistics (queue depth, per-worker throughput)."""
+        uptime = time.perf_counter() - self._started
+        depths = []
+        for task_queue in self._task_queues:
+            try:
+                depths.append(int(task_queue.qsize()))
+            except NotImplementedError:  # pragma: no cover - macOS queues
+                depths.append(None)
+        known = [d for d in depths if d is not None]
+        workers = []
+        for worker_id, submitted in enumerate(self._worker_queries):
+            workers.append(
+                {
+                    "worker_id": worker_id,
+                    "queries_submitted": submitted,
+                    "queries_per_second": submitted / uptime if uptime > 0 else 0.0,
+                    "queue_depth": depths[worker_id],
+                }
+            )
+        return {
+            "n_workers": self.n_workers,
+            "uptime_seconds": uptime,
+            "queue_depth": sum(known) if known else None,
+            "queries_submitted": sum(self._worker_queries),
+            "workers": workers,
+        }
+
+    def write_metrics(self, path: Optional[PathLike] = None) -> Path:
+        """Write the merged worker metrics as a JSON snapshot.
+
+        ``path`` defaults to the pool's ``metrics_path``; parent
+        directories are created as needed.
+        """
+        target = Path(path) if path is not None else self.metrics_path
+        if target is None:
+            raise InvalidParameterError(
+                "no metrics path: pass one or construct the pool with metrics_path"
+            )
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(self.metrics().to_json())
+        os.replace(tmp, target)
+        return target
+
+    def _maybe_write_metrics(self) -> None:
+        if self.metrics_path is not None and not self._closed:
+            self.write_metrics()
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def stop(self) -> None:
         """Shut every worker down and reap the processes."""
         if self._closed:
             return
+        if self.metrics_path is not None:
+            try:
+                self.write_metrics()
+            except (WorkerError, OSError):  # pragma: no cover - best effort
+                pass
         self._closed = True
         for task_queue in self._task_queues:
             try:
@@ -300,7 +414,9 @@ class WorkerPool:
                 f"worker must be in [0, {self.n_workers}), got {worker}"
             )
         request_id = self._next_request_id()
-        self._task_queues[worker].put(("query_many", request_id, list(seeds)))
+        seed_list = list(seeds)
+        self._task_queues[worker].put(("query_many", request_id, seed_list))
+        self._worker_queries[worker] += len(seed_list)
         return request_id
 
     def _collect(self, expected: set) -> Dict[int, Any]:

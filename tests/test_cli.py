@@ -102,3 +102,69 @@ class TestDatasetExport:
         assert main(["query", graph_file, "--seed", "0", "--top", "3",
                      "--method", "montecarlo"]) == 0
         assert "top 3 nodes" in capsys.readouterr().out
+
+
+class TestMetrics:
+    def test_query_metrics_out_then_render(self, graph_file, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import SNAPSHOT_SCHEMA
+
+        snapshot_path = str(tmp_path / "metrics.json")
+        assert main(["query", graph_file, "--seed", "0",
+                     "--metrics-out", snapshot_path]) == 0
+        capsys.readouterr()
+        with open(snapshot_path) as handle:
+            snapshot = json.load(handle)
+        assert snapshot["schema"] == SNAPSHOT_SCHEMA
+        assert snapshot["counters"]["rwr.queries"]["value"] >= 1
+
+        assert main(["metrics", snapshot_path]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+        assert "rwr.queries" in out
+        assert "histograms" in out
+
+    def test_metrics_prometheus_format(self, graph_file, tmp_path, capsys):
+        snapshot_path = str(tmp_path / "metrics.json")
+        main(["query", graph_file, "--seed", "0", "--metrics-out", snapshot_path])
+        capsys.readouterr()
+        assert main(["metrics", snapshot_path, "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_rwr_queries_total counter" in out
+
+    def test_metrics_accepts_directory_with_default_name(
+        self, graph_file, tmp_path, capsys
+    ):
+        main(["query", graph_file, "--seed", "0",
+              "--metrics-out", str(tmp_path / "metrics.json")])
+        capsys.readouterr()
+        assert main(["metrics", str(tmp_path)]) == 0
+
+    def test_metrics_missing_snapshot_errors(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path / "nope.json")]) == 2
+
+    def test_build_metrics_out(self, graph_file, tmp_path, capsys):
+        import json
+
+        out_dir = str(tmp_path / "artifacts")
+        snapshot_path = str(tmp_path / "build-metrics.json")
+        assert main(["build", graph_file, "-o", out_dir,
+                     "--metrics-out", snapshot_path]) == 0
+        snapshot = json.load(open(snapshot_path))
+        assert "preprocess.seconds" in snapshot["gauges"]
+        assert "memory.bytes" in snapshot["gauges"]
+
+    def test_serve_metrics_out(self, graph_file, tmp_path, capsys):
+        import json
+
+        out_dir = str(tmp_path / "artifacts")
+        main(["build", graph_file, "-o", out_dir])
+        capsys.readouterr()
+        snapshot_path = str(tmp_path / "serve-metrics.json")
+        assert main(["serve", out_dir, "--workers", "2", "--seeds", "0,1,2",
+                     "--metrics-out", snapshot_path]) == 0
+        out = capsys.readouterr().out
+        assert "served 3 queries across 2 workers" in out
+        snapshot = json.load(open(snapshot_path))
+        assert snapshot["counters"]["rwr.queries"]["value"] == 3

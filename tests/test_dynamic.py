@@ -185,3 +185,26 @@ class TestAutoRebuild:
         dynamic = DynamicRWR(graph, solver_factory=lambda: PowerSolver(tol=1e-11))
         assert isinstance(dynamic.solver, PowerSolver)
         assert np.allclose(dynamic.query(0), exact_rwr(graph, 0.05, 0), atol=1e-7)
+
+
+class TestDynamicTelemetry:
+    def test_rebuild_counters_and_durations(self, dynamic):
+        registry = dynamic.telemetry
+        assert registry.get("dynamic.rebuilds").value == 1.0  # initial build
+        assert registry.get("dynamic.rebuild.seconds").count == 1
+
+        dynamic.add_edges([(0, 99)])
+        assert registry.get("dynamic.pending_updates").value == 1.0
+        dynamic.rebuild()
+        assert registry.get("dynamic.rebuilds").value == 2.0
+        assert registry.get("dynamic.rebuild.seconds").count == 2
+        assert registry.get("dynamic.pending_updates").value == 0.0
+
+    def test_skipped_rebuild_ratio(self, dynamic):
+        dynamic.add_edges([(0, 99)])
+        dynamic.remove_edges([(0, 99)])  # cancels out -> skipped rebuild
+        dynamic.rebuild()
+        registry = dynamic.telemetry
+        assert registry.get("dynamic.rebuilds.skipped").value == 1.0
+        # 1 skipped of 2 decisions (initial build + this skip).
+        assert registry.get("dynamic.skipped_rebuild_ratio").value == pytest.approx(0.5)

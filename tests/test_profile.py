@@ -42,3 +42,36 @@ class TestProfile:
                   for tok in line.split() if tok.endswith("%")]
         # Total's 100% plus stage shares; stages must not exceed ~105%.
         assert sum(shares[:-1]) <= 115.0
+
+
+class TestQueryPhaseSection:
+    def test_absent_before_any_query(self, small_graph):
+        solver = BePI().preprocess(small_graph)
+        assert "query phase" not in format_preprocess_profile(solver)
+
+    def test_appears_after_queries_with_span_rows(self, small_graph):
+        solver = BePI().preprocess(small_graph)
+        solver.query_many([0, 1, 2])
+        text = format_preprocess_profile(solver)
+        assert "query phase (Algorithm 4 spans)" in text
+        for label in ("q partition (line 2)", "H11 solves (lines 3+5)",
+                      "Schur GMRES (line 4)", "back-substitution"):
+            assert label in text
+
+    def test_lu_solver_reports_its_solve_span(self, small_graph):
+        from repro import LUSolver
+
+        solver = LUSolver().preprocess(small_graph)
+        solver.query(0)
+        text = format_preprocess_profile(solver)
+        assert "query phase (Algorithm 4 spans)" in text
+        assert "LU solve" in text
+
+    def test_query_section_has_no_share_tokens(self, small_graph):
+        # test_shares_sum_sensibly parses every %-token in the output; the
+        # query section's overlapping spans must not contribute any.
+        solver = BePI().preprocess(small_graph)
+        solver.query_many([0, 1])
+        text = format_preprocess_profile(solver)
+        section = text.split("query phase")[1]
+        assert "%" not in section

@@ -1,9 +1,19 @@
 """Tests for the artifact store and the multi-process serving layer."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro import BePI, DynamicRWR, GraphFormatError, InvalidParameterError, LUSolver
+from repro import (
+    BePI,
+    DynamicRWR,
+    GraphFormatError,
+    InvalidParameterError,
+    LUSolver,
+    MetricsRegistry,
+    telemetry,
+)
 from repro.persistence import save_artifacts
 from repro.serve import WorkerPool, open_query_engine, resolve_artifact_path
 from repro.store import ArtifactStore
@@ -135,6 +145,79 @@ class TestWorkerPool:
     def test_rejects_bad_worker_count(self, artifact_dir):
         with pytest.raises(InvalidParameterError):
             WorkerPool(artifact_dir, n_workers=0)
+
+
+class TestPoolTelemetry:
+    def test_merged_counts_match_single_process_run(self, artifact_dir):
+        """Acceptance: pool-merged query/unconverged totals exactly equal a
+        single-process run of the same seed batch."""
+        seeds = list(range(12))
+        single = MetricsRegistry()
+        with single.activate():
+            open_query_engine(artifact_dir).query_many(seeds)
+        with WorkerPool(artifact_dir, n_workers=2, timeout=120) as pool:
+            pool.scatter(seeds)
+            merged = pool.metrics()
+
+        def totals(registry):
+            queries = registry.get(telemetry.QUERIES_TOTAL)
+            unconverged = registry.get(telemetry.QUERIES_UNCONVERGED)
+            return (
+                queries.value if queries else 0.0,
+                unconverged.value if unconverged else 0.0,
+            )
+
+        assert totals(merged) == totals(single) == (float(len(seeds)), 0.0)
+        # The inner GMRES work merges too: one solve per seed either way.
+        assert merged.get("gmres.solves").value == single.get("gmres.solves").value
+        assert (
+            merged.get("gmres.iterations").bucket_counts
+            == single.get("gmres.iterations").bucket_counts
+        )
+
+    def test_pool_stats_reports_depth_and_throughput(self, artifact_dir):
+        with WorkerPool(artifact_dir, n_workers=2, timeout=120) as pool:
+            pool.query_many([0, 1, 2], worker=1)
+            stats = pool.pool_stats()
+        assert stats["n_workers"] == 2
+        assert stats["queries_submitted"] == 3
+        assert stats["uptime_seconds"] > 0
+        per_worker = {w["worker_id"]: w for w in stats["workers"]}
+        assert per_worker[1]["queries_submitted"] == 3
+        assert per_worker[1]["queries_per_second"] > 0
+        assert per_worker[0]["queries_submitted"] == 0
+        # Queue depth is 0 (all work drained) or None where unsupported.
+        assert stats["queue_depth"] in (0, None)
+
+    def test_metrics_path_keeps_snapshot_fresh(self, artifact_dir, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        with WorkerPool(
+            artifact_dir, n_workers=2, timeout=120, metrics_path=metrics_path
+        ) as pool:
+            pool.scatter(range(4))
+            snapshot = json.loads(metrics_path.read_text())
+            assert snapshot["schema"] == telemetry.SNAPSHOT_SCHEMA
+            assert snapshot["counters"][telemetry.QUERIES_TOTAL]["value"] == 4
+        # stop() flushes a final snapshot; it must still parse and round-trip
+        # through the Prometheus exporter.
+        final = MetricsRegistry.from_json(metrics_path.read_text())
+        assert "repro_rwr_queries_total 4" in final.to_prometheus()
+
+    def test_write_metrics_requires_a_path(self, artifact_dir, tmp_path):
+        with WorkerPool(artifact_dir, n_workers=1, timeout=120) as pool:
+            with pytest.raises(InvalidParameterError):
+                pool.write_metrics()
+            target = pool.write_metrics(tmp_path / "snap.json")
+            assert json.loads(target.read_text())["schema"] == telemetry.SNAPSHOT_SCHEMA
+
+    def test_worker_serve_spans_recorded(self, artifact_dir):
+        with WorkerPool(artifact_dir, n_workers=1, timeout=120) as pool:
+            pool.query_many([0, 1])
+            merged = pool.metrics()
+        assert merged.get("serve.requests").value == 1.0
+        assert merged.get("serve.batch.seconds").count == 1
+        assert merged.get("serve.batch.size").count == 1
+        assert merged.get("serve.uptime.seconds").value > 0
 
 
 class TestDynamicPublishing:
