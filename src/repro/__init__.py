@@ -56,11 +56,13 @@ from repro.persistence import (
     load_solver,
     save_artifacts,
     save_solver,
+    verify_artifacts,
 )
 from repro.serve import WorkerPool, open_query_engine
 from repro.store import ArtifactStore
 from repro.telemetry import MetricsRegistry, merge_snapshots
 from repro.exceptions import (
+    ArtifactIntegrityError,
     ConvergenceError,
     ConvergenceWarning,
     GraphFormatError,
@@ -87,6 +89,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccuracyBound",
+    "ArtifactIntegrityError",
     "ArtifactStore",
     "BatchQueryResult",
     "BePI",
@@ -142,5 +145,6 @@ __all__ = [
     "sweep_hub_ratios",
     "telemetry",
     "tolerance_for_target",
+    "verify_artifacts",
     "__version__",
 ]

@@ -167,10 +167,15 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import time
+
     import numpy as np
 
+    from repro.faults import load_plan
     from repro.serve import WorkerPool
 
+    fault_plan = load_plan(args.fault_plan) if args.fault_plan else None
     if args.seeds:
         seeds = [int(s) for s in args.seeds.split(",")]
     elif args.random:
@@ -182,26 +187,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: provide --seeds or --random", file=sys.stderr)
         return 2
 
-    with WorkerPool(
-        args.artifacts, n_workers=args.workers, metrics_path=args.metrics_out
-    ) as pool:
-        for stats in pool.worker_stats():
-            delta = stats["load_rss_delta_bytes"]
-            delta_text = f"{delta / 1024:.0f} KiB" if delta is not None else "n/a"
-            print(f"worker {stats['worker_id']} (pid {stats['pid']}): "
-                  f"opened {stats['n_nodes']:,} nodes in "
-                  f"{stats['load_seconds'] * 1e3:.1f} ms, "
-                  f"load RSS delta {delta_text}")
-        scores = pool.scatter(seeds)
-        for seed, row in zip(seeds, scores):
-            order = np.argsort(row)[::-1][: args.top]
-            ranking = ", ".join(f"{node}:{row[node]:.6f}" for node in order)
-            print(f"seed {seed}: {ranking}")
-        pool_stats = pool.pool_stats()
-        print(f"served {pool_stats['queries_submitted']} queries across "
-              f"{pool_stats['n_workers']} workers")
-        if args.metrics_out:
-            print(f"wrote metrics snapshot to {args.metrics_out}")
+    # Graceful shutdown: the first SIGTERM/SIGINT stops accepting new
+    # batches; the pool context flushes metrics and escalates on any
+    # wedged worker, and the process exits 0 (a clean drain, not a crash).
+    shutdown = {"signal": None}
+
+    def _request_shutdown(signum, frame):
+        shutdown["signal"] = signal.Signals(signum).name
+
+    previous = {
+        sig: signal.signal(sig, _request_shutdown)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        with WorkerPool(
+            args.artifacts,
+            n_workers=args.workers,
+            metrics_path=args.metrics_out,
+            fault_plan=fault_plan,
+        ) as pool:
+            for stats in pool.worker_stats():
+                delta = stats["load_rss_delta_bytes"]
+                delta_text = f"{delta / 1024:.0f} KiB" if delta is not None else "n/a"
+                print(f"worker {stats['worker_id']} (pid {stats['pid']}): "
+                      f"opened {stats['n_nodes']:,} nodes in "
+                      f"{stats['load_seconds'] * 1e3:.1f} ms, "
+                      f"load RSS delta {delta_text}")
+            first_round = True
+            while shutdown["signal"] is None:
+                scores = pool.scatter(seeds)
+                if first_round:
+                    for seed, row in zip(seeds, scores):
+                        order = np.argsort(row)[::-1][: args.top]
+                        ranking = ", ".join(
+                            f"{node}:{row[node]:.6f}" for node in order
+                        )
+                        print(f"seed {seed}: {ranking}")
+                    first_round = False
+                if not args.linger:
+                    break
+                # Linger mode: keep re-serving the batch (and refreshing the
+                # metrics snapshot) until a signal asks us to drain.
+                deadline = time.monotonic() + args.linger
+                while shutdown["signal"] is None and time.monotonic() < deadline:
+                    time.sleep(0.05)
+            if shutdown["signal"] is not None:
+                print(f"received {shutdown['signal']}: draining and shutting down",
+                      flush=True)
+            pool_stats = pool.pool_stats()
+            print(f"served {pool_stats['queries_submitted']} queries across "
+                  f"{pool_stats['n_workers']} workers "
+                  f"({pool_stats['worker_restarts']} worker restarts, "
+                  f"{pool_stats['requests_retried']} requests retried)")
+            force_killed = pool.stop()
+            if force_killed:
+                print(f"force-killed wedged workers: {force_killed}",
+                      file=sys.stderr)
+            if args.metrics_out:
+                print(f"wrote metrics snapshot to {args.metrics_out}")
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
     return 0
 
 
@@ -347,6 +393,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="answer K random seeds instead of --seeds")
     p_serve.add_argument("--top", type=int, default=5,
                          help="ranking size printed per seed (default: 5)")
+    p_serve.add_argument("--linger", type=float, default=None, metavar="SECONDS",
+                         help="keep serving, re-running the batch every SECONDS, "
+                              "until SIGTERM/SIGINT (graceful drain, exit 0)")
+    p_serve.add_argument("--fault-plan", metavar="PATH", default=None,
+                         help="JSON fault-injection plan shipped to the workers "
+                              "(see repro.faults; chaos testing only)")
     p_serve.add_argument("--metrics-out", metavar="PATH", default=None,
                          help="keep a merged worker-metrics snapshot (JSON) "
                               "fresh at PATH")

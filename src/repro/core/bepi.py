@@ -21,6 +21,7 @@ scores ``r3``.
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
@@ -30,7 +31,11 @@ from repro.core.base import RWRSolver
 from repro.core.engine import BePIQueryEngine, SolverArtifacts
 from repro.core.hub_ratio import DEFAULT_CANDIDATES, select_hub_ratio
 from repro.core.pipeline import PreprocessArtifacts, build_artifacts
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import (
+    ConvergenceWarning,
+    InvalidParameterError,
+    SingularMatrixError,
+)
 from repro.graph.graph import Graph
 from repro.linalg.ilu import ILUFactors, ilu0, ilut, spilu_factors
 from repro.linalg.preconditioners import JacobiPreconditioner
@@ -80,6 +85,11 @@ class BePI(RWRSolver):
         BiCGSTAB.
     max_iterations:
         Iteration budget for the Schur solve (default: its dimension).
+    fallback_chain:
+        Degrade through GMRES(Jacobi) → BiCGSTAB → power iteration when the
+        configured Schur solve fails to converge (default on; see
+        :class:`~repro.core.engine.BePIQueryEngine`).  Disable to surface
+        raw convergence failures (ablations, Fig. 6-7 iteration studies).
     memory_budget:
         Optional byte cap on preprocessed data.
     deadend_reorder:
@@ -125,6 +135,7 @@ class BePI(RWRSolver):
         iterative_method: str = "gmres",
         gmres_restart: Optional[int] = None,
         max_iterations: Optional[int] = None,
+        fallback_chain: bool = True,
         memory_budget: Optional[MemoryBudget] = None,
         deadend_reorder: bool = True,
         hub_selection: str = "slashburn",
@@ -162,6 +173,7 @@ class BePI(RWRSolver):
         self.iterative_method = iterative_method
         self.gmres_restart = gmres_restart
         self.max_iterations = max_iterations
+        self.fallback_chain = fallback_chain
         self.deadend_reorder = deadend_reorder
         self.hub_selection = hub_selection
         self.ilut_drop_tolerance = ilut_drop_tolerance
@@ -208,20 +220,41 @@ class BePI(RWRSolver):
 
         self._ilu = None
         ilu_seconds = 0.0
+        preconditioner_fallback = None
         if self.use_preconditioner and artifacts.schur.shape[0] > 0:
             start = time.perf_counter()
-            if self.ilu_engine == "ilu0":
-                self._ilu = ilu0(artifacts.schur)
-            elif self.ilu_engine == "ilut":
-                self._ilu = ilut(
-                    artifacts.schur,
-                    drop_tolerance=self.ilut_drop_tolerance,
-                    fill_factor=self.ilut_fill_factor,
+            try:
+                if self.ilu_engine == "ilu0":
+                    self._ilu = ilu0(artifacts.schur)
+                elif self.ilu_engine == "ilut":
+                    self._ilu = ilut(
+                        artifacts.schur,
+                        drop_tolerance=self.ilut_drop_tolerance,
+                        fill_factor=self.ilut_fill_factor,
+                    )
+                elif self.ilu_engine == "spilu":
+                    self._ilu = spilu_factors(artifacts.schur)
+                else:
+                    self._ilu = JacobiPreconditioner(artifacts.schur)
+            except (SingularMatrixError, RuntimeError):
+                # Incomplete-factorization breakdown (zero/tiny pivot, or
+                # SuperLU giving up): degrade to the Jacobi diagonal, and to
+                # no preconditioner at all if even that is singular.  GMRES
+                # still converges, just on the unpreconditioned Fig. 6
+                # iteration counts.
+                try:
+                    self._ilu = JacobiPreconditioner(artifacts.schur)
+                    preconditioner_fallback = "jacobi"
+                except SingularMatrixError:
+                    self._ilu = None
+                    preconditioner_fallback = "none"
+                warnings.warn(
+                    f"{self.ilu_engine} factorization of the Schur complement "
+                    f"broke down; falling back to "
+                    f"{preconditioner_fallback!r} preconditioning",
+                    ConvergenceWarning,
+                    stacklevel=2,
                 )
-            elif self.ilu_engine == "spilu":
-                self._ilu = spilu_factors(artifacts.schur)
-            else:
-                self._ilu = JacobiPreconditioner(artifacts.schur)
             ilu_seconds = time.perf_counter() - start
 
         self._install_artifacts(
@@ -249,6 +282,7 @@ class BePI(RWRSolver):
                 "ilu_seconds": ilu_seconds,
                 "stage_timings": dict(artifacts.timings),
                 "preconditioned": self._ilu is not None,
+                "preconditioner_fallback": preconditioner_fallback,
             }
         )
 
@@ -263,6 +297,7 @@ class BePI(RWRSolver):
             "iterative_method": self.iterative_method,
             "gmres_restart": self.gmres_restart,
             "max_iterations": self.max_iterations,
+            "fallback_chain": self.fallback_chain,
             "hub_ratio": self.hub_ratio,
             "use_preconditioner": self.use_preconditioner,
             "ilu_engine": self.ilu_engine,

@@ -17,6 +17,16 @@ class GraphFormatError(ReproError):
     """An edge list or matrix could not be parsed or is structurally invalid."""
 
 
+class ArtifactIntegrityError(GraphFormatError):
+    """A persisted artifact's bytes do not match its manifest checksums.
+
+    Subclasses :class:`GraphFormatError` so existing "this path is not a
+    usable artifact" handlers keep working; serving layers catch it
+    specifically to quarantine the corrupt generation and roll back to the
+    last good one (:meth:`repro.store.ArtifactStore.open_current`).
+    """
+
+
 class NotPreprocessedError(ReproError):
     """A solver query was issued before :meth:`preprocess` was called."""
 

@@ -1,0 +1,343 @@
+"""Deterministic fault injection for chaos-testing the serving stack.
+
+Production RWR serving has to survive three broad failure families: worker
+processes dying mid-query (OOM kills), artifact bytes rotting on disk, and
+the iterative solver stagnating (the failure mode BePI's ILU(0)
+preconditioning exists to avoid, cf. Table 5).  Testing the recovery paths
+with *random* chaos makes CI flaky; this module makes every fault an
+explicit, serializable **plan** instead:
+
+- :class:`WorkerCrash` — a serving worker calls ``os._exit`` while handling
+  its N-th query batch (after computing, before replying), mimicking an
+  OOM kill mid-``scatter``;
+- :class:`WorkerHang` — a worker ignores ``SIGTERM``, forcing
+  :meth:`repro.serve.WorkerPool.stop` through its terminate → kill
+  escalation;
+- :class:`QueueDelay` — a worker sleeps before replying, simulating a slow
+  or backed-up queue;
+- :class:`ArtifactByteFlip` — one byte of an artifact array file is XOR'd,
+  which the manifest-v4 checksums must catch on load;
+- :class:`GMRESStagnation` — the next N GMRES solves return unconverged
+  without iterating, driving the engine's solver fallback chain.
+
+A :class:`FaultPlan` groups the specs and round-trips through plain dicts
+and JSON, so it can cross the ``spawn`` boundary into worker processes and
+be checked into CI fixtures.  Faults fire through a process-local injector
+(:func:`install` / :func:`clear` / :func:`active`); when no plan is
+installed every query function returns its "no fault" answer on a single
+attribute read, so the production hot path stays unaffected.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "ArtifactByteFlip",
+    "FaultPlan",
+    "GMRESStagnation",
+    "QueueDelay",
+    "WorkerCrash",
+    "WorkerHang",
+    "active",
+    "active_plan",
+    "apply_byte_flips",
+    "clear",
+    "consume_gmres_stagnations",
+    "crash_for",
+    "delay_for",
+    "hang_for",
+    "install",
+    "load_plan",
+    "pending_gmres_stagnations",
+]
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Kill worker ``worker`` while it handles query batch ``at_batch``.
+
+    The worker computes the answer, then ``os._exit(exitcode)``\\ s *before*
+    replying — exactly the window an OOM kill hits.  ``at_batch`` counts the
+    worker's own query batches from 0.  The default exit code mirrors a
+    SIGKILL'd process (128 + 9).
+    """
+
+    worker: int
+    at_batch: int = 0
+    exitcode: int = 137
+
+
+@dataclass(frozen=True)
+class WorkerHang:
+    """Make worker ``worker`` ignore SIGTERM, so only SIGKILL reaps it."""
+
+    worker: int
+
+
+@dataclass(frozen=True)
+class QueueDelay:
+    """Sleep ``seconds`` before worker ``worker`` replies to a query batch.
+
+    ``at_batch=None`` delays every batch; otherwise only the given 0-based
+    batch index is delayed.
+    """
+
+    worker: int
+    seconds: float
+    at_batch: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ArtifactByteFlip:
+    """XOR one byte of ``arrays/<array>.npy`` inside an artifact directory.
+
+    ``offset`` indexes into the file with Python semantics (negative counts
+    from the end); the default flips the last byte, which lands in the
+    array payload rather than the ``.npy`` header.
+    """
+
+    array: str = "S.data"
+    offset: int = -1
+
+
+@dataclass(frozen=True)
+class GMRESStagnation:
+    """Force the next ``solves`` GMRES solves to return unconverged.
+
+    Each right-hand side counts as one solve, matching the
+    ``gmres.solves`` telemetry counter; the budget is consumed process-wide
+    in call order, so a chain that retries GMRES with a weaker
+    preconditioner consumes additional budget on the retry.
+    """
+
+    solves: int = 1
+
+
+_SPEC_TYPES = {
+    "worker_crashes": WorkerCrash,
+    "worker_hangs": WorkerHang,
+    "queue_delays": QueueDelay,
+    "byte_flips": ArtifactByteFlip,
+    "gmres_stagnations": GMRESStagnation,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An explicit, reproducible set of faults to inject.
+
+    Plans are immutable; derive narrower plans with :meth:`without_worker`
+    (used when a crashed worker is respawned, so the replacement does not
+    replay the crash that killed its predecessor).
+    """
+
+    worker_crashes: Tuple[WorkerCrash, ...] = ()
+    worker_hangs: Tuple[WorkerHang, ...] = ()
+    queue_delays: Tuple[QueueDelay, ...] = ()
+    byte_flips: Tuple[ArtifactByteFlip, ...] = ()
+    gmres_stagnations: Tuple[GMRESStagnation, ...] = ()
+
+    def __post_init__(self):
+        for name in _SPEC_TYPES:
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+
+    # ------------------------------------------------------------------
+    # Serialization (crosses the multiprocessing spawn boundary and CI)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, List[dict]]:
+        return {
+            name: [asdict(spec) for spec in getattr(self, name)]
+            for name in _SPEC_TYPES
+            if getattr(self, name)
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, List[dict]]) -> "FaultPlan":
+        unknown = set(data) - set(_SPEC_TYPES)
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown fault plan sections: {sorted(unknown)} "
+                f"(expected a subset of {sorted(_SPEC_TYPES)})"
+            )
+        kwargs = {}
+        for name, spec_cls in _SPEC_TYPES.items():
+            try:
+                kwargs[name] = tuple(spec_cls(**entry) for entry in data.get(name, ()))
+            except TypeError as exc:
+                raise InvalidParameterError(
+                    f"bad {name} entry in fault plan: {exc}"
+                ) from exc
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def without_worker(self, worker: int) -> "FaultPlan":
+        """A copy with every crash/hang/delay targeting ``worker`` removed.
+
+        Respawned workers receive this narrowed plan so a one-shot crash
+        directive does not loop forever.
+        """
+        return FaultPlan(
+            worker_crashes=tuple(
+                s for s in self.worker_crashes if s.worker != worker
+            ),
+            worker_hangs=tuple(s for s in self.worker_hangs if s.worker != worker),
+            queue_delays=tuple(s for s in self.queue_delays if s.worker != worker),
+            byte_flips=self.byte_flips,
+            gmres_stagnations=self.gmres_stagnations,
+        )
+
+    @property
+    def empty(self) -> bool:
+        return not any(getattr(self, name) for name in _SPEC_TYPES)
+
+
+def load_plan(path) -> FaultPlan:
+    """Read a :class:`FaultPlan` from a JSON file."""
+    return FaultPlan.from_json(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# Process-local injector
+# ----------------------------------------------------------------------
+class _Injector:
+    """Mutable fault state derived from a plan (stagnation budget counts down)."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._stagnation_budget = sum(s.solves for s in plan.gmres_stagnations)
+        self._lock = threading.Lock()
+
+    def consume_stagnations(self, requested: int) -> int:
+        with self._lock:
+            taken = min(self._stagnation_budget, max(int(requested), 0))
+            self._stagnation_budget -= taken
+            return taken
+
+    def pending_stagnations(self) -> int:
+        return self._stagnation_budget
+
+
+_ACTIVE: Optional[_Injector] = None
+
+
+def install(plan: FaultPlan) -> None:
+    """Install ``plan`` as this process's active fault plan."""
+    global _ACTIVE
+    _ACTIVE = _Injector(plan)
+
+
+def clear() -> None:
+    """Remove the active fault plan (no faults fire afterwards)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def active(plan: FaultPlan):
+    """Scoped :func:`install`: the previous plan is restored on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = _Injector(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, or ``None``."""
+    return _ACTIVE.plan if _ACTIVE is not None else None
+
+
+# ----------------------------------------------------------------------
+# Injection-point queries (all O(plan size); no-ops without a plan)
+# ----------------------------------------------------------------------
+def crash_for(worker: int, batch_index: int) -> Optional[WorkerCrash]:
+    """The crash directive for ``worker`` at query batch ``batch_index``."""
+    if _ACTIVE is None:
+        return None
+    for spec in _ACTIVE.plan.worker_crashes:
+        if spec.worker == worker and spec.at_batch == batch_index:
+            return spec
+    return None
+
+
+def hang_for(worker: int) -> bool:
+    """Whether ``worker`` should ignore SIGTERM."""
+    if _ACTIVE is None:
+        return False
+    return any(spec.worker == worker for spec in _ACTIVE.plan.worker_hangs)
+
+
+def delay_for(worker: int, batch_index: int) -> float:
+    """Total injected reply delay (seconds) for this worker/batch."""
+    if _ACTIVE is None:
+        return 0.0
+    return sum(
+        spec.seconds
+        for spec in _ACTIVE.plan.queue_delays
+        if spec.worker == worker
+        and (spec.at_batch is None or spec.at_batch == batch_index)
+    )
+
+
+def consume_gmres_stagnations(requested: int = 1) -> int:
+    """Take up to ``requested`` forced stagnations from the budget."""
+    if _ACTIVE is None:
+        return 0
+    return _ACTIVE.consume_stagnations(requested)
+
+
+def pending_gmres_stagnations() -> int:
+    """Forced stagnations still pending (0 without an active plan)."""
+    if _ACTIVE is None:
+        return 0
+    return _ACTIVE.pending_stagnations()
+
+
+# ----------------------------------------------------------------------
+# Artifact corruption helper (used by chaos tests and drills)
+# ----------------------------------------------------------------------
+def apply_byte_flips(directory, plan: Optional[FaultPlan] = None) -> List[str]:
+    """Apply a plan's byte flips to an artifact directory; returns the files hit.
+
+    Flips are XOR 0xFF, so applying the same plan twice restores the
+    original bytes.  Raises :class:`InvalidParameterError` when a targeted
+    array file does not exist — a typo'd plan should fail loudly, not
+    silently corrupt nothing.
+    """
+    plan = plan if plan is not None else active_plan()
+    if plan is None:
+        return []
+    flipped = []
+    for spec in plan.byte_flips:
+        target = Path(directory) / "arrays" / f"{spec.array}.npy"
+        if not target.is_file():
+            raise InvalidParameterError(
+                f"byte flip target {target} does not exist"
+            )
+        data = bytearray(target.read_bytes())
+        try:
+            data[spec.offset] ^= 0xFF
+        except IndexError:
+            raise InvalidParameterError(
+                f"byte flip offset {spec.offset} out of range for {target} "
+                f"({len(data)} bytes)"
+            )
+        target.write_bytes(bytes(data))
+        flipped.append(str(target))
+    return flipped

@@ -22,10 +22,18 @@ paper's Algorithm 3 returns — so file size tracks
 
 Format history
 --------------
-- **v3** (current, directory): raw ``.npy`` per array + ``manifest.json``,
+- **v4** (current, directory): v3 plus per-array SHA-256 checksums in the
+  manifest.  :func:`load_artifacts` verifies every array file against them
+  before reassembly (``verify=False`` skips, for benchmarks that measure
+  pure open cost), so a flipped bit on disk surfaces as
+  :class:`~repro.exceptions.ArtifactIntegrityError` at load time instead
+  of as silently wrong scores; :class:`repro.store.ArtifactStore`
+  quarantines such generations and rolls back.
+- **v3** (directory): raw ``.npy`` per array + ``manifest.json``,
   designed for ``np.load(mmap_mode="r")``.  Index arrays keep their
   in-memory dtype (typically ``int32``) so scipy reuses the mapped buffers
-  instead of copying.  Stores the real hub-and-spoke ordering.
+  instead of copying.  Stores the real hub-and-spoke ordering.  Still
+  loadable; with no stored checksums verification is skipped.
 - **v2** (``.npz``): drops the ``H11`` block.  Algorithm 3's output list
   and the query phase only ever use the *inverted factors* ``L1^{-1}`` /
   ``U1^{-1}``, so storing ``H11`` was pure file bloat scaling with the
@@ -41,6 +49,7 @@ an archive path (``.npz`` suffix optional) or an artifact directory.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -52,7 +61,11 @@ import scipy.sparse as sp
 from repro.core.bepi import BePI
 from repro.core.engine import SolverArtifacts
 from repro.core.pipeline import PreprocessArtifacts
-from repro.exceptions import GraphFormatError, NotPreprocessedError
+from repro.exceptions import (
+    ArtifactIntegrityError,
+    GraphFormatError,
+    NotPreprocessedError,
+)
 from repro.graph.graph import Graph
 from repro.linalg.block_lu import BlockDiagonalLU
 from repro.linalg.ilu import ILUFactors
@@ -63,7 +76,11 @@ from repro.reorder.permutation import Permutation
 PathLike = Union[str, os.PathLike]
 
 _FORMAT_VERSION = 2
-_ARTIFACT_FORMAT_VERSION = 3
+_ARTIFACT_FORMAT_VERSION = 4
+
+#: Directory-format versions ``load_artifacts`` accepts.  v3 predates the
+#: per-array checksums; its arrays load unverified.
+_SUPPORTED_ARTIFACT_VERSIONS = (3, 4)
 
 #: Versions ``load_solver`` accepts for ``.npz`` archives.  v1 archives
 #: additionally contain the (unused) ``H11`` block; it is ignored on load.
@@ -268,10 +285,52 @@ def _load_npz_bundle(path: Path) -> SolverArtifacts:
 
 
 # ----------------------------------------------------------------------
-# v3: artifact directory for zero-copy mmap serving
+# v4: artifact directory for zero-copy mmap serving
 # ----------------------------------------------------------------------
+def _sha256_file(path: Path) -> str:
+    """Streaming SHA-256 of a file (arrays can be larger than RAM)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def verify_artifacts(directory: PathLike) -> int:
+    """Check every checksummed array file in an artifact directory.
+
+    Returns the number of files verified (0 for a v3 directory, which
+    stores no checksums).
+
+    Raises
+    ------
+    ArtifactIntegrityError
+        Naming the first array file whose bytes do not match the manifest,
+        or that the manifest names but is missing on disk.
+    """
+    root = Path(directory)
+    manifest = _read_manifest(root)
+    checksums: Dict[str, str] = manifest.get("checksums", {})
+    arrays_dir = root / _ARRAYS_DIR
+    for filename in sorted(checksums):
+        target = arrays_dir / filename
+        if not target.is_file():
+            raise ArtifactIntegrityError(
+                f"{root}: manifest names {_ARRAYS_DIR}/{filename} but the "
+                "file is missing"
+            )
+        actual = _sha256_file(target)
+        expected = checksums[filename]
+        if actual != expected:
+            raise ArtifactIntegrityError(
+                f"{root}: {_ARRAYS_DIR}/{filename} is corrupt "
+                f"(sha256 {actual} != manifest {expected})"
+            )
+    return len(checksums)
+
+
 def save_artifacts(source: Union[BePI, SolverArtifacts], directory: PathLike) -> Path:
-    """Write an immutable artifact directory (format v3) for serving.
+    """Write an immutable artifact directory (format v4) for serving.
 
     Layout: ``<directory>/manifest.json`` plus ``<directory>/arrays/`` with
     one raw ``.npy`` file per array.  CSR index arrays are written in their
@@ -279,9 +338,10 @@ def save_artifacts(source: Union[BePI, SolverArtifacts], directory: PathLike) ->
     that :func:`load_artifacts` can hand the memory-mapped buffers to scipy
     without a dtype-conversion copy.
 
-    The manifest is written *last*, so a reader that finds one can trust
-    every array file it names (the generation-level atomicity for live
-    swaps is handled by :class:`repro.store.ArtifactStore` on top).
+    The manifest is written *last* and carries a SHA-256 checksum of every
+    array file, so a reader that finds one can trust — and verify — every
+    array file it names (the generation-level atomicity for live swaps is
+    handled by :class:`repro.store.ArtifactStore` on top).
 
     Accepts a preprocessed :class:`~repro.core.bepi.BePI` solver or its
     :class:`~repro.core.engine.SolverArtifacts` bundle; returns the
@@ -301,9 +361,12 @@ def save_artifacts(source: Union[BePI, SolverArtifacts], directory: PathLike) ->
     arrays_dir.mkdir(parents=True, exist_ok=True)
 
     csr_shapes: Dict[str, list] = {}
+    checksums: Dict[str, str] = {}
 
     def write_dense(name: str, array: np.ndarray) -> None:
-        np.save(arrays_dir / f"{name}.npy", np.ascontiguousarray(array))
+        target = arrays_dir / f"{name}.npy"
+        np.save(target, np.ascontiguousarray(array))
+        checksums[target.name] = _sha256_file(target)
 
     def write_csr(name: str, matrix: sp.spmatrix) -> None:
         csr = sp.csr_matrix(matrix)
@@ -341,6 +404,7 @@ def save_artifacts(source: Union[BePI, SolverArtifacts], directory: PathLike) ->
         "hub_ratio": artifacts.hubspoke.hub_ratio,
         "preconditioner_kind": kind,
         "csr_shapes": csr_shapes,
+        "checksums": checksums,
     }
     manifest_tmp = root / (_MANIFEST_NAME + ".tmp")
     manifest_tmp.write_text(json.dumps(manifest, indent=2))
@@ -353,7 +417,7 @@ def _read_manifest(directory: Path) -> Dict[str, Any]:
     if not manifest_path.is_file():
         raise GraphFormatError(f"{directory}: not an artifact directory (no manifest)")
     manifest = json.loads(manifest_path.read_text())
-    if manifest.get("format_version") != _ARTIFACT_FORMAT_VERSION:
+    if manifest.get("format_version") not in _SUPPORTED_ARTIFACT_VERSIONS:
         raise GraphFormatError(
             f"{directory}: unsupported artifact format version "
             f"{manifest.get('format_version')}"
@@ -361,7 +425,9 @@ def _read_manifest(directory: Path) -> Dict[str, Any]:
     return manifest
 
 
-def load_artifacts(directory: PathLike, mmap: bool = True) -> SolverArtifacts:
+def load_artifacts(
+    directory: PathLike, mmap: bool = True, verify: bool = True
+) -> SolverArtifacts:
     """Open an artifact directory written by :func:`save_artifacts`.
 
     With ``mmap=True`` (default) every array is ``np.load(mmap_mode="r")``
@@ -370,9 +436,17 @@ def load_artifacts(directory: PathLike, mmap: bool = True) -> SolverArtifacts:
     touches it, the OS page cache shares resident pages between all
     processes serving the same directory, and the read-only mapping makes
     the bundle immutable by construction (writes raise).
+
+    With ``verify=True`` (default) every array file is hashed against the
+    manifest's SHA-256 checksums before reassembly and a mismatch raises
+    :class:`ArtifactIntegrityError`; v3 directories carry no checksums and
+    load unverified.  Pass ``verify=False`` when measuring pure open cost —
+    verification reads every byte, which defeats mmap laziness.
     """
     root = Path(directory)
     manifest = _read_manifest(root)
+    if verify:
+        verify_artifacts(root)
     arrays_dir = root / _ARRAYS_DIR
     mode = "r" if mmap else None
 
@@ -490,13 +564,14 @@ def _resolve_archive_path(path: PathLike) -> Path:
     raise GraphFormatError(f"{path}: no such saved solver")
 
 
-def load_solver(path: PathLike, mmap: bool = True) -> BePI:
+def load_solver(path: PathLike, mmap: bool = True, verify: bool = True) -> BePI:
     """Load a solver saved by :func:`save_solver` or :func:`save_artifacts`.
 
     ``path`` may be a ``.npz`` archive (suffix optional; formats v1/v2) or
-    an artifact directory (format v3, opened with ``mmap`` as in
-    :func:`load_artifacts`).  Either way the result is a query-ready
-    :class:`~repro.core.bepi.BePI` in the same state ``preprocess`` leaves.
+    an artifact directory (formats v3/v4, opened with ``mmap`` and
+    ``verify`` as in :func:`load_artifacts`).  Either way the result is a
+    query-ready :class:`~repro.core.bepi.BePI` in the same state
+    ``preprocess`` leaves.
 
     Raises
     ------
@@ -506,7 +581,7 @@ def load_solver(path: PathLike, mmap: bool = True) -> BePI:
     """
     given = Path(path)
     if given.is_dir():
-        bundle = load_artifacts(given, mmap=mmap)
+        bundle = load_artifacts(given, mmap=mmap, verify=verify)
     else:
         bundle = _load_npz_bundle(_resolve_archive_path(given))
     return _solver_from_bundle(bundle, str(path))

@@ -22,13 +22,15 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import queue
+import signal
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.bench.memory import process_rss_bytes
 from repro.core.engine import (
     BearQueryEngine,
@@ -37,12 +39,28 @@ from repro.core.engine import (
     SolverArtifacts,
 )
 from repro.exceptions import GraphFormatError, InvalidParameterError
+from repro.faults import FaultPlan
 from repro.persistence import PathLike, load_artifacts
 from repro.store import ArtifactStore
 from repro.telemetry import MetricsRegistry
 
 #: Seconds a pool waits for a worker reply before giving up.
 DEFAULT_TIMEOUT = 300.0
+
+#: Seconds between liveness checks while waiting on the result queue.
+POLL_INTERVAL = 0.1
+
+#: Respawns allowed per worker slot before it is taken out of rotation.
+DEFAULT_MAX_RESPAWNS = 3
+
+#: Dispatch attempts per request before the caller sees a WorkerError.
+DEFAULT_MAX_RETRIES = 3
+
+#: First respawn backoff (seconds); doubles per respawn of the same slot.
+DEFAULT_RESPAWN_BACKOFF = 0.25
+
+#: Cap on the exponential respawn backoff.
+MAX_RESPAWN_BACKOFF = 30.0
 
 
 class WorkerError(RuntimeError):
@@ -77,28 +95,50 @@ def resolve_artifact_path(path: PathLike) -> Path:
     raise GraphFormatError(f"{path}: neither an artifact directory nor a store root")
 
 
-def open_query_engine(path: PathLike, mmap: bool = True) -> QueryEngine:
+def open_query_engine(
+    path: PathLike, mmap: bool = True, verify: bool = True
+) -> QueryEngine:
     """Open an artifact directory (or store root) as a stateless query engine.
 
     This is what a serving worker calls: no solver object, no
     re-preprocessing — just the Algorithm 4 executor over memory-mapped
-    matrices.
+    matrices.  When ``path`` is a store root, opening goes through
+    :meth:`~repro.store.ArtifactStore.open_current`, so a generation whose
+    checksums fail is quarantined and the last good generation is served
+    instead; a bare artifact directory has nothing to roll back to, so
+    corruption there surfaces as
+    :class:`~repro.exceptions.ArtifactIntegrityError`.
     """
-    bundle = load_artifacts(resolve_artifact_path(path), mmap=mmap)
+    p = Path(path)
+    if not (p / "manifest.json").is_file() and (p / "generations").is_dir():
+        bundle = ArtifactStore(p).open_current(mmap=mmap, verify=verify)
+    else:
+        bundle = load_artifacts(resolve_artifact_path(p), mmap=mmap, verify=verify)
     return engine_for_bundle(bundle)
 
 
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
-def _worker_main(worker_id, path, mmap, task_queue, result_queue):
+def _worker_main(worker_id, path, mmap, task_queue, result_queue, fault_plan=None):
     """Worker loop: open the artifact directory, then answer until ``stop``.
 
     Replies on the shared result queue as ``(kind, worker_id, request_id,
     payload)`` tuples; the load-time RSS delta in the ready message is what
     the serving benchmark reports (for mmap workers it stays far below the
     artifact size — the pages are shared, not copied).
+
+    ``fault_plan`` is an optional :class:`repro.faults.FaultPlan` as a dict
+    (dataclasses do not cross the ``spawn`` boundary cheaply); when present
+    the worker installs it and honours its crash/hang/delay/stagnation
+    directives, which is how the chaos tests produce reproducible failures.
     """
+    if fault_plan:
+        faults.install(FaultPlan.from_dict(fault_plan))
+    if faults.hang_for(worker_id):
+        # Simulate a wedged worker: SIGTERM is ignored, so only the pool's
+        # terminate -> kill escalation can reap this process.
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
     registry = MetricsRegistry()
     rss_before = process_rss_bytes()
     start = time.perf_counter()
@@ -130,6 +170,7 @@ def _worker_main(worker_id, path, mmap, task_queue, result_queue):
         )
     )
     started = time.perf_counter()
+    batch_index = 0
     with registry.activate():
         while True:
             message = task_queue.get()
@@ -147,6 +188,15 @@ def _worker_main(worker_id, path, mmap, task_queue, result_queue):
                     ).observe(len(seeds))
                     with registry.span("serve.batch"):
                         payload: Any = engine.query_many(seeds)
+                    # Injection window: the answer is computed but not yet
+                    # sent — exactly where an OOM kill loses the most work.
+                    delay = faults.delay_for(worker_id, batch_index)
+                    crash = faults.crash_for(worker_id, batch_index)
+                    batch_index += 1
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    if crash is not None:
+                        os._exit(crash.exitcode)
                 elif command == "rss":
                     payload = process_rss_bytes()
                 elif command == "metrics":
@@ -168,7 +218,7 @@ def _worker_main(worker_id, path, mmap, task_queue, result_queue):
 
 
 class WorkerPool:
-    """A fixed set of query-serving worker processes over one artifact path.
+    """A supervised set of query-serving worker processes over one artifact path.
 
     Parameters
     ----------
@@ -189,6 +239,35 @@ class WorkerPool:
         Optional path of a JSON metrics snapshot the pool keeps fresh: the
         merged worker metrics are rewritten there after every query batch
         and at shutdown, which is the file ``repro-cli metrics`` reads.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` shipped to every worker
+        (chaos testing); respawned workers get the plan narrowed by
+        :meth:`~repro.faults.FaultPlan.without_worker` so one-shot crash
+        directives do not loop.
+    max_respawns:
+        Respawns allowed per worker slot before it is taken out of
+        rotation permanently.
+    max_retries:
+        Dispatch attempts per request (first try included) before the
+        caller sees a :class:`WorkerError`.
+    respawn_backoff:
+        First respawn delay in seconds; doubles per respawn of the same
+        slot (capped at :data:`MAX_RESPAWN_BACKOFF`).
+    stop_timeout:
+        Seconds :meth:`stop` waits at each escalation step
+        (cooperative stop → SIGTERM → SIGKILL).
+
+    Supervision
+    -----------
+    The pool polls worker liveness while waiting for replies.  A worker
+    found dead (OOM kill, segfault, injected crash) is respawned with
+    exponential backoff, and its in-flight requests are re-dispatched to
+    healthy workers — at most ``max_retries`` attempts each.  Because the
+    artifacts are immutable and the query phase is deterministic, a retried
+    request returns bit-identical scores; callers never observe the crash
+    beyond added latency.  Restart counts are exported as
+    ``rwr.serve.worker_restarts`` / ``rwr.serve.request_retries`` and in
+    :meth:`pool_stats`.
 
     Examples
     --------
@@ -207,29 +286,57 @@ class WorkerPool:
         start_method: str = "spawn",
         timeout: float = DEFAULT_TIMEOUT,
         metrics_path: Optional[PathLike] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        max_respawns: int = DEFAULT_MAX_RESPAWNS,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        respawn_backoff: float = DEFAULT_RESPAWN_BACKOFF,
+        stop_timeout: float = 10.0,
     ):
         if n_workers < 1:
             raise InvalidParameterError(f"n_workers must be >= 1, got {n_workers}")
+        if max_retries < 1:
+            raise InvalidParameterError(f"max_retries must be >= 1, got {max_retries}")
         self.path = Path(path)
         self.n_workers = n_workers
         self.timeout = timeout
+        self.max_respawns = max_respawns
+        self.max_retries = max_retries
+        self.respawn_backoff = respawn_backoff
+        self.stop_timeout = stop_timeout
         self.metrics_path = Path(metrics_path) if metrics_path is not None else None
+        self._clean_orphan_metrics()
         self._started = time.perf_counter()
         self._worker_queries = [0] * n_workers
-        ctx = mp.get_context(start_method)
-        self._result_queue = ctx.Queue()
-        self._task_queues = []
-        self._processes = []
+        self._mmap = mmap
+        self._ctx = mp.get_context(start_method)
+        self._result_queue = self._ctx.Queue()
+        self._task_queues: List[Any] = []
+        self._processes: List[Any] = []
+        self._worker_plans: List[Optional[FaultPlan]] = [fault_plan] * n_workers
         self._request_counter = 0
         self._closed = False
+        # Supervision state: wire-id -> in-flight record, caller-abandoned
+        # origins, permanently failed origins, restart bookkeeping.
+        self._inflight: Dict[int, Dict[str, Any]] = {}
+        self._cancelled: set = set()
+        self._failed: Dict[int, str] = {}
+        self._respawns = [0] * n_workers
+        self._disabled = [False] * n_workers
+        self._restart_log: List[Dict[str, Any]] = []
+        self._force_killed: List[int] = []
+        self._registry = MetricsRegistry()
+        # Pre-register so the supervision counters export as 0 rather than
+        # being absent from snapshots of an incident-free pool.
+        self._registry.counter(
+            telemetry.WORKER_RESTARTS, help="worker processes respawned"
+        )
+        self._registry.counter(
+            telemetry.REQUEST_RETRIES,
+            help="requests re-dispatched after a worker death",
+        )
         for worker_id in range(n_workers):
-            task_queue = ctx.Queue()
-            process = ctx.Process(
-                target=_worker_main,
-                args=(worker_id, str(path), mmap, task_queue, self._result_queue),
-                daemon=True,
-            )
-            process.start()
+            task_queue = self._ctx.Queue()
+            process = self._spawn_process(worker_id, task_queue, fault_plan)
             self._task_queues.append(task_queue)
             self._processes.append(process)
         self._stats: List[Dict[str, Any]] = [{} for _ in range(n_workers)]
@@ -245,30 +352,59 @@ class WorkerPool:
             self._terminate()
             raise
 
+    def _spawn_process(self, worker_id, task_queue, fault_plan):
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                str(self.path),
+                self._mmap,
+                task_queue,
+                self._result_queue,
+                fault_plan.to_dict() if fault_plan is not None else None,
+            ),
+            daemon=True,
+        )
+        process.start()
+        return process
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def query_many(self, seeds: Sequence[int], worker: int = 0) -> np.ndarray:
-        """``(k, n)`` RWR scores for ``seeds``, answered by one worker."""
+        """``(k, n)`` RWR scores for ``seeds``, answered by one worker.
+
+        If ``worker``'s slot has been taken out of rotation by the
+        supervisor, the request is routed to a healthy worker instead.
+        """
+        if not 0 <= worker < self.n_workers:
+            raise InvalidParameterError(
+                f"worker must be in [0, {self.n_workers}), got {worker}"
+            )
+        if self._disabled[worker]:
+            worker = self._require_healthy()[0]
         request_id = self._submit(worker, seeds)
         result = self._collect({request_id})[request_id]
         self._maybe_write_metrics()
         return result
 
     def query_many_each(self, seeds: Sequence[int]) -> List[np.ndarray]:
-        """Have *every* worker answer the same batch; returns one ``(k, n)``
-        matrix per worker (the cross-process determinism check)."""
-        requests = {self._submit(w, seeds): w for w in range(self.n_workers)}
+        """Have every healthy worker answer the same batch; returns one
+        ``(k, n)`` matrix per worker (the cross-process determinism check)."""
+        requests = {self._submit(w, seeds): w for w in self._require_healthy()}
         results = self._collect(set(requests))
         self._maybe_write_metrics()
         return [results[rid] for rid in sorted(requests, key=requests.get)]
 
     def scatter(self, seeds: Sequence[int]) -> np.ndarray:
-        """Split a batch across all workers; rows come back in seed order."""
+        """Split a batch across the healthy workers; rows come back in seed
+        order (bit-identical even if a worker dies and its share is retried
+        elsewhere — the artifacts are immutable)."""
         seed_list = list(seeds)
-        chunks = [c for c in np.array_split(np.arange(len(seed_list)), self.n_workers)]
+        workers = self._require_healthy()
+        chunks = [c for c in np.array_split(np.arange(len(seed_list)), len(workers))]
         requests = {}
-        for worker, chunk in enumerate(chunks):
+        for worker, chunk in zip(workers, chunks):
             if chunk.size:
                 requests[self._submit(worker, [seed_list[i] for i in chunk])] = chunk
         results = self._collect(set(requests))
@@ -280,12 +416,8 @@ class WorkerPool:
         return scores
 
     def rss_bytes(self) -> List[int]:
-        """Current resident set size of every worker, in bytes."""
-        requests = {}
-        for worker in range(self.n_workers):
-            request_id = self._next_request_id()
-            self._task_queues[worker].put(("rss", request_id))
-            requests[request_id] = worker
+        """Current resident set size of every healthy worker, in bytes."""
+        requests = {self._dispatch(w, ("rss",)): w for w in self._require_healthy()}
         results = self._collect(set(requests))
         return [results[rid] for rid in sorted(requests, key=requests.get)]
 
@@ -297,27 +429,28 @@ class WorkerPool:
     # Telemetry
     # ------------------------------------------------------------------
     def worker_metrics(self) -> List[Dict[str, Any]]:
-        """One metrics snapshot per worker (see :mod:`repro.telemetry`)."""
-        requests = {}
-        for worker in range(self.n_workers):
-            request_id = self._next_request_id()
-            self._task_queues[worker].put(("metrics", request_id))
-            requests[request_id] = worker
+        """One metrics snapshot per healthy worker (see :mod:`repro.telemetry`)."""
+        requests = {self._dispatch(w, ("metrics",)): w for w in self._require_healthy()}
         results = self._collect(set(requests))
         return [results[rid] for rid in sorted(requests, key=requests.get)]
 
     def metrics(self) -> MetricsRegistry:
-        """Merged metrics across every worker.
+        """Merged metrics across every worker plus the pool's own counters.
 
         Counters and gauges sum, histograms merge bucket-wise, so the pool
         totals (``rwr.queries``, ``rwr.queries.unconverged``, latency
         distributions) match what a single-process run of the same batches
-        would have recorded.
+        would have recorded.  Supervision counters
+        (``rwr.serve.worker_restarts``, ``rwr.serve.request_retries``) are
+        recorded pool-side and merged in.
         """
-        return telemetry.merge_snapshots(self.worker_metrics())
+        return telemetry.merge_snapshots(
+            self.worker_metrics() + [self._registry.snapshot()]
+        )
 
     def pool_stats(self) -> Dict[str, Any]:
-        """Pool-level serving statistics (queue depth, per-worker throughput)."""
+        """Pool-level serving statistics (queue depth, per-worker throughput,
+        supervision: respawns, retries, disabled slots, force-kills)."""
         uptime = time.perf_counter() - self._started
         depths = []
         for task_queue in self._task_queues:
@@ -328,12 +461,16 @@ class WorkerPool:
         known = [d for d in depths if d is not None]
         workers = []
         for worker_id, submitted in enumerate(self._worker_queries):
+            process = self._processes[worker_id]
             workers.append(
                 {
                     "worker_id": worker_id,
                     "queries_submitted": submitted,
                     "queries_per_second": submitted / uptime if uptime > 0 else 0.0,
                     "queue_depth": depths[worker_id],
+                    "respawns": self._respawns[worker_id],
+                    "disabled": self._disabled[worker_id],
+                    "alive": bool(process is not None and process.is_alive()),
                 }
             )
         return {
@@ -341,6 +478,12 @@ class WorkerPool:
             "uptime_seconds": uptime,
             "queue_depth": sum(known) if known else None,
             "queries_submitted": sum(self._worker_queries),
+            "worker_restarts": sum(self._respawns),
+            "requests_retried": int(
+                self._registry.counter(telemetry.REQUEST_RETRIES).value
+            ),
+            "restarts": [dict(event) for event in self._restart_log],
+            "force_killed": list(self._force_killed),
             "workers": workers,
         }
 
@@ -348,7 +491,10 @@ class WorkerPool:
         """Write the merged worker metrics as a JSON snapshot.
 
         ``path`` defaults to the pool's ``metrics_path``; parent
-        directories are created as needed.
+        directories are created as needed.  The snapshot is staged in a
+        pid-tagged ``.tmp`` file and atomically renamed into place;
+        orphaned ``.tmp`` files from a previous process that died
+        mid-write are cleaned up when the next pool starts.
         """
         target = Path(path) if path is not None else self.metrics_path
         if target is None:
@@ -356,10 +502,23 @@ class WorkerPool:
                 "no metrics path: pass one or construct the pool with metrics_path"
             )
         target.parent.mkdir(parents=True, exist_ok=True)
-        tmp = target.with_name(target.name + ".tmp")
-        tmp.write_text(self.metrics().to_json())
-        os.replace(tmp, target)
+        tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(self.metrics().to_json())
+            os.replace(tmp, target)
+        finally:
+            tmp.unlink(missing_ok=True)
         return target
+
+    def _clean_orphan_metrics(self) -> None:
+        """Remove stale ``.tmp`` staging files next to the metrics target."""
+        if self.metrics_path is None or not self.metrics_path.parent.is_dir():
+            return
+        for orphan in self.metrics_path.parent.glob(self.metrics_path.name + ".*tmp"):
+            try:
+                orphan.unlink()
+            except OSError:  # pragma: no cover - best effort
+                pass
 
     def _maybe_write_metrics(self) -> None:
         if self.metrics_path is not None and not self._closed:
@@ -368,10 +527,18 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def stop(self) -> None:
-        """Shut every worker down and reap the processes."""
+    def stop(self) -> List[int]:
+        """Shut every worker down and reap the processes.
+
+        Escalates per surviving process: cooperative ``stop`` message →
+        ``terminate()`` (SIGTERM) → ``kill()`` (SIGKILL), waiting
+        ``stop_timeout`` seconds at each step, so a wedged worker (stuck
+        solve, ignored SIGTERM) cannot leave a zombie behind.  Returns the
+        ids of workers that had to be force-killed (also recorded in
+        :meth:`pool_stats` under ``"force_killed"``).
+        """
         if self._closed:
-            return
+            return list(self._force_killed)
         if self.metrics_path is not None:
             try:
                 self.write_metrics()
@@ -384,14 +551,27 @@ class WorkerPool:
             except (OSError, ValueError):
                 pass
         for process in self._processes:
-            process.join(timeout=10)
+            if process is not None:
+                process.join(timeout=self.stop_timeout)
         self._terminate()
+        return list(self._force_killed)
 
     def _terminate(self) -> None:
-        for process in self._processes:
+        """Escalate on still-running workers: SIGTERM, then SIGKILL."""
+        survivors = [
+            (worker_id, process)
+            for worker_id, process in enumerate(self._processes)
+            if process is not None and process.is_alive()
+        ]
+        for _, process in survivors:
+            process.terminate()
+        for _, process in survivors:
+            process.join(timeout=self.stop_timeout)
+        for worker_id, process in survivors:
             if process.is_alive():
-                process.terminate()
-                process.join(timeout=5)
+                process.kill()
+                process.join(timeout=self.stop_timeout)
+                self._force_killed.append(worker_id)
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -400,35 +580,236 @@ class WorkerPool:
         self.stop()
 
     # ------------------------------------------------------------------
-    # Internals
+    # Internals: dispatch
     # ------------------------------------------------------------------
     def _next_request_id(self) -> int:
+        # Monotonic and never recycled: a late payload from a crashed or
+        # abandoned request can never collide with a newer request's id.
         self._request_counter += 1
         return self._request_counter
 
-    def _submit(self, worker: int, seeds: Sequence[int]) -> int:
+    def _healthy_workers(self) -> List[int]:
+        return [
+            worker_id
+            for worker_id in range(self.n_workers)
+            if not self._disabled[worker_id]
+            and self._processes[worker_id] is not None
+        ]
+
+    def _require_healthy(self) -> List[int]:
+        workers = self._healthy_workers()
+        if not workers:
+            raise WorkerError(
+                "no healthy workers left "
+                f"(all {self.n_workers} slots exhausted their respawn budget)"
+            )
+        return workers
+
+    def _dispatch(
+        self,
+        worker: int,
+        command: tuple,
+        origin: Optional[int] = None,
+        attempts: int = 1,
+    ) -> int:
+        """Send ``command`` to ``worker``, tracking it for crash recovery.
+
+        ``command`` is ``("query_many", seeds)``, ``("rss",)`` or
+        ``("metrics",)``.  ``origin`` is the id the caller holds; the first
+        dispatch uses the wire id itself, re-dispatches get a fresh wire id
+        mapping back to the same origin.
+        """
         if self._closed:
             raise WorkerError("pool is stopped")
+        wire_id = self._next_request_id()
+        if origin is None:
+            origin = wire_id
+        self._inflight[wire_id] = {
+            "origin": origin,
+            "worker": worker,
+            "command": command,
+            "attempts": attempts,
+        }
+        if command[0] == "query_many":
+            self._task_queues[worker].put(("query_many", wire_id, command[1]))
+        else:
+            self._task_queues[worker].put((command[0], wire_id))
+        return wire_id
+
+    def _submit(self, worker: int, seeds: Sequence[int]) -> int:
         if not 0 <= worker < self.n_workers:
             raise InvalidParameterError(
                 f"worker must be in [0, {self.n_workers}), got {worker}"
             )
-        request_id = self._next_request_id()
         seed_list = list(seeds)
-        self._task_queues[worker].put(("query_many", request_id, seed_list))
+        request_id = self._dispatch(worker, ("query_many", seed_list))
         self._worker_queries[worker] += len(seed_list)
         return request_id
 
+    # ------------------------------------------------------------------
+    # Internals: supervised collection
+    # ------------------------------------------------------------------
     def _collect(self, expected: set) -> Dict[int, Any]:
+        """Wait for every ``expected`` origin id, supervising the workers.
+
+        Instead of one blocking ``get`` per reply, the wait polls in
+        :data:`POLL_INTERVAL` slices and checks worker liveness between
+        slices: a dead worker is respawned and its in-flight requests are
+        re-dispatched (:meth:`_reap_worker`).  On any raise — worker error,
+        timeout, exhausted retries — every still-outstanding origin of this
+        call is cancelled so its payload, should it ever arrive, is dropped
+        instead of being delivered to a later call.
+        """
         results: Dict[int, Any] = {}
-        while expected - set(results):
-            kind, worker_id, request_id, payload = self._result_queue.get(
-                timeout=self.timeout
-            )
-            if kind == "error":
-                raise WorkerError(f"worker {worker_id}: {payload}")
-            results[request_id] = payload
+        deadline = time.monotonic() + self.timeout
+        try:
+            while expected - set(results):
+                self._check_workers()
+                for origin in expected:
+                    if origin in self._failed:
+                        raise WorkerError(self._failed.pop(origin))
+                try:
+                    kind, worker_id, request_id, payload = self._result_queue.get(
+                        timeout=POLL_INTERVAL
+                    )
+                except queue.Empty:
+                    if time.monotonic() >= deadline:
+                        raise WorkerError(
+                            f"timed out after {self.timeout}s waiting for "
+                            f"{len(expected - set(results))} outstanding request(s)"
+                        )
+                    continue
+                if kind == "ready":
+                    # A respawned worker finished opening the artifacts.
+                    self._stats[worker_id] = payload
+                    continue
+                if request_id == "ready":
+                    # A respawned worker failed to open the artifacts; the
+                    # process is exiting and _check_workers will see it.
+                    self._restart_log.append(
+                        {"worker_id": worker_id, "event": "respawn_failed",
+                         "error": str(payload)}
+                    )
+                    continue
+                record = self._inflight.pop(request_id, None)
+                if record is None or record["origin"] in self._cancelled:
+                    continue  # stale: re-dispatched, resolved, or abandoned
+                origin = record["origin"]
+                if kind == "error":
+                    raise WorkerError(f"worker {worker_id}: {payload}")
+                results[origin] = payload
+        except BaseException:
+            # Drain/cancel the rest of the batch: outstanding origins are
+            # marked so late payloads are dropped, and their in-flight
+            # records are forgotten so they are never re-dispatched.
+            for origin in expected - set(results):
+                self._cancelled.add(origin)
+            for wire_id in [
+                w for w, rec in self._inflight.items()
+                if rec["origin"] in self._cancelled
+            ]:
+                del self._inflight[wire_id]
+            raise
         return results
+
+    def _check_workers(self) -> None:
+        """Detect dead workers; respawn them and re-route their requests."""
+        for worker_id in range(self.n_workers):
+            process = self._processes[worker_id]
+            if (
+                process is None
+                or self._disabled[worker_id]
+                or process.is_alive()
+            ):
+                continue
+            self._reap_worker(worker_id, process)
+
+    def _reap_worker(self, worker_id: int, process) -> None:
+        exitcode = process.exitcode
+        self._restart_log.append(
+            {
+                "worker_id": worker_id,
+                "event": "died",
+                "exitcode": exitcode,
+                "pid": process.pid,
+            }
+        )
+        orphans = [
+            wire_id
+            for wire_id, record in self._inflight.items()
+            if record["worker"] == worker_id
+        ]
+        if self._respawns[worker_id] < self.max_respawns:
+            # Exponential backoff before the replacement: a crash loop
+            # (bad artifacts, OOM pressure) must not busy-spin the host.
+            backoff = min(
+                self.respawn_backoff * (2 ** self._respawns[worker_id]),
+                MAX_RESPAWN_BACKOFF,
+            )
+            time.sleep(backoff)
+            self._respawns[worker_id] += 1
+            plan = self._worker_plans[worker_id]
+            if plan is not None:
+                # The replacement must not replay its predecessor's crash.
+                plan = plan.without_worker(worker_id)
+                self._worker_plans[worker_id] = plan
+            # Fresh task queue: messages queued to the dead worker must not
+            # be double-served if they were already picked up pre-crash.
+            task_queue = self._ctx.Queue()
+            self._task_queues[worker_id] = task_queue
+            self._processes[worker_id] = self._spawn_process(
+                worker_id, task_queue, plan
+            )
+            self._registry.counter(
+                telemetry.WORKER_RESTARTS, help="worker processes respawned"
+            ).inc()
+            self._restart_log.append(
+                {"worker_id": worker_id, "event": "respawned",
+                 "backoff_seconds": backoff}
+            )
+        else:
+            self._disabled[worker_id] = True
+            self._processes[worker_id] = None
+            self._restart_log.append(
+                {"worker_id": worker_id, "event": "disabled",
+                 "respawns": self._respawns[worker_id]}
+            )
+        self._redispatch(worker_id, exitcode, orphans)
+
+    def _redispatch(self, dead_worker: int, exitcode, orphans: List[int]) -> None:
+        """Re-route a dead worker's in-flight requests to healthy workers.
+
+        Artifacts are immutable and the query phase deterministic, so the
+        retried result is bit-identical to what the dead worker would have
+        returned.  A request that exhausts ``max_retries`` fails its origin
+        with a :class:`WorkerError` naming the crash.
+        """
+        healthy = self._healthy_workers()
+        for index, wire_id in enumerate(orphans):
+            record = self._inflight.pop(wire_id, None)
+            if record is None or record["origin"] in self._cancelled:
+                continue
+            if record["attempts"] >= self.max_retries or not healthy:
+                self._failed[record["origin"]] = (
+                    f"worker {dead_worker} died (exitcode {exitcode}) and "
+                    f"request {record['origin']} exhausted its "
+                    f"{self.max_retries} attempt(s)"
+                    if healthy
+                    else f"worker {dead_worker} died (exitcode {exitcode}) "
+                    "with no healthy worker left to retry on"
+                )
+                continue
+            target = healthy[index % len(healthy)]
+            self._dispatch(
+                target,
+                record["command"],
+                origin=record["origin"],
+                attempts=record["attempts"] + 1,
+            )
+            self._registry.counter(
+                telemetry.REQUEST_RETRIES,
+                help="requests re-dispatched after a worker death",
+            ).inc()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "stopped" if self._closed else "running"

@@ -26,6 +26,18 @@ pointer is then swapped with ``os.replace`` of a freshly created symlink
 text file).  Readers that resolve ``current`` therefore always land on a
 fully published generation; readers that already opened the previous one
 keep their memory maps alive regardless of what the pointer does.
+
+Corruption recovery
+-------------------
+Publication guards against *partial* writes, not against bytes rotting
+after the fact (disk faults, truncating copies, operator accidents).  The
+manifest's per-array SHA-256 checksums (format v4) catch those at open
+time, and :meth:`ArtifactStore.open_current` recovers: a generation that
+fails verification is moved into ``<root>/quarantine/`` — preserved for
+forensics, never served again — the ``current`` pointer is rolled back to
+the newest remaining generation, and the open is retried.  Serving workers
+therefore survive a corrupted deploy by transparently falling back to the
+last good build.
 """
 
 from __future__ import annotations
@@ -38,10 +50,11 @@ from typing import List, Optional, Union
 
 from repro.core.bepi import BePI
 from repro.core.engine import SolverArtifacts
-from repro.exceptions import GraphFormatError
+from repro.exceptions import ArtifactIntegrityError, GraphFormatError
 from repro.persistence import PathLike, load_artifacts, save_artifacts
 
 _GENERATIONS_DIR = "generations"
+_QUARANTINE_DIR = "quarantine"
 _CURRENT_LINK = "current"
 _CURRENT_FILE = "CURRENT"
 _GENERATION_RE = re.compile(r"^gen-(\d{6})$")
@@ -140,24 +153,95 @@ class ArtifactStore:
                 return target
         return None
 
-    def open_current(self, mmap: bool = True) -> SolverArtifacts:
+    def open_current(
+        self, mmap: bool = True, verify: bool = True, recover: bool = True
+    ) -> SolverArtifacts:
         """Load the current generation (see
-        :func:`repro.persistence.load_artifacts`)."""
-        current = self.current_path()
-        if current is None:
-            raise GraphFormatError(f"{self.root}: store has no published generation")
-        return load_artifacts(current, mmap=mmap)
+        :func:`repro.persistence.load_artifacts`).
+
+        With ``recover=True`` (default) a generation that fails checksum
+        verification is quarantined, ``current`` is rolled back to the
+        newest remaining generation, and the open retries — so a corrupt
+        deploy degrades to serving the previous build instead of failing.
+        With ``recover=False`` the :class:`ArtifactIntegrityError`
+        propagates untouched (useful for health checks that must *report*
+        corruption rather than paper over it).
+        """
+        # Bounded: each failed attempt removes one generation from the
+        # store, so the loop ends even if every generation is corrupt.
+        for _ in range(max(len(self.generations()), 1) + 1):
+            current = self.current_path()
+            if current is None:
+                # A dangling pointer (e.g. its target was quarantined by a
+                # concurrent worker) falls back to the newest survivor.
+                names = self.generations()
+                if not names:
+                    break
+                current = self.generations_dir / names[-1]
+            try:
+                return load_artifacts(current, mmap=mmap, verify=verify)
+            except ArtifactIntegrityError:
+                if not recover:
+                    raise
+                self.quarantine(current.name)
+        raise GraphFormatError(f"{self.root}: store has no published generation")
+
+    # ------------------------------------------------------------------
+    # Corruption handling
+    # ------------------------------------------------------------------
+    def quarantine(self, name: str) -> Optional[Path]:
+        """Move generation ``name`` into ``<root>/quarantine/`` and repoint
+        ``current`` at the newest remaining generation.
+
+        Returns the quarantine destination, or ``None`` when the
+        generation was already gone (another process won the race —
+        ``current`` is still repointed so this process stops resolving to
+        the vanished directory).  The corrupt bytes are preserved, not
+        deleted, so the failure can be diagnosed later.
+        """
+        source = self.generations_dir / name
+        quarantine_dir = self.root / _QUARANTINE_DIR
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        destination: Optional[Path] = quarantine_dir / name
+        suffix = 1
+        while destination.exists():
+            destination = quarantine_dir / f"{name}.{suffix}"
+            suffix += 1
+        try:
+            os.rename(source, destination)
+        except FileNotFoundError:
+            destination = None
+        self._rollback()
+        return destination
+
+    def _rollback(self) -> None:
+        """Point ``current`` at the newest remaining generation (or drop the
+        pointer entirely when none are left)."""
+        names = self.generations()
+        if names:
+            self._set_current(names[-1])
+            return
+        (self.root / _CURRENT_LINK).unlink(missing_ok=True)
+        (self.root / _CURRENT_FILE).unlink(missing_ok=True)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _next_index(self) -> int:
-        names = self.generations()
-        if not names:
-            return 1
-        match = _GENERATION_RE.match(names[-1])
-        assert match is not None
-        return int(match.group(1)) + 1
+        indices = [0]
+        for name in self.generations():
+            match = _GENERATION_RE.match(name)
+            assert match is not None
+            indices.append(int(match.group(1)))
+        # Quarantined generations keep their index reserved so a rebuild
+        # after a corruption event cannot collide with the forensic copy.
+        quarantine_dir = self.root / _QUARANTINE_DIR
+        if quarantine_dir.is_dir():
+            for entry in quarantine_dir.iterdir():
+                match = _GENERATION_RE.match(entry.name.split(".")[0])
+                if match:
+                    indices.append(int(match.group(1)))
+        return max(indices) + 1
 
     def _set_current(self, name: str) -> None:
         target = os.path.join(_GENERATIONS_DIR, name)

@@ -78,6 +78,17 @@ QUERY_SECONDS = "rwr.query.seconds"
 BATCH_SECONDS = "rwr.batch.seconds"
 BATCH_SIZE = "rwr.batch.size"
 
+# Solver fallback chain (engine degrades GMRES(ILU) → GMRES(Jacobi) →
+# BiCGSTAB → power iteration when the Schur solve fails).  Per-rung
+# counters append the rung name: ``rwr.queries.fallback.<rung>``.
+FALLBACK_TOTAL = "rwr.queries.fallback"
+FALLBACK_RUNG_PREFIX = "rwr.queries.fallback."
+FALLBACK_RESIDUAL = "rwr.queries.fallback.residual"
+
+# Serving supervision (worker crash detection / respawn / re-dispatch).
+WORKER_RESTARTS = "rwr.serve.worker_restarts"
+REQUEST_RETRIES = "rwr.serve.request_retries"
+
 
 class Counter:
     """A monotonically increasing counter."""

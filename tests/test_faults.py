@@ -1,0 +1,170 @@
+"""Tests for the deterministic fault-injection plans (:mod:`repro.faults`)."""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.exceptions import InvalidParameterError
+from repro.faults import (
+    ArtifactByteFlip,
+    FaultPlan,
+    GMRESStagnation,
+    QueueDelay,
+    WorkerCrash,
+    WorkerHang,
+)
+from repro.linalg.gmres import gmres
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """Every test starts and ends with no plan installed."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def full_plan() -> FaultPlan:
+    return FaultPlan(
+        worker_crashes=(WorkerCrash(worker=0, at_batch=2, exitcode=42),),
+        worker_hangs=(WorkerHang(worker=1),),
+        queue_delays=(QueueDelay(worker=0, seconds=0.5, at_batch=None),),
+        byte_flips=(ArtifactByteFlip(array="S.data", offset=-1),),
+        gmres_stagnations=(GMRESStagnation(solves=3),),
+    )
+
+
+class TestFaultPlan:
+    def test_dict_round_trip(self):
+        plan = full_plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_round_trip(self):
+        plan = full_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_empty_plan_serializes_to_empty_dict(self):
+        assert FaultPlan().to_dict() == {}
+        assert FaultPlan().empty
+        assert not full_plan().empty
+
+    def test_from_dict_rejects_unknown_sections(self):
+        with pytest.raises(InvalidParameterError, match="unknown fault plan"):
+            FaultPlan.from_dict({"worker_crahses": []})
+
+    def test_from_dict_rejects_bad_entries(self):
+        with pytest.raises(InvalidParameterError, match="worker_crashes"):
+            FaultPlan.from_dict({"worker_crashes": [{"nope": 1}]})
+
+    def test_without_worker_strips_only_that_worker(self):
+        narrowed = full_plan().without_worker(0)
+        assert narrowed.worker_crashes == ()
+        assert narrowed.queue_delays == ()
+        assert narrowed.worker_hangs == (WorkerHang(worker=1),)
+        # Process-agnostic faults survive the narrowing.
+        assert narrowed.byte_flips == full_plan().byte_flips
+        assert narrowed.gmres_stagnations == full_plan().gmres_stagnations
+
+    def test_load_plan(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(full_plan().to_json())
+        assert faults.load_plan(path) == full_plan()
+
+
+class TestInjector:
+    def test_no_plan_means_no_faults(self):
+        assert faults.active_plan() is None
+        assert faults.crash_for(0, 0) is None
+        assert not faults.hang_for(0)
+        assert faults.delay_for(0, 0) == 0.0
+        assert faults.consume_gmres_stagnations() == 0
+        assert faults.pending_gmres_stagnations() == 0
+
+    def test_install_and_clear(self):
+        plan = full_plan()
+        faults.install(plan)
+        assert faults.active_plan() == plan
+        faults.clear()
+        assert faults.active_plan() is None
+
+    def test_active_restores_previous_plan(self):
+        outer = FaultPlan(worker_hangs=(WorkerHang(worker=5),))
+        faults.install(outer)
+        with faults.active(full_plan()):
+            assert faults.active_plan() == full_plan()
+        assert faults.active_plan() == outer
+
+    def test_crash_matches_worker_and_batch(self):
+        with faults.active(full_plan()):
+            assert faults.crash_for(0, 2) == WorkerCrash(0, 2, 42)
+            assert faults.crash_for(0, 1) is None
+            assert faults.crash_for(1, 2) is None
+
+    def test_hang_and_delay(self):
+        with faults.active(full_plan()):
+            assert faults.hang_for(1)
+            assert not faults.hang_for(0)
+            # at_batch=None delays every batch of worker 0.
+            assert faults.delay_for(0, 0) == 0.5
+            assert faults.delay_for(0, 7) == 0.5
+            assert faults.delay_for(1, 0) == 0.0
+
+    def test_stagnation_budget_counts_down(self):
+        with faults.active(FaultPlan(gmres_stagnations=(GMRESStagnation(2),))):
+            assert faults.pending_gmres_stagnations() == 2
+            assert faults.consume_gmres_stagnations(1) == 1
+            assert faults.consume_gmres_stagnations(5) == 1  # only 1 left
+            assert faults.consume_gmres_stagnations(1) == 0
+            assert faults.pending_gmres_stagnations() == 0
+
+
+class TestByteFlips:
+    def test_flip_is_self_inverse(self, tmp_path):
+        arrays = tmp_path / "arrays"
+        arrays.mkdir()
+        target = arrays / "S.data.npy"
+        original = bytes(range(16))
+        target.write_bytes(original)
+        plan = FaultPlan(byte_flips=(ArtifactByteFlip(array="S.data", offset=3),))
+        flipped = faults.apply_byte_flips(tmp_path, plan)
+        assert flipped == [str(target)]
+        mutated = target.read_bytes()
+        assert mutated != original
+        assert mutated[3] == original[3] ^ 0xFF
+        faults.apply_byte_flips(tmp_path, plan)
+        assert target.read_bytes() == original
+
+    def test_missing_target_fails_loudly(self, tmp_path):
+        (tmp_path / "arrays").mkdir()
+        plan = FaultPlan(byte_flips=(ArtifactByteFlip(array="nope"),))
+        with pytest.raises(InvalidParameterError, match="does not exist"):
+            faults.apply_byte_flips(tmp_path, plan)
+
+    def test_out_of_range_offset_fails_loudly(self, tmp_path):
+        arrays = tmp_path / "arrays"
+        arrays.mkdir()
+        (arrays / "S.data.npy").write_bytes(b"abc")
+        plan = FaultPlan(byte_flips=(ArtifactByteFlip(array="S.data", offset=99),))
+        with pytest.raises(InvalidParameterError, match="out of range"):
+            faults.apply_byte_flips(tmp_path, plan)
+
+    def test_uses_active_plan_by_default(self, tmp_path):
+        arrays = tmp_path / "arrays"
+        arrays.mkdir()
+        (arrays / "S.data.npy").write_bytes(b"xyz")
+        with faults.active(FaultPlan(byte_flips=(ArtifactByteFlip("S.data", 0),))):
+            assert len(faults.apply_byte_flips(tmp_path)) == 1
+        assert faults.apply_byte_flips(tmp_path) == []  # no plan, no flips
+
+
+class TestGMRESStagnationHook:
+    def test_forced_stagnation_returns_unconverged(self, dd_matrix):
+        b = np.ones(dd_matrix.shape[0])
+        with faults.active(FaultPlan(gmres_stagnations=(GMRESStagnation(1),))):
+            forced = gmres(dd_matrix, b, tol=1e-10)
+            assert not forced.converged
+            assert forced.n_iterations == 0
+            # Budget spent: the very next solve runs normally.
+            retry = gmres(dd_matrix, b, tol=1e-10)
+        assert retry.converged
+        np.testing.assert_allclose(dd_matrix @ retry.x, b, atol=1e-8)

@@ -7,12 +7,14 @@ import numpy as np
 import pytest
 
 from repro import BePI, BePIS, GraphFormatError, NotPreprocessedError
+from repro.exceptions import ArtifactIntegrityError
 from repro.persistence import (
     artifact_nbytes,
     load_artifacts,
     load_solver,
     save_artifacts,
     save_solver,
+    verify_artifacts,
 )
 
 from .conftest import exact_rwr
@@ -308,6 +310,57 @@ class TestArtifactDirectory:
     def test_save_unpreprocessed_raises(self, tmp_path):
         with pytest.raises(NotPreprocessedError):
             save_artifacts(BePI(), tmp_path / "artifacts")
+
+
+class TestArtifactChecksums:
+    """Format v4: the manifest carries per-array SHA-256 checksums."""
+
+    def test_manifest_records_a_checksum_per_array(self, small_graph, tmp_path):
+        save_artifacts(BePI().preprocess(small_graph), tmp_path / "artifacts")
+        manifest = json.loads((tmp_path / "artifacts" / "manifest.json").read_text())
+        assert manifest["format_version"] == 4
+        arrays = {f.name for f in (tmp_path / "artifacts" / "arrays").iterdir()}
+        assert set(manifest["checksums"]) == arrays
+        assert all(len(digest) == 64 for digest in manifest["checksums"].values())
+
+    def test_verify_artifacts_passes_on_fresh_save(self, small_graph, tmp_path):
+        save_artifacts(BePI().preprocess(small_graph), tmp_path / "artifacts")
+        assert verify_artifacts(tmp_path / "artifacts") > 0
+
+    def test_corrupt_byte_fails_verification_and_load(self, small_graph, tmp_path):
+        save_artifacts(BePI().preprocess(small_graph), tmp_path / "artifacts")
+        target = tmp_path / "artifacts" / "arrays" / "S.data.npy"
+        data = bytearray(target.read_bytes())
+        data[-1] ^= 0xFF
+        target.write_bytes(bytes(data))
+        with pytest.raises(ArtifactIntegrityError, match="corrupt"):
+            verify_artifacts(tmp_path / "artifacts")
+        with pytest.raises(ArtifactIntegrityError):
+            load_artifacts(tmp_path / "artifacts")
+        # Opting out of verification still loads (the bytes are the
+        # caller's problem then).
+        assert load_artifacts(tmp_path / "artifacts", verify=False) is not None
+
+    def test_missing_array_fails_verification(self, small_graph, tmp_path):
+        save_artifacts(BePI().preprocess(small_graph), tmp_path / "artifacts")
+        (tmp_path / "artifacts" / "arrays" / "S.data.npy").unlink()
+        with pytest.raises(ArtifactIntegrityError, match="missing"):
+            verify_artifacts(tmp_path / "artifacts")
+
+    def test_v3_manifest_without_checksums_still_loads(
+        self, small_graph, tmp_path
+    ):
+        original = BePI(tol=1e-11).preprocess(small_graph)
+        save_artifacts(original, tmp_path / "artifacts")
+        manifest_path = tmp_path / "artifacts" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 3
+        del manifest["checksums"]
+        manifest_path.write_text(json.dumps(manifest))
+        loaded = load_solver(tmp_path / "artifacts")
+        assert np.array_equal(loaded.query_many([0, 3]), original.query_many([0, 3]))
+        # Nothing to verify, nothing to fail on.
+        assert verify_artifacts(tmp_path / "artifacts") == 0
 
 
 class TestFixtureArchives:

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro import (
+    ArtifactIntegrityError,
     BePI,
     DynamicRWR,
     GraphFormatError,
@@ -83,6 +84,62 @@ class TestArtifactStore:
         assert np.array_equal(
             engine.query_many([0, 5]), served_solver.query_many([0, 5])
         )
+
+    def test_open_current_quarantines_corrupt_generation(
+        self, served_solver, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "store")
+        first = store.publish(served_solver)
+        second = store.publish(served_solver)
+        target = second / "arrays" / "S.data.npy"
+        data = bytearray(target.read_bytes())
+        data[-1] ^= 0xFF
+        target.write_bytes(bytes(data))
+        bundle = store.open_current()
+        assert bundle.kind == "bepi"
+        assert store.current_path() == first
+        assert store.generations() == [first.name]
+        assert (store.root / "quarantine" / second.name).is_dir()
+
+    def test_open_current_without_recovery_surfaces_corruption(
+        self, served_solver, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "store")
+        generation = store.publish(served_solver)
+        target = generation / "arrays" / "S.data.npy"
+        data = bytearray(target.read_bytes())
+        data[0] ^= 0xFF
+        target.write_bytes(bytes(data))
+        with pytest.raises(ArtifactIntegrityError):
+            store.open_current(recover=False)
+        # The generation is untouched: operators can inspect it in place.
+        assert store.generations() == [generation.name]
+
+    def test_all_generations_corrupt_leaves_store_empty(
+        self, served_solver, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "store")
+        for _ in range(2):
+            generation = store.publish(served_solver)
+            target = generation / "arrays" / "S.data.npy"
+            data = bytearray(target.read_bytes())
+            data[-1] ^= 0xFF
+            target.write_bytes(bytes(data))
+        with pytest.raises(GraphFormatError, match="no published generation"):
+            store.open_current()
+        assert store.generations() == []
+        assert store.current_path() is None
+
+    def test_publish_after_quarantine_keeps_indices_monotonic(
+        self, served_solver, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "store")
+        store.publish(served_solver)
+        second = store.publish(served_solver)
+        store.quarantine(second.name)
+        third = store.publish(served_solver)
+        # gen-000002 sits in quarantine; its index must not be reissued.
+        assert third.name == "gen-000003"
 
 
 class TestResolve:
