@@ -1,0 +1,221 @@
+"""Top-k serving benchmark: pruned k-pair replies + hot-seed cache.
+
+Measures what the dedicated ``query_topk`` path buys a serving
+deployment over shipping dense score vectors out of the workers:
+
+- **reply size** — a dense reply is ``n`` float64 scores (8 bytes per
+  node); a top-k reply is ``k`` 16-byte ``(int64 id, float64 score)``
+  pairs.  At scale 13 (8,192 nodes) and ``k=16`` that is a 256x shrink
+  of the bytes crossing the process boundary per seed.
+- **hot-seed cache** — repeats of a seed under the same artifact
+  generation are answered from the pool's generation-keyed LRU cache
+  without touching a worker; the benchmark times cold (miss) vs hot
+  (hit) rounds of the same seeds.
+- **pruning** — the selection kernel's threshold bound excludes most of
+  the candidate pool from the exact tie-broken sort; the observed
+  ``rwr.topk.pruned_frac`` distribution is recorded.
+- **correctness** — scatter replies are checked bit-identical (ids and
+  scores) to the fresh in-process solver's ``query_topk_many``.
+
+Results land in ``BENCH_topk.json`` (``--output``).
+
+Run modes
+---------
+``--smoke``
+    Scale-10 graph, few seeds; checks bit-identity, the reply-shrink
+    bound, and that cache hits beat misses.  Fast enough for CI.
+default (full)
+    Scale-13 R-MAT; additionally asserts the acceptance numbers:
+    k-pair replies >= 10x smaller than dense replies and a measured
+    hot-seed cache speedup > 2x.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_topk.py --smoke
+    PYTHONPATH=src python benchmarks/bench_topk.py --scale 13
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import BePI, generate_rmat
+from repro.serve import WorkerPool
+from repro.store import ArtifactStore
+from repro.telemetry import TOPK_PRUNED_FRAC
+
+RESTART_PROBABILITY = 0.05
+TOLERANCE = 1e-11
+HUB_RATIO = 0.2
+
+
+def _build(scale: int, n_edges: Optional[int], workdir: Path):
+    edges = n_edges if n_edges is not None else 8 * (2**scale)
+    graph = generate_rmat(scale, edges, seed=13)
+    solver = BePI(
+        c=RESTART_PROBABILITY, tol=TOLERANCE, hub_ratio=HUB_RATIO
+    ).preprocess(graph)
+    store = ArtifactStore(workdir / "store")
+    store.publish(solver)
+    print(f"graph: R-MAT scale {scale} — {graph.n_nodes:,} nodes, "
+          f"{graph.n_edges:,} edges")
+    return graph, solver, store
+
+
+def _check_correctness(pool: WorkerPool, seeds, k: int) -> None:
+    # Dense scatter first: it uses the same np.array_split chunking as
+    # the top-k scatter on a cold cache, so each worker solves the
+    # identical batch and the top-k pairs must match it bit for bit.
+    from repro.core.topk import topk_from_scores
+
+    dense = pool.scatter(seeds)
+    for seed, row, got in zip(seeds, dense, pool.scatter_topk(seeds, k)):
+        want = topk_from_scores(row, seed, k)
+        assert np.array_equal(got.ids, want.ids), (
+            f"seed {seed}: scatter ids deviate from the dense reply"
+        )
+        assert np.array_equal(got.scores, want.scores), (
+            f"seed {seed}: scatter scores deviate from the dense reply"
+        )
+    print(f"correctness: scatter top-{k} over {len(seeds)} seeds bit-matches "
+          "the dense scatter replies")
+
+
+def _reply_shrink(pool: WorkerPool, n_nodes: int, seeds, k: int):
+    dense = pool.query_many(seeds)
+    dense_bytes = dense.nbytes / len(seeds)
+    topk = pool.query_topk_many(seeds, k)
+    topk_bytes = sum(r.nbytes for r in topk) / len(topk)
+    shrink = dense_bytes / topk_bytes
+    print(f"reply size  dense: {dense_bytes:10,.0f} B/seed "
+          f"({n_nodes:,} float64 scores)")
+    print(f"reply size  top-{k}: {topk_bytes:9,.0f} B/seed "
+          f"({k} x 16-byte pairs)   ({shrink:.0f}x smaller)")
+    return dense_bytes, topk_bytes, shrink
+
+
+def _cache_speedup(pool: WorkerPool, seeds, k: int, repeats: int):
+    start = time.perf_counter()
+    pool.query_topk_many(seeds, k)
+    cold = time.perf_counter() - start
+    hot_rounds = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        pool.query_topk_many(seeds, k)
+        hot_rounds.append(time.perf_counter() - start)
+    hot = float(np.median(hot_rounds))
+    speedup = cold / hot if hot > 0 else float("inf")
+    stats = pool.topk_cache_stats()
+    print(f"hot seeds   cold (miss): {cold * 1e3:8.2f}ms for {len(seeds)} seeds")
+    print(f"hot seeds   hot (hit):   {hot * 1e3:8.2f}ms   ({speedup:.1f}x faster)")
+    print(f"cache       hits={stats['hits']:.0f} misses={stats['misses']:.0f} "
+          f"evictions={stats['evictions']:.0f} entries={stats['entries']:.0f}")
+    return cold, hot, speedup, stats
+
+
+def run(
+    scale: int,
+    n_edges: Optional[int],
+    k: int,
+    repeats: int,
+    smoke: bool,
+    output: Path,
+) -> None:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        graph, solver, store = _build(scale, n_edges, Path(tmp))
+        with WorkerPool(store.root, n_workers=2) as pool:
+            rng = np.random.default_rng(17)
+            seeds = [int(s) for s in rng.choice(
+                graph.n_nodes, size=min(16, graph.n_nodes), replace=False
+            )]
+            _check_correctness(pool, seeds[:4], k)
+
+            dense_bytes, topk_bytes, shrink = _reply_shrink(
+                pool, graph.n_nodes, seeds[:4], k
+            )
+            cold, hot, speedup, cache = _cache_speedup(
+                pool, seeds[4:12], k, repeats
+            )
+
+            pruned = pool.metrics().get(TOPK_PRUNED_FRAC)
+            pruned_summary = pruned.summary() if pruned is not None else None
+            if pruned_summary is not None:
+                print(f"pruning     mean fraction of candidate pool excluded "
+                      f"from the exact sort: {pruned_summary['mean']:.1%}")
+
+        assert shrink > 1, (
+            f"top-k replies not smaller than dense replies ({shrink:.2f}x)"
+        )
+        assert speedup > 1, (
+            f"cache hits not faster than misses ({speedup:.2f}x)"
+        )
+        if not smoke:
+            assert shrink >= 10, (
+                f"k-pair replies only {shrink:.1f}x smaller than dense at "
+                f"scale {scale} (want >= 10x)"
+            )
+            assert speedup > 2, (
+                f"hot-seed cache speedup only {speedup:.2f}x (want > 2x)"
+            )
+
+    record = {
+        "benchmark": "topk",
+        "mode": "smoke" if smoke else "full",
+        "scale": scale,
+        "n_nodes": graph.n_nodes,
+        "n_edges": graph.n_edges,
+        "k": k,
+        "reply_bytes": {
+            "dense_per_seed": dense_bytes,
+            "topk_per_seed": topk_bytes,
+            "shrink_factor": shrink,
+        },
+        "hot_seed_cache": {
+            "cold_seconds": cold,
+            "hot_seconds": hot,
+            "speedup": speedup,
+            "stats": cache,
+        },
+        "pruned_frac": pruned_summary,
+    }
+    output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {output}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast correctness + relative checks (CI)")
+    parser.add_argument("--scale", type=int, default=13,
+                        help="R-MAT scale for the full run (default: 13)")
+    parser.add_argument("--edges", type=int, default=None,
+                        help="edge count (default: 8 * 2^scale)")
+    parser.add_argument("--k", type=int, default=16,
+                        help="pairs per reply (default: 16)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="hot-round repetitions, median-of (default: 5)")
+    parser.add_argument("--output", type=Path, default=Path("BENCH_topk.json"),
+                        help="result file (default: BENCH_topk.json)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        run(scale=10, n_edges=args.edges, k=args.k, repeats=3,
+            smoke=True, output=args.output)
+        print("bench_topk smoke: all checks passed")
+    else:
+        run(args.scale, args.edges, args.k, max(1, args.repeats),
+            smoke=False, output=args.output)
+        print("bench_topk: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,7 +58,8 @@ from repro.persistence import (
     save_solver,
     verify_artifacts,
 )
-from repro.serve import WorkerPool, open_query_engine
+from repro.core.topk import TopKResult
+from repro.serve import TopKCache, WorkerPool, open_query_engine
 from repro.store import ArtifactStore
 from repro.telemetry import MetricsRegistry, merge_snapshots
 from repro.exceptions import (
@@ -122,6 +123,8 @@ __all__ = [
     "SingularMatrixError",
     "SolverArtifacts",
     "TimeBudgetExceededError",
+    "TopKCache",
+    "TopKResult",
     "WorkerPool",
     "accuracy_bound",
     "add_deadends",

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.base import RWRSolver
+from repro.core.topk import topk_from_scores
 from repro.exceptions import InvalidParameterError
 
 
@@ -29,15 +30,15 @@ def _top_k_from_scores(
     exclude_seed: bool,
     candidates: Optional[np.ndarray],
 ) -> List[Tuple[int, float]]:
-    if candidates is None:
-        pool = np.arange(scores.shape[0])
-    else:
-        pool = np.asarray(candidates, dtype=np.int64)
-    if exclude_seed:
-        pool = pool[pool != seed]
-    pool_scores = scores[pool]
-    order = np.lexsort((pool, -pool_scores))[:k]
-    return [(int(pool[i]), float(pool_scores[i])) for i in order]
+    """Exact top-k pairs from a dense score vector.
+
+    Delegates to :func:`repro.core.topk.topk_from_scores`: candidate ids
+    are validated against ``scores.shape[0]`` (an out-of-range id raises
+    :class:`InvalidParameterError` naming it, instead of the historical
+    raw ``IndexError``) and deduplicated before ranking (a repeated id
+    must not yield duplicate entries).
+    """
+    return topk_from_scores(scores, seed, k, exclude_seed, candidates).pairs()
 
 
 def personalized_ranking(
@@ -80,15 +81,22 @@ def top_k(
 ) -> List[Tuple[int, float]]:
     """The ``k`` highest-scoring nodes with their scores.
 
+    Routed through :meth:`~repro.core.base.RWRSolver.query_topk` (the
+    pruned exact selection that also serves the worker-pool wire), so
+    ids, scores, tie-breaks and error messages match the serving paths.
+    If ``k`` exceeds the candidate pool (after dedup and optional seed
+    exclusion), the whole ordered pool is returned.
+
     Parameters
     ----------
     candidates:
         Optional subset of node ids to rank (e.g. non-neighbors for link
-        recommendation); default: all nodes.
+        recommendation); default: all nodes.  Ids are validated against
+        the graph and deduplicated.
     """
-    if k < 1:
-        raise InvalidParameterError(f"k must be >= 1, got {k}")
-    return _top_k_from_scores(solver.query(seed), seed, k, exclude_seed, candidates)
+    return solver.query_topk(
+        seed, k, exclude_seed=exclude_seed, candidates=candidates
+    ).pairs()
 
 
 def top_k_many(
@@ -98,13 +106,16 @@ def top_k_many(
     exclude_seed: bool = True,
     candidates: Optional[np.ndarray] = None,
 ) -> List[List[Tuple[int, float]]]:
-    """Top-``k`` lists for several seeds from one batched solve."""
-    if k < 1:
-        raise InvalidParameterError(f"k must be >= 1, got {k}")
-    scores = solver.query_many(seeds)
+    """Top-``k`` lists for several seeds from one batched solve.
+
+    Per-seed semantics match :func:`top_k` (same validation, dedup, and
+    whole-pool clamp when ``k`` exceeds the candidate pool).
+    """
     return [
-        _top_k_from_scores(scores[i], int(seed), k, exclude_seed, candidates)
-        for i, seed in enumerate(seeds)
+        result.pairs()
+        for result in solver.query_topk_many(
+            seeds, k, exclude_seed=exclude_seed, candidates=candidates
+        )
     ]
 
 

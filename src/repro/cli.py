@@ -215,12 +215,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                       f"load RSS delta {delta_text}")
             first_round = True
             while shutdown["signal"] is None:
-                scores = pool.scatter(seeds)
+                # The top-k scatter path: replies are k (id, score) pairs
+                # per seed, not n-float rows, and repeat rounds in linger
+                # mode hit the generation-keyed result cache.
+                results = pool.scatter_topk(seeds, args.top, exclude_seed=False)
                 if first_round:
-                    for seed, row in zip(seeds, scores):
-                        order = np.argsort(row)[::-1][: args.top]
+                    for seed, result in zip(seeds, results):
                         ranking = ", ".join(
-                            f"{node}:{row[node]:.6f}" for node in order
+                            f"{node}:{score:.6f}" for node, score in result.pairs()
                         )
                         print(f"seed {seed}: {ranking}")
                     first_round = False

@@ -21,13 +21,14 @@ import abc
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro import telemetry
 from repro.bench.memory import MemoryBudget, matrix_memory_bytes
 from repro.core.engine import validate_seed, validate_seeds
+from repro.core.topk import TopKResult, topk_from_scores, validate_k
 from repro.exceptions import (
     ConvergenceWarning,
     InvalidParameterError,
@@ -342,6 +343,51 @@ class RWRSolver(abc.ABC):
             per_seed_seconds=per_seed,
             extras=merged,
         )
+
+    def query_topk(
+        self,
+        seed: int,
+        k: int,
+        exclude_seed: bool = True,
+        candidates: Optional[np.ndarray] = None,
+    ) -> TopKResult:
+        """Exact top-``k`` ``(id, score)`` pairs with respect to ``seed``.
+
+        Identical — ids and scores, bit for bit — to :meth:`query` followed
+        by the deterministic lexicographic sort (equal scores break toward
+        the smaller node id), but the full sort is avoided by the pruned
+        selection of :mod:`repro.core.topk`.  ``k`` larger than the
+        candidate pool (after optional ``exclude_seed`` and candidate
+        dedup) returns the whole ordered pool; ``k < 1`` raises
+        :class:`~repro.exceptions.InvalidParameterError`.
+        """
+        k = validate_k(k)
+        node = self._validate_seed(seed)
+        scores = self.query(node)
+        with self.telemetry.activate():
+            return topk_from_scores(scores, node, k, exclude_seed, candidates)
+
+    def query_topk_many(
+        self,
+        seeds: Iterable[int],
+        k: int,
+        exclude_seed: bool = True,
+        candidates: Optional[np.ndarray] = None,
+        batch_size: Optional[int] = None,
+    ) -> List[TopKResult]:
+        """Top-``k`` answers for several seeds from one batched solve.
+
+        Semantics per seed match :meth:`query_topk`; the dense solve is
+        amortized through :meth:`query_many`'s multi-RHS path.
+        """
+        k = validate_k(k)
+        seed_arr = self._validate_seeds(seeds)
+        scores = self.query_many(seed_arr, batch_size=batch_size)
+        with self.telemetry.activate():
+            return [
+                topk_from_scores(scores[i], int(seed), k, exclude_seed, candidates)
+                for i, seed in enumerate(seed_arr)
+            ]
 
     def memory_bytes(self) -> int:
         """Bytes of preprocessed data retained for the query phase."""

@@ -31,13 +31,14 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro import telemetry
 from repro.core.pipeline import PreprocessArtifacts
+from repro.core.topk import TopKResult, topk_from_scores, validate_k
 from repro.exceptions import InvalidParameterError, SingularMatrixError
 from repro.graph.graph import Graph
 from repro.linalg.bicgstab import bicgstab
@@ -246,6 +247,48 @@ class QueryEngine(abc.ABC):
                 help="seeds per query_many batch",
             ).observe(k)
         return scores
+
+    def query_topk(
+        self,
+        seed: int,
+        k: int,
+        exclude_seed: bool = True,
+        candidates: Optional[np.ndarray] = None,
+    ) -> TopKResult:
+        """Exact top-``k`` ``(id, score)`` pairs for one seed.
+
+        Identical — ids and scores, bit for bit — to running :meth:`query_many`
+        and sorting the dense row with the deterministic lexicographic
+        tie-break (equal scores break toward the smaller node id); see
+        :mod:`repro.core.topk` for the selection contract.  ``k`` beyond
+        the candidate pool returns the whole ordered pool.
+        """
+        return self.query_topk_many(
+            [seed], k, exclude_seed=exclude_seed, candidates=candidates
+        )[0]
+
+    def query_topk_many(
+        self,
+        seeds,
+        k: int,
+        exclude_seed: bool = True,
+        candidates: Optional[np.ndarray] = None,
+        batch_size: Optional[int] = None,
+    ) -> List[TopKResult]:
+        """Exact top-``k`` answers for a batch of seeds (one multi-RHS solve).
+
+        The dense ``(len(seeds), n)`` block never leaves this method: each
+        row is reduced to at most ``k`` pairs by the pruned selection of
+        :func:`repro.core.topk.topk_from_scores`, which is what lets the
+        serving wire carry k-pair replies instead of n-float rows.
+        """
+        k = validate_k(k)
+        seed_arr = validate_seeds(seeds, self.n_nodes)
+        scores = self.query_many(seed_arr, batch_size=batch_size)
+        return [
+            topk_from_scores(scores[i], int(seed), k, exclude_seed, candidates)
+            for i, seed in enumerate(seed_arr)
+        ]
 
 
 class BlockEliminationEngine(QueryEngine):

@@ -1,0 +1,211 @@
+"""Exact top-k selection over RWR score vectors.
+
+Real serving traffic asks "give me the ``k`` best neighbors of this
+seed", not an n-dimensional dense vector.  This module is the single
+implementation of that selection, shared by every path that answers it —
+:meth:`repro.core.base.RWRSolver.query_topk`,
+:meth:`repro.core.engine.QueryEngine.query_topk`, the
+:class:`repro.serve.WorkerPool` k-pair wire replies, and
+:func:`repro.applications.ranking.top_k` — so ids, scores, tie-breaks and
+error messages agree everywhere.
+
+Selection contract
+------------------
+- **Exact**: the returned ``(id, score)`` pairs are identical — ids *and*
+  scores, bit for bit — to sorting the full dense score vector with the
+  deterministic lexicographic tie-break (higher score first; equal scores
+  break toward the smaller node id).
+- **Pruned**: the full sort is avoided.  An ``argpartition`` pass finds
+  the k-th largest candidate score ``t`` in O(n); every candidate scoring
+  strictly below ``t`` provably cannot appear in the exact top-k (the
+  pruning bound), so only the survivors — ``k`` plus boundary ties —
+  enter the exact tie-broken sort.  The fraction of candidates eliminated
+  is exported as the ``rwr.topk.pruned_frac`` histogram.  This is the
+  solve-then-partition fallback of Fujiwara et al.'s bound-based top-k
+  search: engines that expose no incremental iterate bounds (the block
+  elimination of Algorithm 4 produces its exact answer in one pass) still
+  get the selection cost down from O(n log n) to O(n + s log s) with
+  ``s = |survivors| << n``.
+- **Clamped**: ``k`` larger than the candidate pool (after dedup and
+  optional seed exclusion) returns the whole pool, ordered — never an
+  error.  ``k < 1`` raises :class:`~repro.exceptions.InvalidParameterError`
+  with the same message on every path (:func:`validate_k`).
+
+The wire format of the serving layer — ``k`` packed ``(int64 id, float64
+score)`` pairs instead of ``n`` float64 scores — lives here too
+(:data:`PAIR_DTYPE`, :func:`to_pairs`, :func:`from_pairs`), so the
+reply-payload arithmetic in benchmarks and docs has one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.exceptions import InvalidParameterError
+
+#: One top-k entry on the serving wire: an (id, score) pair, 16 bytes.
+PAIR_DTYPE = np.dtype([("id", np.int64), ("score", np.float64)])
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """An exact top-k answer: parallel ``ids``/``scores`` arrays.
+
+    ``ids[0]`` is the best-scoring node (ties broken toward the smaller
+    id), ``scores[i]`` is the exact RWR score of ``ids[i]``.  The arrays
+    may be shorter than the requested ``k`` when the candidate pool was
+    smaller (see :func:`select_topk`).
+    """
+
+    ids: np.ndarray
+    scores: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size of this answer as packed (int64, float64) pairs."""
+        return len(self) * PAIR_DTYPE.itemsize
+
+    def pairs(self) -> List[Tuple[int, float]]:
+        """The answer as a list of ``(id, score)`` tuples (the historical
+        :func:`repro.applications.ranking.top_k` return shape)."""
+        return [
+            (int(node), float(score))
+            for node, score in zip(self.ids, self.scores)
+        ]
+
+
+def to_pairs(result: TopKResult) -> np.ndarray:
+    """Pack a :class:`TopKResult` into a structured (id, score) pair array.
+
+    This is the serving wire format: ``len(result)`` records of 16 bytes
+    each, instead of the ``n * 8`` bytes of a dense score vector.
+    """
+    packed = np.empty(len(result), dtype=PAIR_DTYPE)
+    packed["id"] = result.ids
+    packed["score"] = result.scores
+    return packed
+
+
+def from_pairs(packed: np.ndarray) -> TopKResult:
+    """Unpack a wire pair array back into a :class:`TopKResult`."""
+    arr = np.asarray(packed, dtype=PAIR_DTYPE)
+    return TopKResult(
+        ids=np.ascontiguousarray(arr["id"]),
+        scores=np.ascontiguousarray(arr["score"]),
+    )
+
+
+def validate_k(k) -> int:
+    """Shared ``k`` validation: an integer ``>= 1``, returned as ``int``.
+
+    Every top-k entry point (solver, engine, ranking application, worker
+    pool) funnels through here so the error message is identical on all of
+    them.  Note ``k`` larger than the candidate pool is *not* an error —
+    the selection returns the whole pool (documented clamp semantics).
+    """
+    try:
+        value = int(k)
+    except (TypeError, ValueError):
+        raise InvalidParameterError(f"k must be >= 1, got {k!r}")
+    if value != k or value < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k!r}")
+    return value
+
+
+def resolve_candidates(
+    n_nodes: int,
+    seed: Optional[int],
+    exclude_seed: bool,
+    candidates: Optional[np.ndarray],
+) -> np.ndarray:
+    """The validated, deduplicated candidate pool as a sorted int64 array.
+
+    - ``candidates=None`` means "all nodes".
+    - Every explicit candidate id is checked against ``[0, n_nodes)``;
+      an out-of-range id raises :class:`InvalidParameterError` naming it.
+    - Duplicate candidate ids are collapsed (a repeated id must not
+      produce a duplicate ranking entry).
+    - With ``exclude_seed=True`` the seed id is removed from the pool.
+    """
+    if candidates is None:
+        pool = np.arange(n_nodes, dtype=np.int64)
+    else:
+        pool = np.asarray(candidates)
+        if pool.ndim != 1:
+            raise InvalidParameterError(
+                f"candidates must be a 1-d array of node ids, got shape {pool.shape}"
+            )
+        if pool.dtype.kind not in "uib":
+            raise InvalidParameterError(
+                f"candidates must be integer node ids, got dtype {pool.dtype}"
+            )
+        pool = pool.astype(np.int64)
+        invalid = (pool < 0) | (pool >= n_nodes)
+        if np.any(invalid):
+            bad = int(pool[int(np.argmax(invalid))])
+            raise InvalidParameterError(
+                f"candidate id {bad} out of range [0, {n_nodes})"
+            )
+        pool = np.unique(pool)
+    if exclude_seed and seed is not None:
+        pool = pool[pool != seed]
+    return pool
+
+
+def select_topk(scores: np.ndarray, pool: np.ndarray, k: int) -> TopKResult:
+    """Exact top-``k`` of ``scores[pool]`` with threshold-bound pruning.
+
+    Equivalent — bit for bit — to the full lexicographic sort
+    ``np.lexsort((pool, -scores[pool]))[:k]``, but only the candidates
+    that survive the k-th-score lower bound enter the sort.  Returns the
+    whole ordered pool when ``k >= len(pool)``.
+    """
+    k = validate_k(k)
+    pool_scores = scores[pool]
+    m = pool.shape[0]
+    if k >= m:
+        # Whole-pool answer: nothing can be pruned, order everything.
+        survivors = np.arange(m)
+        pruned_frac = 0.0
+    else:
+        # Pruning bound: t = k-th largest candidate score.  A candidate
+        # scoring strictly below t cannot be in the exact top-k under any
+        # tie-break, so only scores >= t (k entries plus boundary ties)
+        # need the exact ordered sort.
+        threshold = np.partition(pool_scores, m - k)[m - k]
+        survivors = np.flatnonzero(pool_scores >= threshold)
+        pruned_frac = 1.0 - survivors.shape[0] / m
+    order = np.lexsort((pool[survivors], -pool_scores[survivors]))[:k]
+    chosen = survivors[order]
+    telemetry.get_registry().histogram(
+        telemetry.TOPK_PRUNED_FRAC,
+        buckets=telemetry.FRACTION_BUCKETS,
+        help="fraction of candidates eliminated by the top-k pruning bound",
+    ).observe(pruned_frac)
+    return TopKResult(
+        ids=np.ascontiguousarray(pool[chosen]),
+        scores=np.ascontiguousarray(pool_scores[chosen]),
+    )
+
+
+def topk_from_scores(
+    scores: np.ndarray,
+    seed: Optional[int],
+    k: int,
+    exclude_seed: bool = True,
+    candidates: Optional[np.ndarray] = None,
+) -> TopKResult:
+    """Exact top-``k`` of a dense score vector (validation + selection).
+
+    The one-stop selection every query path uses once it holds a dense
+    score vector; see the module docstring for the exact contract.
+    """
+    pool = resolve_candidates(scores.shape[0], seed, exclude_seed, candidates)
+    return select_topk(scores, pool, k)

@@ -25,8 +25,9 @@ import os
 import queue
 import signal
 import time
+from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +39,7 @@ from repro.core.engine import (
     QueryEngine,
     SolverArtifacts,
 )
+from repro.core.topk import TopKResult, from_pairs, to_pairs, validate_k
 from repro.exceptions import GraphFormatError, InvalidParameterError
 from repro.faults import FaultPlan
 from repro.persistence import PathLike, load_artifacts
@@ -62,9 +64,83 @@ DEFAULT_RESPAWN_BACKOFF = 0.25
 #: Cap on the exponential respawn backoff.
 MAX_RESPAWN_BACKOFF = 30.0
 
+#: Default capacity of the pool's generation-keyed top-k result cache.
+DEFAULT_TOPK_CACHE_ENTRIES = 4096
+
 
 class WorkerError(RuntimeError):
     """A worker process reported a failure instead of a result."""
+
+
+class TopKCache:
+    """A small LRU cache of top-k replies, keyed by artifact generation.
+
+    Keys are ``(generation, seed, k, exclude_seed)`` tuples: because the
+    artifact directories are immutable and the query phase deterministic,
+    a cached answer for a generation is valid for as long as that
+    generation exists — no TTL, no explicit invalidation.  When the
+    :class:`~repro.store.ArtifactStore` ``current`` pointer swaps, new
+    queries carry the new generation in their key, so every stale entry
+    simply stops being reachable and ages out of the LRU.
+
+    Hits, misses and evictions are counted into the owning registry
+    (``rwr.topk.cache.{hits,misses,evictions}``); ``max_entries=0``
+    disables caching entirely.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_TOPK_CACHE_ENTRIES,
+                 registry: Optional[MetricsRegistry] = None):
+        if max_entries < 0:
+            raise InvalidParameterError(
+                f"max_entries must be >= 0, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, TopKResult]" = OrderedDict()
+        self._registry = registry if registry is not None else MetricsRegistry()
+        # Pre-register so an all-miss (or never-queried) cache still
+        # exports zeros instead of absent series.
+        self._hits = self._registry.counter(
+            telemetry.TOPK_CACHE_HITS, help="top-k queries answered from cache"
+        )
+        self._misses = self._registry.counter(
+            telemetry.TOPK_CACHE_MISSES, help="top-k queries needing a solve"
+        )
+        self._evictions = self._registry.counter(
+            telemetry.TOPK_CACHE_EVICTIONS, help="top-k cache entries evicted (LRU)"
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[TopKResult]:
+        """The cached answer for ``key``, or ``None`` (counts hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        self._hits.inc()
+        return entry
+
+    def put(self, key: Hashable, value: TopKResult) -> None:
+        """Insert an answer, evicting least-recently-used entries beyond
+        capacity."""
+        if self.max_entries == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions.inc()
+
+    def stats(self) -> Dict[str, float]:
+        """Current counter values plus occupancy (for ``pool_stats``)."""
+        return {
+            "entries": float(len(self._entries)),
+            "hits": self._hits.value,
+            "misses": self._misses.value,
+            "evictions": self._evictions.value,
+        }
 
 
 def engine_for_bundle(bundle: SolverArtifacts) -> QueryEngine:
@@ -178,8 +254,11 @@ def _worker_main(worker_id, path, mmap, task_queue, result_queue, fault_plan=Non
             if command == "stop":
                 return
             try:
-                if command == "query_many":
-                    seeds = message[2]
+                if command in ("query_many", "query_topk"):
+                    if command == "query_many":
+                        seeds = message[2]
+                    else:
+                        seeds, top_k, exclude_seed = message[2]
                     registry.counter("serve.requests", help="query batches served").inc()
                     registry.histogram(
                         "serve.batch.size",
@@ -187,7 +266,18 @@ def _worker_main(worker_id, path, mmap, task_queue, result_queue, fault_plan=Non
                         help="seeds per served batch",
                     ).observe(len(seeds))
                     with registry.span("serve.batch"):
-                        payload: Any = engine.query_many(seeds)
+                        if command == "query_many":
+                            payload: Any = engine.query_many(seeds)
+                        else:
+                            # The payload shrink of the top-k path: k
+                            # packed (int64, float64) pairs per seed cross
+                            # the wire instead of an n-float dense row.
+                            payload = [
+                                to_pairs(result)
+                                for result in engine.query_topk_many(
+                                    seeds, top_k, exclude_seed=exclude_seed
+                                )
+                            ]
                     # Injection window: the answer is computed but not yet
                     # sent — exactly where an OOM kill loses the most work.
                     delay = faults.delay_for(worker_id, batch_index)
@@ -197,6 +287,12 @@ def _worker_main(worker_id, path, mmap, task_queue, result_queue, fault_plan=Non
                         time.sleep(delay)
                     if crash is not None:
                         os._exit(crash.exitcode)
+                elif command == "reopen":
+                    # The artifact store published a new generation: re-run
+                    # the open so subsequent queries serve it.  mmap makes
+                    # this near-free (nothing is read until touched).
+                    engine = open_query_engine(path, mmap=mmap)
+                    payload = {"n_nodes": engine.n_nodes, "pid": os.getpid()}
                 elif command == "rss":
                     payload = process_rss_bytes()
                 elif command == "metrics":
@@ -256,6 +352,23 @@ class WorkerPool:
     stop_timeout:
         Seconds :meth:`stop` waits at each escalation step
         (cooperative stop → SIGTERM → SIGKILL).
+    topk_cache_entries:
+        Capacity of the generation-keyed :class:`TopKCache` fronting
+        :meth:`query_topk` / :meth:`query_topk_many` / :meth:`scatter_topk`
+        (0 disables caching).
+
+    Top-k serving
+    -------------
+    The top-k methods answer "the ``k`` best nodes for this seed" with
+    k-pair wire replies (``k`` packed ``(int64 id, float64 score)`` pairs
+    instead of ``n`` float64 scores) and are fronted by an LRU result
+    cache keyed on ``(artifact generation, seed, k, exclude_seed)``.
+    When the pool serves an :class:`~repro.store.ArtifactStore` root, each
+    top-k call re-resolves the store's ``current`` pointer: a published
+    generation swap makes the workers re-open the artifacts (cheap — the
+    new arrays are memory-mapped, nothing is read until touched) and
+    retires every stale cache entry automatically, because old entries
+    are keyed under the old generation and can never match again.
 
     Supervision
     -----------
@@ -291,6 +404,7 @@ class WorkerPool:
         max_retries: int = DEFAULT_MAX_RETRIES,
         respawn_backoff: float = DEFAULT_RESPAWN_BACKOFF,
         stop_timeout: float = 10.0,
+        topk_cache_entries: int = DEFAULT_TOPK_CACHE_ENTRIES,
     ):
         if n_workers < 1:
             raise InvalidParameterError(f"n_workers must be >= 1, got {n_workers}")
@@ -334,6 +448,20 @@ class WorkerPool:
             telemetry.REQUEST_RETRIES,
             help="requests re-dispatched after a worker death",
         )
+        # Top-k result cache, keyed by the artifact generation the workers
+        # serve.  A bare artifact directory is its own (only) generation;
+        # a store root re-resolves its current pointer per top-k call.
+        self._is_store = (
+            not (self.path / "manifest.json").is_file()
+            and (self.path / "generations").is_dir()
+        )
+        try:
+            self._generation: Optional[str] = str(resolve_artifact_path(self.path))
+        except GraphFormatError:
+            # Unpublished/unresolvable path: let the workers surface the
+            # real startup error below instead of masking it here.
+            self._generation = None
+        self._topk_cache = TopKCache(topk_cache_entries, registry=self._registry)
         for worker_id in range(n_workers):
             task_queue = self._ctx.Queue()
             process = self._spawn_process(worker_id, task_queue, fault_plan)
@@ -371,18 +499,20 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query_many(self, seeds: Sequence[int], worker: int = 0) -> np.ndarray:
+    def query_many(
+        self, seeds: Sequence[int], worker: Optional[int] = None
+    ) -> np.ndarray:
         """``(k, n)`` RWR scores for ``seeds``, answered by one worker.
 
-        If ``worker``'s slot has been taken out of rotation by the
-        supervisor, the request is routed to a healthy worker instead.
+        By default the request goes to the **least-loaded** live worker
+        (shallowest task queue, ties broken by fewest seeds submitted),
+        so repeated calls spread across the pool instead of hot-spotting
+        slot 0 while the rest idle.  Pass an explicit ``worker`` to pin
+        the request (tests, determinism drills); a pinned worker whose
+        slot has been taken out of rotation by the supervisor is rerouted
+        to a healthy one.
         """
-        if not 0 <= worker < self.n_workers:
-            raise InvalidParameterError(
-                f"worker must be in [0, {self.n_workers}), got {worker}"
-            )
-        if self._disabled[worker]:
-            worker = self._require_healthy()[0]
+        worker = self._route_worker(worker)
         request_id = self._submit(worker, seeds)
         result = self._collect({request_id})[request_id]
         self._maybe_write_metrics()
@@ -414,6 +544,107 @@ class WorkerPool:
             scores[chunk] = results[request_id]
         self._maybe_write_metrics()
         return scores
+
+    # ------------------------------------------------------------------
+    # Top-k queries (k-pair wire replies + generation-keyed cache)
+    # ------------------------------------------------------------------
+    def query_topk(
+        self,
+        seed: int,
+        k: int,
+        exclude_seed: bool = True,
+        worker: Optional[int] = None,
+    ) -> TopKResult:
+        """Exact top-``k`` ``(id, score)`` pairs for one seed.
+
+        Bit-identical (ids and scores) to ``query_many([seed])`` followed
+        by the deterministic lexicographic sort, but the reply crossing
+        the process boundary is ``k`` 16-byte pairs instead of ``n``
+        floats, and repeats of a hot seed are answered straight from the
+        generation-keyed cache without any engine solve.
+        """
+        return self.query_topk_many(
+            [seed], k, exclude_seed=exclude_seed, worker=worker
+        )[0]
+
+    def query_topk_many(
+        self,
+        seeds: Sequence[int],
+        k: int,
+        exclude_seed: bool = True,
+        worker: Optional[int] = None,
+    ) -> List[TopKResult]:
+        """Top-``k`` answers for a batch of seeds from one worker.
+
+        Cached seeds are answered locally; only the misses are shipped to
+        a worker (least-loaded by default, or pinned via ``worker``).
+        """
+        k = validate_k(k)
+        seed_list = [int(s) for s in seeds]
+        generation = self._ensure_current_generation()
+        answers: Dict[int, TopKResult] = {}
+        misses: List[int] = []
+        for index, seed in enumerate(seed_list):
+            cached = self._cache_get(generation, seed, k, exclude_seed)
+            if cached is not None:
+                answers[index] = cached
+            else:
+                misses.append(index)
+        if misses:
+            target = self._route_worker(worker)
+            request_id = self._submit_topk(
+                target, [seed_list[i] for i in misses], k, exclude_seed
+            )
+            replies = self._collect({request_id})[request_id]
+            self._absorb_topk_replies(
+                generation, k, exclude_seed,
+                [(i, seed_list[i]) for i in misses], replies, answers,
+            )
+        self._maybe_write_metrics()
+        return [answers[index] for index in range(len(seed_list))]
+
+    def scatter_topk(
+        self,
+        seeds: Sequence[int],
+        k: int,
+        exclude_seed: bool = True,
+    ) -> List[TopKResult]:
+        """Top-``k`` answers for a batch, cache first, misses split across
+        all healthy workers; results come back in seed order (bit-identical
+        even through a worker death — the artifacts are immutable)."""
+        k = validate_k(k)
+        seed_list = [int(s) for s in seeds]
+        generation = self._ensure_current_generation()
+        answers: Dict[int, TopKResult] = {}
+        misses: List[int] = []
+        for index, seed in enumerate(seed_list):
+            cached = self._cache_get(generation, seed, k, exclude_seed)
+            if cached is not None:
+                answers[index] = cached
+            else:
+                misses.append(index)
+        if misses:
+            workers = self._require_healthy()
+            chunks = np.array_split(np.asarray(misses, dtype=np.int64), len(workers))
+            requests = {}
+            for target, chunk in zip(workers, chunks):
+                if chunk.size:
+                    requests[self._submit_topk(
+                        target, [seed_list[i] for i in chunk], k, exclude_seed
+                    )] = chunk
+            results = self._collect(set(requests))
+            for request_id, chunk in requests.items():
+                self._absorb_topk_replies(
+                    generation, k, exclude_seed,
+                    [(int(i), seed_list[int(i)]) for i in chunk],
+                    results[request_id], answers,
+                )
+        self._maybe_write_metrics()
+        return [answers[index] for index in range(len(seed_list))]
+
+    def topk_cache_stats(self) -> Dict[str, float]:
+        """Occupancy and hit/miss/eviction counters of the top-k cache."""
+        return self._topk_cache.stats()
 
     def rss_bytes(self) -> List[int]:
         """Current resident set size of every healthy worker, in bytes."""
@@ -484,6 +715,8 @@ class WorkerPool:
             ),
             "restarts": [dict(event) for event in self._restart_log],
             "force_killed": list(self._force_killed),
+            "generation": self._generation,
+            "topk_cache": self._topk_cache.stats(),
             "workers": workers,
         }
 
@@ -605,6 +838,114 @@ class WorkerPool:
             )
         return workers
 
+    def _route_worker(self, worker: Optional[int]) -> int:
+        """Resolve a caller's worker choice: explicit pin or least-loaded."""
+        if worker is None:
+            return self._least_loaded_worker()
+        if not 0 <= worker < self.n_workers:
+            raise InvalidParameterError(
+                f"worker must be in [0, {self.n_workers}), got {worker}"
+            )
+        if self._disabled[worker]:
+            return self._require_healthy()[0]
+        return worker
+
+    def _least_loaded_worker(self) -> int:
+        """The healthy worker with the shallowest task queue.
+
+        Ties (the common case in synchronous callers, where queues drain
+        to zero between calls) break toward the fewest seeds submitted so
+        far, then the lowest slot id — the same bookkeeping
+        :meth:`pool_stats` reports, so routing is observable.
+        """
+        def load(worker_id: int) -> Tuple[int, int, int]:
+            try:
+                depth = int(self._task_queues[worker_id].qsize())
+            except NotImplementedError:  # pragma: no cover - macOS queues
+                depth = 0
+            return (depth, self._worker_queries[worker_id], worker_id)
+
+        return min(self._require_healthy(), key=load)
+
+    # ------------------------------------------------------------------
+    # Internals: top-k plumbing
+    # ------------------------------------------------------------------
+    def _generation_token(self) -> Optional[str]:
+        """The artifact generation the pool should be serving right now."""
+        if not self._is_store:
+            return self._generation
+        try:
+            return str(resolve_artifact_path(self.path))
+        except GraphFormatError:
+            return self._generation
+
+    def _ensure_current_generation(self) -> Optional[str]:
+        """Follow the store's ``current`` pointer before a top-k query.
+
+        When a new generation has been published since the workers opened
+        their artifacts, every healthy worker re-opens (cheap: mmap) so
+        replies match the generation the cache keys them under.  Entries
+        keyed under the previous generation become unreachable and age
+        out of the LRU — the automatic invalidation the cache relies on.
+        """
+        token = self._generation_token()
+        if token is not None and token != self._generation:
+            requests = {
+                self._dispatch(w, ("reopen",)): w for w in self._require_healthy()
+            }
+            results = self._collect(set(requests))
+            for request_id, worker_id in requests.items():
+                self._stats[worker_id].update(results[request_id])
+            self._generation = token
+        return self._generation
+
+    def _cache_key(
+        self, generation: Optional[str], seed: int, k: int, exclude_seed: bool
+    ) -> Optional[Tuple]:
+        if generation is None:
+            return None
+        return (generation, seed, k, bool(exclude_seed))
+
+    def _cache_get(
+        self, generation: Optional[str], seed: int, k: int, exclude_seed: bool
+    ) -> Optional[TopKResult]:
+        key = self._cache_key(generation, seed, k, exclude_seed)
+        return self._topk_cache.get(key) if key is not None else None
+
+    def _submit_topk(
+        self, worker: int, seeds: List[int], k: int, exclude_seed: bool
+    ) -> int:
+        request_id = self._dispatch(
+            worker, ("query_topk", (seeds, k, exclude_seed))
+        )
+        self._worker_queries[worker] += len(seeds)
+        return request_id
+
+    def _absorb_topk_replies(
+        self,
+        generation: Optional[str],
+        k: int,
+        exclude_seed: bool,
+        indexed_seeds: List[Tuple[int, int]],
+        replies: List[np.ndarray],
+        answers: Dict[int, TopKResult],
+    ) -> None:
+        """Unpack one worker's k-pair replies: fill ``answers``, populate
+        the cache, and record the wire payload size."""
+        reply_bytes = 0
+        for (index, seed), packed in zip(indexed_seeds, replies):
+            reply_bytes += int(packed.nbytes)
+            result = from_pairs(packed)
+            answers[index] = result
+            key = self._cache_key(generation, seed, k, exclude_seed)
+            if key is not None:
+                self._topk_cache.put(key, result)
+        self._registry.histogram(
+            telemetry.TOPK_REPLY_BYTES,
+            buckets=telemetry.PAYLOAD_BYTES_BUCKETS,
+            help="bytes per top-k wire reply (k 16-byte pairs per seed)",
+        ).observe(reply_bytes)
+
     def _dispatch(
         self,
         worker: int,
@@ -614,10 +955,11 @@ class WorkerPool:
     ) -> int:
         """Send ``command`` to ``worker``, tracking it for crash recovery.
 
-        ``command`` is ``("query_many", seeds)``, ``("rss",)`` or
-        ``("metrics",)``.  ``origin`` is the id the caller holds; the first
-        dispatch uses the wire id itself, re-dispatches get a fresh wire id
-        mapping back to the same origin.
+        ``command`` is ``("query_many", seeds)``,
+        ``("query_topk", (seeds, k, exclude_seed))``, ``("reopen",)``,
+        ``("rss",)`` or ``("metrics",)``.  ``origin`` is the id the caller
+        holds; the first dispatch uses the wire id itself, re-dispatches
+        get a fresh wire id mapping back to the same origin.
         """
         if self._closed:
             raise WorkerError("pool is stopped")
@@ -630,10 +972,7 @@ class WorkerPool:
             "command": command,
             "attempts": attempts,
         }
-        if command[0] == "query_many":
-            self._task_queues[worker].put(("query_many", wire_id, command[1]))
-        else:
-            self._task_queues[worker].put((command[0], wire_id))
+        self._task_queues[worker].put((command[0], wire_id) + tuple(command[1:]))
         return wire_id
 
     def _submit(self, worker: int, seeds: Sequence[int]) -> int:

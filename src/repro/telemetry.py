@@ -70,6 +70,16 @@ BATCH_SIZE_BUCKETS: Tuple[float, ...] = (
     1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384,
 )
 
+#: Linear buckets for ratios in [0, 1] (pruning fractions, hit rates).
+FRACTION_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0,
+)
+
+#: Log-spaced buckets for wire payload sizes (bytes), 16 B .. 256 MiB.
+PAYLOAD_BYTES_BUCKETS: Tuple[float, ...] = tuple(
+    float(4 ** e) for e in range(2, 15)
+)
+
 # Canonical metric names shared by solvers, engines and serving workers so
 # worker-merged totals line up with single-process runs.
 QUERIES_TOTAL = "rwr.queries"
@@ -88,6 +98,14 @@ FALLBACK_RESIDUAL = "rwr.queries.fallback.residual"
 # Serving supervision (worker crash detection / respawn / re-dispatch).
 WORKER_RESTARTS = "rwr.serve.worker_restarts"
 REQUEST_RETRIES = "rwr.serve.request_retries"
+
+# Top-k query path: generation-keyed result cache in the serve tier,
+# selection pruning ratio, and the size of the k-pair wire replies.
+TOPK_CACHE_HITS = "rwr.topk.cache.hits"
+TOPK_CACHE_MISSES = "rwr.topk.cache.misses"
+TOPK_CACHE_EVICTIONS = "rwr.topk.cache.evictions"
+TOPK_PRUNED_FRAC = "rwr.topk.pruned_frac"
+TOPK_REPLY_BYTES = "rwr.topk.reply.bytes"
 
 
 class Counter:
