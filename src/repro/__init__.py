@@ -26,10 +26,13 @@ Package map
 - :mod:`repro.bench` — experiment harness and memory accounting,
 - :mod:`repro.persistence` / :mod:`repro.store` / :mod:`repro.serve` — the
   build/serve split: immutable artifact directories, generation store with
-  atomic switchover, and multi-process mmap-backed query serving.
+  atomic switchover, and multi-process mmap-backed query serving,
+- :mod:`repro.wire` / :mod:`repro.gateway` — the multi-host serve tier:
+  length-prefixed binary socket protocol and the asyncio gateway
+  (request coalescing, admission control, consistent-hash sharding).
 """
 
-from repro import datasets, telemetry
+from repro import datasets, telemetry, wire
 from repro.approximate import NBLinSolver
 from repro.baselines import BearSolver, DenseSolver, GMRESSolver, LUSolver, PowerSolver
 from repro.bench.memory import MemoryBudget
@@ -59,6 +62,16 @@ from repro.persistence import (
     verify_artifacts,
 )
 from repro.core.topk import TopKResult
+from repro.gateway import (
+    BackendError,
+    Gateway,
+    GatewayServer,
+    LocalBackend,
+    Overloaded,
+    PoolServer,
+    QueryError,
+    RemoteBackend,
+)
 from repro.serve import TopKCache, WorkerPool, open_query_engine
 from repro.store import ArtifactStore
 from repro.telemetry import MetricsRegistry, merge_snapshots
@@ -92,6 +105,7 @@ __all__ = [
     "AccuracyBound",
     "ArtifactIntegrityError",
     "ArtifactStore",
+    "BackendError",
     "BatchQueryResult",
     "BePI",
     "BePIB",
@@ -104,21 +118,28 @@ __all__ = [
     "DenseSolver",
     "DynamicRWR",
     "GMRESSolver",
+    "Gateway",
+    "GatewayServer",
     "Graph",
     "GraphFormatError",
     "HubRatioSelection",
     "InvalidParameterError",
     "LUQueryEngine",
     "LUSolver",
+    "LocalBackend",
     "MemoryBudget",
     "MemoryBudgetExceededError",
     "MetricsRegistry",
     "NBLinSolver",
     "NotPreprocessedError",
+    "Overloaded",
+    "PoolServer",
     "PowerSolver",
     "QueryEngine",
+    "QueryError",
     "QueryResult",
     "RWRSolver",
+    "RemoteBackend",
     "ReproError",
     "SingularMatrixError",
     "SolverArtifacts",
@@ -149,5 +170,6 @@ __all__ = [
     "telemetry",
     "tolerance_for_target",
     "verify_artifacts",
+    "wire",
     "__version__",
 ]

@@ -7,6 +7,8 @@ Commands
 ``build``       preprocess and export a serving artifact directory (or store)
 ``query``       top-k RWR ranking for a seed (edge list, .npz, or artifact dir)
 ``serve``       answer seed batches from worker processes over an artifact dir
+                (``--listen HOST:PORT`` exposes the pool over the wire protocol)
+``gateway``     coalescing/shedding/sharding front door over serve backends
 ``compare``     run the method comparison matrix on one graph
 ``datasets``    list the built-in stand-in datasets
 ``metrics``     render a telemetry snapshot (JSON file written by --metrics-out)
@@ -166,6 +168,63 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_metrics_file(registry: MetricsRegistry, path: str) -> None:
+    """Like :func:`_write_metrics` but silent (for periodic refreshes)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(registry.to_json())
+
+
+def _serve_listen(args: argparse.Namespace, fault_plan) -> int:
+    """``repro serve ARTIFACTS --listen HOST:PORT`` — one shard of the
+    serve tier: a :class:`~repro.gateway.PoolServer` speaking the wire
+    protocol over a local :class:`~repro.serve.WorkerPool`.  Runs until
+    SIGTERM/SIGINT, then drains and exits 0."""
+    import asyncio
+    import signal
+
+    from repro.gateway import PoolServer, parse_endpoint
+    from repro.serve import WorkerPool
+
+    host, port = parse_endpoint(args.listen)
+
+    async def run() -> int:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        with WorkerPool(
+            args.artifacts,
+            n_workers=args.workers,
+            metrics_path=args.metrics_out,
+            fault_plan=fault_plan,
+        ) as pool:
+            server = PoolServer(
+                pool, host, port, shed_queue_depth=args.shed_depth
+            )
+            async with server:
+                bound_host, bound_port = server.address
+                # CI and the gateway bench wait for this exact line before
+                # sending traffic — keep it one flushed print.
+                print(f"pool listening on {bound_host}:{bound_port} "
+                      f"({args.workers} workers over {args.artifacts})",
+                      flush=True)
+                await stop.wait()
+                print("draining and shutting down", flush=True)
+            stats = pool.pool_stats()
+            print(f"served {stats['queries_submitted']} queries across "
+                  f"{stats['n_workers']} workers "
+                  f"({stats['worker_restarts']} worker restarts)")
+            force_killed = pool.stop()
+            if force_killed:
+                print(f"force-killed wedged workers: {force_killed}",
+                      file=sys.stderr)
+        return 0
+
+    return asyncio.run(run())
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import time
@@ -176,6 +235,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import WorkerPool
 
     fault_plan = load_plan(args.fault_plan) if args.fault_plan else None
+    if args.listen:
+        return _serve_listen(args, fault_plan)
     if args.seeds:
         seeds = [int(s) for s in args.seeds.split(",")]
     elif args.random:
@@ -251,6 +312,93 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
     return 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    """``repro gateway --listen HOST:PORT --backend HOST:PORT ...`` — the
+    coalescing/shedding/sharding front door (see :mod:`repro.gateway`)."""
+    import asyncio
+    import signal
+
+    from repro.gateway import (
+        Gateway,
+        GatewayServer,
+        LocalBackend,
+        RemoteBackend,
+        parse_endpoint,
+    )
+    from repro.serve import WorkerPool
+    from repro.telemetry import GATEWAY_REQUESTS, GATEWAY_SHED
+
+    if not args.backend and not args.artifacts:
+        print("error: provide at least one --backend HOST:PORT and/or "
+              "--artifacts for an in-process pool", file=sys.stderr)
+        return 2
+    host, port = parse_endpoint(args.listen)
+    for endpoint in args.backend:
+        parse_endpoint(endpoint)  # fail fast on typos, before spawning a pool
+
+    async def _flush_metrics_forever(registry: MetricsRegistry) -> None:
+        while True:
+            await asyncio.sleep(2.0)
+            try:
+                _write_metrics_file(registry, args.metrics_out)
+            except OSError:  # pragma: no cover - disk hiccup; retry next tick
+                pass
+
+    async def run() -> int:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        backends = [
+            RemoteBackend(*parse_endpoint(endpoint))
+            for endpoint in args.backend
+        ]
+        pool = None
+        try:
+            if args.artifacts:
+                pool = WorkerPool(args.artifacts, n_workers=args.workers)
+                backends.append(LocalBackend(pool))
+            overrides = {
+                "coalesce_window": args.coalesce_window,
+                "max_pending": args.max_pending,
+                "shed_queue_depth": args.shed_depth,
+            }
+            gateway = Gateway(
+                backends,
+                **{k: v for k, v in overrides.items() if v is not None},
+            )
+            async with gateway:
+                server = GatewayServer(gateway, host, port)
+                async with server:
+                    bound_host, bound_port = server.address
+                    # CI and the gateway bench wait for this exact line.
+                    print(f"gateway listening on {bound_host}:{bound_port} "
+                          f"over {len(backends)} backend(s): "
+                          f"{', '.join(sorted(gateway.backends))}", flush=True)
+                    flusher = None
+                    if args.metrics_out:
+                        flusher = asyncio.create_task(
+                            _flush_metrics_forever(gateway.registry)
+                        )
+                    try:
+                        await stop.wait()
+                    finally:
+                        if flusher is not None:
+                            flusher.cancel()
+                    print("draining and shutting down", flush=True)
+            print(f"admitted {gateway.registry.get(GATEWAY_REQUESTS).value:.0f} "
+                  f"request(s), shed "
+                  f"{gateway.registry.get(GATEWAY_SHED).value:.0f}")
+            if args.metrics_out:
+                _write_metrics(gateway.registry, args.metrics_out)
+        finally:
+            if pool is not None:
+                pool.stop()
+        return 0
+
+    return asyncio.run(run())
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -404,7 +552,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--metrics-out", metavar="PATH", default=None,
                          help="keep a merged worker-metrics snapshot (JSON) "
                               "fresh at PATH")
+    p_serve.add_argument("--listen", metavar="HOST:PORT", default=None,
+                         help="serve the pool over the wire protocol instead "
+                              "of answering a local batch (one shard of a "
+                              "gateway tier; runs until SIGTERM/SIGINT)")
+    p_serve.add_argument("--shed-depth", type=int, default=None, metavar="N",
+                         help="with --listen: answer REPLY_OVERLOADED when "
+                              "more than N requests are queued "
+                              "(default: queue unboundedly)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_gw = sub.add_parser(
+        "gateway",
+        help="coalescing/shedding front door over serve --listen backends",
+    )
+    p_gw.add_argument("--listen", metavar="HOST:PORT", required=True,
+                      help="address the gateway accepts wire clients on")
+    p_gw.add_argument("--backend", metavar="HOST:PORT", action="append",
+                      default=[],
+                      help="a repro serve --listen endpoint (repeat for "
+                           "replicas/shards)")
+    p_gw.add_argument("--artifacts", metavar="DIR", default=None,
+                      help="also run an in-process worker pool over this "
+                           "artifact directory as a local backend")
+    p_gw.add_argument("--workers", type=int, default=2,
+                      help="worker processes for --artifacts (default: 2)")
+    p_gw.add_argument("--coalesce-window", type=float, default=None,
+                      metavar="SECONDS",
+                      help="coalescing window for concurrent single-seed "
+                           "requests (default: 0.002)")
+    p_gw.add_argument("--max-pending", type=int, default=None, metavar="N",
+                      help="in-flight requests admitted before shedding "
+                           "(default: 1024)")
+    p_gw.add_argument("--shed-depth", type=int, default=None, metavar="N",
+                      help="also shed when every live backend reports a "
+                           "queue deeper than N (default: disabled)")
+    p_gw.add_argument("--metrics-out", metavar="PATH", default=None,
+                      help="keep the gateway telemetry snapshot (JSON) "
+                           "fresh at PATH")
+    p_gw.set_defaults(func=_cmd_gateway)
 
     p_query = sub.add_parser("query", help="top-k RWR ranking for a seed")
     p_query.add_argument("graph", help="edge-list file, saved solver (.npz), "

@@ -1,0 +1,947 @@
+"""Asyncio gateway: the traffic-shaped front door of the serve tier.
+
+:class:`repro.serve.WorkerPool` ends at a blocking single-host Python
+API.  This module adds everything between that API and real traffic:
+
+- **request coalescing** — concurrent single-seed requests arriving
+  within a short window are merged into one batched
+  ``query_many`` / ``query_topk_many`` call (the batched engine paths are
+  ≥2x over looped single queries), so a thousand independent clients get
+  the throughput of a well-batched one;
+- **admission control** — when the number of in-flight requests reaches
+  ``max_pending`` (or every backend reports a queue deeper than
+  ``shed_queue_depth``), new arrivals are *shed* with a typed
+  :class:`Overloaded` instead of queueing unboundedly — bounded p99 for
+  the traffic that is admitted;
+- **sharding + failover** — backends (local pools or remote
+  ``repro serve --listen`` endpoints speaking :mod:`repro.wire`) sit on a
+  consistent-hash ring; each seed routes to its shard's backend, and
+  connect/timeout failures fail over to the next replica on the ring.
+  Immutable artifact generations make every replica answer bit-identically,
+  so failover is invisible to callers;
+- **telemetry** — request latency histograms, coalesce batch sizes, shed
+  and failover counters, and per-backend health/queue-depth gauges, all
+  through the existing :mod:`repro.telemetry` registry
+  (``rwr.gateway.*``).
+
+Topology::
+
+    clients ──wire──> GatewayServer ──> Gateway ──wire──> PoolServer ──> WorkerPool   (host A)
+                                            └─────wire──> PoolServer ──> WorkerPool   (host B)
+
+or, single-box, a :class:`LocalBackend` wraps the pool in-process and the
+wire hops disappear.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from bisect import bisect_right
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import telemetry, wire
+from repro.core.topk import to_pairs, validate_k
+from repro.exceptions import InvalidParameterError
+from repro.serve import WorkerPool, WorkerError
+from repro.telemetry import MetricsRegistry
+
+#: Seconds a flush timer waits for more requests to coalesce.
+DEFAULT_COALESCE_WINDOW = 0.002
+
+#: In-flight requests admitted before the gateway starts shedding.
+DEFAULT_MAX_PENDING = 1024
+
+#: Seconds between backend health/queue-depth polls.
+DEFAULT_HEALTH_INTERVAL = 1.0
+
+#: Seconds a backend stays deprioritized after a transport failure.
+DEFAULT_FAILOVER_COOLDOWN = 2.0
+
+#: Seconds the gateway waits for one backend call before failing over.
+DEFAULT_REQUEST_TIMEOUT = 60.0
+
+#: Virtual points per backend on the consistent-hash ring.
+DEFAULT_RING_POINTS = 64
+
+
+class Overloaded(RuntimeError):
+    """The gateway shed this request under backpressure.
+
+    Typed (rather than a generic error string) so clients and the wire
+    layer can distinguish "retry shortly" from "this request is wrong":
+    the request was never queued, and retrying after ``retry_after``
+    seconds is expected to succeed once the backlog drains.
+    """
+
+    def __init__(self, pending: int, limit: int, retry_after: float = 0.05):
+        super().__init__(
+            f"gateway overloaded: {pending} pending request(s) at limit {limit}"
+        )
+        self.pending = int(pending)
+        self.limit = int(limit)
+        self.retry_after = float(retry_after)
+
+
+class BackendError(RuntimeError):
+    """A backend failed at the transport level (connect/timeout/closed).
+
+    This is the *retriable* failure class — the gateway fails over to the
+    next replica on the ring.  Callers only see it when every replica of a
+    shard failed.
+    """
+
+
+class QueryError(RuntimeError):
+    """The backend answered with an application error (bad seed, bad k).
+
+    Retrying the identical request on a replica would fail identically,
+    so this propagates to the caller without failover.
+    """
+
+
+def parse_endpoint(text: str) -> Tuple[str, int]:
+    """Parse ``host:port`` (the CLI's ``--listen`` / ``--backend`` format)."""
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise InvalidParameterError(
+            f"endpoint must look like HOST:PORT, got {text!r}"
+        )
+    return host, int(port)
+
+
+# ----------------------------------------------------------------------
+# Consistent-hash ring
+# ----------------------------------------------------------------------
+def _hash64(text: str) -> int:
+    """Deterministic 64-bit hash (Python's ``hash`` is salted per process)."""
+    return int.from_bytes(
+        hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring over backend names.
+
+    Each backend owns ``points`` pseudo-random positions on a 64-bit
+    ring; a seed routes to the backend owning the first position at or
+    after the seed's hash.  Adding or removing one backend therefore
+    remaps only ~1/n of the seeds — the cache-locality property that
+    makes per-backend top-k caches effective behind the gateway.  Hashes
+    come from BLAKE2b, so routing is deterministic across processes and
+    runs (unlike the salted builtin ``hash``).
+    """
+
+    def __init__(self, names: Sequence[str], points: int = DEFAULT_RING_POINTS):
+        names = list(names)
+        if not names:
+            raise InvalidParameterError("hash ring needs at least one backend")
+        if len(set(names)) != len(names):
+            raise InvalidParameterError(f"backend names must be unique, got {names}")
+        self.names = names
+        entries: List[Tuple[int, str]] = []
+        for name in names:
+            for point in range(points):
+                entries.append((_hash64(f"{name}#{point}"), name))
+        entries.sort()
+        self._keys = [key for key, _ in entries]
+        self._owners = [name for _, name in entries]
+
+    def route(self, seed: int) -> str:
+        """The backend name owning ``seed``'s shard."""
+        return self.order(seed)[0]
+
+    def order(self, seed: int) -> List[str]:
+        """Every distinct backend in ring order starting at ``seed``'s
+        position — the failover chain (primary first)."""
+        start = bisect_right(self._keys, _hash64(str(int(seed))))
+        seen: Dict[str, None] = {}
+        n = len(self._owners)
+        for offset in range(n):
+            owner = self._owners[(start + offset) % n]
+            if owner not in seen:
+                seen[owner] = None
+                if len(seen) == len(self.names):
+                    break
+        return list(seen)
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class LocalBackend:
+    """A :class:`~repro.serve.WorkerPool` adapted to the async backend API.
+
+    Pool calls are blocking and the pool's supervised collection loop is
+    written for one caller at a time, so every call funnels through a
+    dedicated single-thread executor — the coalescer batches concurrency
+    *before* this point, so serialization costs nothing.
+    """
+
+    def __init__(self, pool: WorkerPool, name: str = "local"):
+        self.pool = pool
+        self.name = name
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"gw-backend-{name}"
+        )
+        self._inflight = 0
+
+    async def _run(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        self._inflight += 1
+        try:
+            return await loop.run_in_executor(self._executor, partial(fn, *args))
+        except (WorkerError, InvalidParameterError) as exc:
+            raise QueryError(f"{type(exc).__name__}: {exc}") from exc
+        finally:
+            self._inflight -= 1
+
+    async def query_many(self, seeds: Sequence[int]) -> np.ndarray:
+        return await self._run(self.pool.query_many, list(seeds))
+
+    async def query_topk_many(
+        self, seeds: Sequence[int], k: int, exclude_seed: bool
+    ) -> List[np.ndarray]:
+        results = await self._run(
+            self.pool.query_topk_many, list(seeds), k, exclude_seed
+        )
+        return [to_pairs(result) for result in results]
+
+    async def stats(self) -> Dict[str, Any]:
+        stats = await self._run(self.pool.pool_stats)
+        pool_depth = stats.get("queue_depth") or 0
+        return {
+            "queue_depth": int(pool_depth) + self._inflight,
+            "generation": stats.get("generation"),
+            "n_workers": stats.get("n_workers"),
+            "queries_submitted": stats.get("queries_submitted"),
+        }
+
+    async def close(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LocalBackend({self.name!r})"
+
+
+class RemoteBackend:
+    """A ``repro serve --listen`` endpoint reached over :mod:`repro.wire`.
+
+    One persistent connection, reopened lazily after any failure; requests
+    are serialized per connection (the protocol is strictly
+    request/reply), which matches the server side funneling into one
+    worker-pool dispatcher anyway.  Transport failures surface as
+    :class:`BackendError` (→ ring failover); ``REPLY_ERROR`` frames
+    surface as :class:`QueryError` (→ propagate); ``REPLY_OVERLOADED``
+    frames surface as :class:`Overloaded`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        name: Optional[str] = None,
+        connect_timeout: float = 5.0,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.name = name if name is not None else f"{host}:{port}"
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    async def _drop_connection(self) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:  # pragma: no cover - peer already gone
+                pass
+
+    async def _call(self, message: wire.Request) -> wire.Reply:
+        async with self._lock:
+            try:
+                if self._writer is None:
+                    self._reader, self._writer = await asyncio.wait_for(
+                        asyncio.open_connection(self.host, self.port),
+                        self.connect_timeout,
+                    )
+                await wire.write_message(self._writer, message)
+                reply = await asyncio.wait_for(
+                    wire.read_message(self._reader), self.request_timeout
+                )
+            except (OSError, TimeoutError, wire.ProtocolError) as exc:
+                await self._drop_connection()
+                raise BackendError(
+                    f"backend {self.name}: {type(exc).__name__}: {exc}"
+                ) from exc
+            if reply is None:
+                await self._drop_connection()
+                raise BackendError(f"backend {self.name}: connection closed")
+        if isinstance(reply, wire.ErrorReply):
+            raise QueryError(reply.message)
+        if isinstance(reply, wire.OverloadedReply):
+            raise Overloaded(
+                pending=reply.pending,
+                limit=reply.limit,
+                retry_after=reply.retry_after,
+            )
+        return reply
+
+    async def query_many(self, seeds: Sequence[int]) -> np.ndarray:
+        reply = await self._call(
+            wire.QueryRequest(seeds=np.asarray(list(seeds), dtype=np.int64))
+        )
+        if not isinstance(reply, wire.DenseReply):
+            raise BackendError(
+                f"backend {self.name}: unexpected reply {type(reply).__name__}"
+            )
+        return reply.scores
+
+    async def query_topk_many(
+        self, seeds: Sequence[int], k: int, exclude_seed: bool
+    ) -> List[np.ndarray]:
+        reply = await self._call(
+            wire.TopKRequest(
+                seeds=np.asarray(list(seeds), dtype=np.int64),
+                k=int(k),
+                exclude_seed=bool(exclude_seed),
+            )
+        )
+        if not isinstance(reply, wire.TopKReply):
+            raise BackendError(
+                f"backend {self.name}: unexpected reply {type(reply).__name__}"
+            )
+        return reply.pairs
+
+    async def stats(self) -> Dict[str, Any]:
+        reply = await self._call(wire.StatsRequest())
+        if not isinstance(reply, wire.StatsReply):
+            raise BackendError(
+                f"backend {self.name}: unexpected reply {type(reply).__name__}"
+            )
+        return reply.stats
+
+    async def close(self) -> None:
+        async with self._lock:
+            await self._drop_connection()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteBackend({self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# The gateway
+# ----------------------------------------------------------------------
+class Gateway:
+    """Coalescing, shedding, sharding front door over one or more backends.
+
+    Parameters
+    ----------
+    backends:
+        :class:`LocalBackend` / :class:`RemoteBackend` instances (anything
+        with ``name``, ``query_many``, ``query_topk_many``, ``stats``,
+        ``close``).  Names must be unique — they are the ring identities.
+    coalesce_window:
+        Seconds a flush timer waits after the first request of a batch;
+        everything arriving within the window joins the same backend
+        solve.  Latency cost is bounded by the window, throughput gain is
+        the batched engine path (≥2x).
+    max_pending:
+        Admission limit: requests in flight (queued or solving) before
+        new arrivals are shed with :class:`Overloaded`.
+    shed_queue_depth:
+        Optional backpressure limit from the backends' own
+        ``pool_stats()`` queue depth: when every live backend last
+        reported a depth above this, arrivals are shed even below
+        ``max_pending``.  ``None`` disables depth-based shedding.
+    request_timeout:
+        Seconds to wait for one backend call before treating it as failed
+        and trying the next replica.
+    failover_cooldown:
+        Seconds a backend that failed a call is deprioritized in failover
+        chains (a successful health poll clears the cooldown early).
+    health_interval:
+        Seconds between background stats polls of every backend (feeds
+        the health gauges and depth-based shedding).  The monitor starts
+        with :meth:`start` / ``async with``.
+    registry:
+        Optional :class:`~repro.telemetry.MetricsRegistry`; defaults to a
+        private one (exposed as :attr:`registry`).
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[Any],
+        coalesce_window: float = DEFAULT_COALESCE_WINDOW,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        shed_queue_depth: Optional[int] = None,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        failover_cooldown: float = DEFAULT_FAILOVER_COOLDOWN,
+        health_interval: float = DEFAULT_HEALTH_INTERVAL,
+        registry: Optional[MetricsRegistry] = None,
+        ring_points: int = DEFAULT_RING_POINTS,
+    ):
+        backends = list(backends)
+        if not backends:
+            raise InvalidParameterError("gateway needs at least one backend")
+        if coalesce_window < 0:
+            raise InvalidParameterError(
+                f"coalesce_window must be >= 0, got {coalesce_window}"
+            )
+        if max_pending < 1:
+            raise InvalidParameterError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        self.backends: Dict[str, Any] = {b.name: b for b in backends}
+        if len(self.backends) != len(backends):
+            raise InvalidParameterError(
+                f"backend names must be unique, got {[b.name for b in backends]}"
+            )
+        self.ring = HashRing(list(self.backends), points=ring_points)
+        self.coalesce_window = float(coalesce_window)
+        self.max_pending = int(max_pending)
+        self.shed_queue_depth = shed_queue_depth
+        self.request_timeout = float(request_timeout)
+        self.failover_cooldown = float(failover_cooldown)
+        self.health_interval = float(health_interval)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # mode key -> [(seed, future), ...] waiting for the flush timer.
+        self._pending: Dict[Tuple, List[Tuple[int, asyncio.Future]]] = {}
+        self._flush_handles: Dict[Tuple, asyncio.TimerHandle] = {}
+        self._pending_total = 0
+        self._unhealthy_until: Dict[str, float] = {}
+        self._depths: Dict[str, float] = {}
+        self._monitor_task: Optional[asyncio.Task] = None
+        self._closed = False
+        # Pre-register so an idle gateway exports zeros, not absent series.
+        self._requests = self.registry.counter(
+            telemetry.GATEWAY_REQUESTS, help="requests admitted or shed"
+        )
+        self._sheds = self.registry.counter(
+            telemetry.GATEWAY_SHED, help="requests shed by admission control"
+        )
+        self._failovers = self.registry.counter(
+            telemetry.GATEWAY_FAILOVERS, help="dispatches retried on a replica"
+        )
+        self._backend_errors = self.registry.counter(
+            telemetry.GATEWAY_BACKEND_ERRORS,
+            help="backend transport failures (connect/timeout/closed)",
+        )
+        self._latency = self.registry.histogram(
+            telemetry.GATEWAY_REQUEST_SECONDS,
+            help="end-to-end gateway request latency",
+        )
+        self._batch_sizes = self.registry.histogram(
+            telemetry.GATEWAY_COALESCE_BATCH,
+            buckets=telemetry.BATCH_SIZE_BUCKETS,
+            help="seeds per coalesced backend solve",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "Gateway":
+        """Start the background health monitor (idempotent)."""
+        if self._monitor_task is None and self.health_interval > 0:
+            self._monitor_task = asyncio.create_task(
+                self._monitor(), name="gateway-health-monitor"
+            )
+        return self
+
+    async def close(self) -> None:
+        """Stop the monitor, fail unfinished requests, close the backends."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except asyncio.CancelledError:
+                pass
+            self._monitor_task = None
+        for handle in self._flush_handles.values():
+            handle.cancel()
+        self._flush_handles.clear()
+        for batch in self._pending.values():
+            for _, future in batch:
+                self._pending_total -= 1
+                if not future.done():
+                    future.set_exception(BackendError("gateway closed"))
+        self._pending.clear()
+        for backend in self.backends.values():
+            await backend.close()
+
+    async def __aenter__(self) -> "Gateway":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Public query API
+    # ------------------------------------------------------------------
+    async def query(self, seed: int) -> np.ndarray:
+        """The dense ``(n,)`` RWR score row for one seed.
+
+        Bit-identical to a direct ``WorkerPool.query_many`` call carrying
+        the same coalesced seed set (seed *order* within a batch never
+        affects the bits, and every replica answers a given batch
+        identically — the artifacts are immutable).  Different batch
+        compositions agree to solver tolerance, not bit-for-bit: the
+        engine solves a batch's linear systems together.
+        """
+        return await self._submit(("dense",), int(seed))
+
+    async def query_topk(
+        self, seed: int, k: int, exclude_seed: bool = True
+    ) -> np.ndarray:
+        """The packed top-k ``(id, score)`` pair records for one seed
+        (:data:`repro.core.topk.PAIR_DTYPE`; may be shorter than ``k``)."""
+        k = validate_k(k)
+        return await self._submit(("topk", k, bool(exclude_seed)), int(seed))
+
+    async def stats(self) -> Dict[str, Any]:
+        """Gateway-side serving state (admission, per-backend health)."""
+        now = time.monotonic()
+        batches = self._batch_sizes.count
+        return {
+            "pending": self._pending_total,
+            "max_pending": self.max_pending,
+            "shed_queue_depth": self.shed_queue_depth,
+            "coalesce_window": self.coalesce_window,
+            "requests": self._requests.value,
+            "sheds": self._sheds.value,
+            "failovers": self._failovers.value,
+            "backend_errors": self._backend_errors.value,
+            "coalesce": {
+                "batches": batches,
+                "mean_batch": self._batch_sizes.sum / batches if batches else 0.0,
+            },
+            "backends": {
+                name: {
+                    "healthy": now >= self._unhealthy_until.get(name, 0.0),
+                    "queue_depth": self._depths.get(name),
+                }
+                for name in self.backends
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Admission + coalescing
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        self._requests.inc()
+        if self._pending_total >= self.max_pending:
+            self._sheds.inc()
+            raise Overloaded(
+                pending=self._pending_total,
+                limit=self.max_pending,
+                retry_after=max(self.coalesce_window * 4, 0.01),
+            )
+        if self.shed_queue_depth is not None:
+            depths = [
+                depth
+                for name, depth in self._depths.items()
+                if depth is not None and self._is_healthy(name)
+            ]
+            # Shed only when *every* live backend is over the limit — a
+            # single deep replica is a routing problem, not an overload.
+            if depths and min(depths) > self.shed_queue_depth:
+                self._sheds.inc()
+                raise Overloaded(
+                    pending=self._pending_total,
+                    limit=self.max_pending,
+                    retry_after=max(self.health_interval, 0.05),
+                )
+
+    async def _submit(self, mode: Tuple, seed: int) -> Any:
+        if self._closed:
+            raise BackendError("gateway closed")
+        self._admit()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.setdefault(mode, []).append((seed, future))
+        self._pending_total += 1
+        if mode not in self._flush_handles:
+            self._flush_handles[mode] = loop.call_later(
+                self.coalesce_window, self._flush, mode
+            )
+        start = time.perf_counter()
+        try:
+            return await future
+        finally:
+            self._latency.observe(time.perf_counter() - start)
+
+    def _flush(self, mode: Tuple) -> None:
+        """Flush timer fired: group the window's requests per shard and
+        dispatch one batched backend call per group."""
+        self._flush_handles.pop(mode, None)
+        batch = self._pending.pop(mode, [])
+        if not batch:
+            return
+        groups: Dict[str, List[Tuple[int, asyncio.Future]]] = {}
+        for seed, future in batch:
+            groups.setdefault(self.ring.route(seed), []).append((seed, future))
+        for name, group in groups.items():
+            asyncio.ensure_future(self._dispatch(mode, name, group))
+
+    # ------------------------------------------------------------------
+    # Dispatch + failover
+    # ------------------------------------------------------------------
+    def _is_healthy(self, name: str) -> bool:
+        return time.monotonic() >= self._unhealthy_until.get(name, 0.0)
+
+    def _mark_unhealthy(self, name: str) -> None:
+        self._unhealthy_until[name] = time.monotonic() + self.failover_cooldown
+        self._health_gauge(name).set(0.0)
+
+    def _health_gauge(self, name: str):
+        return self.registry.gauge(
+            f"{telemetry.GATEWAY_BACKEND_PREFIX}{name}.healthy",
+            help="1 = backend answering, 0 = cooling down after a failure",
+        )
+
+    def _failover_chain(self, primary: str) -> List[str]:
+        """Replicas to try, primary first; cooling-down backends move to
+        the back of the chain rather than out of it (when everything is
+        marked unhealthy there is nothing better to try)."""
+        chain = [primary] + [n for n in self.ring.names if n != primary]
+        return sorted(chain, key=lambda n: (not self._is_healthy(n),
+                                            chain.index(n)))
+
+    async def _dispatch(
+        self, mode: Tuple, primary: str, group: List[Tuple[int, asyncio.Future]]
+    ) -> None:
+        seeds = [seed for seed, _ in group]
+        self._batch_sizes.observe(len(seeds))
+        chain = self._failover_chain(primary)
+        last_error: Optional[BaseException] = None
+        for attempt, name in enumerate(chain):
+            if attempt > 0:
+                self._failovers.inc()
+            backend = self.backends[name]
+            try:
+                if mode[0] == "dense":
+                    scores = await asyncio.wait_for(
+                        backend.query_many(seeds), self.request_timeout
+                    )
+                    rows: List[Any] = [scores[i] for i in range(len(seeds))]
+                else:
+                    _, k, exclude_seed = mode
+                    rows = list(
+                        await asyncio.wait_for(
+                            backend.query_topk_many(seeds, k, exclude_seed),
+                            self.request_timeout,
+                        )
+                    )
+            except (BackendError, TimeoutError) as exc:
+                last_error = exc
+                self._backend_errors.inc()
+                self._mark_unhealthy(name)
+                continue
+            except Exception as exc:  # QueryError, Overloaded, bugs
+                self._resolve(group, error=exc)
+                return
+            self._health_gauge(name).set(1.0)
+            self._resolve(group, rows=rows)
+            return
+        self._resolve(
+            group,
+            error=BackendError(
+                f"all {len(chain)} replica(s) failed for this shard "
+                f"(last: {last_error})"
+            ),
+        )
+
+    def _resolve(
+        self,
+        group: List[Tuple[int, asyncio.Future]],
+        rows: Optional[List[Any]] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        for index, (_, future) in enumerate(group):
+            self._pending_total -= 1
+            if future.done():  # caller gave up (cancelled) — drop quietly
+                continue
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(rows[index])
+
+    # ------------------------------------------------------------------
+    # Health monitor
+    # ------------------------------------------------------------------
+    async def _monitor(self) -> None:
+        while True:
+            for name, backend in list(self.backends.items()):
+                depth_gauge = self.registry.gauge(
+                    f"{telemetry.GATEWAY_BACKEND_PREFIX}{name}.queue_depth",
+                    help="queue depth the backend last reported",
+                )
+                try:
+                    stats = await asyncio.wait_for(
+                        backend.stats(), min(self.health_interval, 5.0)
+                    )
+                except (BackendError, QueryError, Overloaded, TimeoutError):
+                    self._depths.pop(name, None)
+                    self._health_gauge(name).set(0.0)
+                    continue
+                depth = float(stats.get("queue_depth") or 0)
+                self._depths[name] = depth
+                depth_gauge.set(depth)
+                # A live stats reply is proof of recovery: clear any
+                # failure cooldown instead of waiting it out.
+                self._unhealthy_until.pop(name, None)
+                self._health_gauge(name).set(1.0)
+            await asyncio.sleep(self.health_interval)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Gateway({list(self.backends)}, window={self.coalesce_window}, "
+            f"max_pending={self.max_pending})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Socket servers
+# ----------------------------------------------------------------------
+class _WireServer:
+    """Shared asyncio socket-server scaffolding (accept/read/dispatch)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = int(port)
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — useful with ``port=0`` (ephemeral)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self):
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self):
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await wire.read_message(reader)
+                except wire.ProtocolError as exc:
+                    await wire.write_message(writer, wire.ErrorReply(str(exc)))
+                    break
+                if request is None:
+                    break
+                reply = await self._answer(request)
+                await wire.write_message(writer, reply)
+        except (ConnectionError, OSError):  # peer vanished mid-reply
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:  # pragma: no cover - peer already gone
+                pass
+
+    async def _answer(self, request: wire.Request) -> wire.Reply:
+        raise NotImplementedError
+
+
+class PoolServer(_WireServer):
+    """A :class:`~repro.serve.WorkerPool` behind the wire protocol.
+
+    This is what ``repro serve --listen HOST:PORT`` runs: one of these
+    per host, N of them behind a :class:`Gateway`.  Pool calls funnel
+    through a single-thread executor (the pool's collection loop is
+    single-caller); ``shed_queue_depth`` bounds the number of requests
+    waiting on that executor before the server answers
+    ``REPLY_OVERLOADED`` instead of queueing deeper.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shed_queue_depth: Optional[int] = None,
+    ):
+        super().__init__(host, port)
+        self.pool = pool
+        self.shed_queue_depth = shed_queue_depth
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="pool-server"
+        )
+        self._inflight = 0
+
+    async def close(self) -> None:
+        await super().close()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    async def _run(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        self._inflight += 1
+        try:
+            return await loop.run_in_executor(self._executor, partial(fn, *args))
+        finally:
+            self._inflight -= 1
+
+    def _depth(self) -> int:
+        stats_depth = 0
+        for task_queue in self.pool._task_queues:
+            try:
+                stats_depth += int(task_queue.qsize())
+            except (NotImplementedError, OSError):  # pragma: no cover
+                pass
+        return stats_depth + self._inflight
+
+    async def _answer(self, request: wire.Request) -> wire.Reply:
+        try:
+            if isinstance(request, wire.QueryRequest):
+                if self._shedding():
+                    return self._overloaded()
+                scores = await self._run(
+                    self.pool.query_many, [int(s) for s in request.seeds]
+                )
+                return wire.DenseReply(scores=scores)
+            if isinstance(request, wire.TopKRequest):
+                if self._shedding():
+                    return self._overloaded()
+                results = await self._run(
+                    self.pool.query_topk_many,
+                    [int(s) for s in request.seeds],
+                    request.k,
+                    request.exclude_seed,
+                )
+                return wire.TopKReply(pairs=[to_pairs(r) for r in results])
+            if isinstance(request, wire.StatsRequest):
+                stats = await self._run(self.pool.pool_stats)
+                worker_stats = self.pool.worker_stats()
+                return wire.StatsReply(
+                    stats={
+                        "queue_depth": self._depth(),
+                        "generation": stats.get("generation"),
+                        "n_workers": stats.get("n_workers"),
+                        "n_nodes": (
+                            worker_stats[0].get("n_nodes")
+                            if worker_stats else None
+                        ),
+                        "queries_submitted": stats.get("queries_submitted"),
+                        "worker_restarts": stats.get("worker_restarts"),
+                    }
+                )
+        except (WorkerError, InvalidParameterError) as exc:
+            return wire.ErrorReply(f"{type(exc).__name__}: {exc}")
+        return wire.ErrorReply(
+            f"pool server cannot answer {type(request).__name__}"
+        )
+
+    def _shedding(self) -> bool:
+        return (
+            self.shed_queue_depth is not None
+            and self._depth() > self.shed_queue_depth
+        )
+
+    def _overloaded(self) -> wire.OverloadedReply:
+        return wire.OverloadedReply(
+            pending=self._depth(),
+            limit=int(self.shed_queue_depth or 0),
+            retry_after=0.05,
+        )
+
+
+class GatewayServer(_WireServer):
+    """A :class:`Gateway` behind the wire protocol (the client-facing hop).
+
+    Every seed of an incoming request goes through the gateway's
+    coalescer individually, so concurrent client connections merge into
+    shared backend solves; a multi-seed request is simply N coalescable
+    requests that happen to arrive together.
+    """
+
+    def __init__(self, gateway: Gateway, host: str = "127.0.0.1", port: int = 0):
+        super().__init__(host, port)
+        self.gateway = gateway
+
+    async def _answer(self, request: wire.Request) -> wire.Reply:
+        try:
+            if isinstance(request, wire.QueryRequest):
+                rows = await self._gather(
+                    [self.gateway.query(int(s)) for s in request.seeds]
+                )
+                scores = (
+                    np.vstack(rows)
+                    if rows
+                    else np.empty((0, 0), dtype=np.float64)
+                )
+                return wire.DenseReply(scores=scores)
+            if isinstance(request, wire.TopKRequest):
+                pairs = await self._gather(
+                    [
+                        self.gateway.query_topk(
+                            int(s), request.k, request.exclude_seed
+                        )
+                        for s in request.seeds
+                    ]
+                )
+                return wire.TopKReply(pairs=list(pairs))
+            if isinstance(request, wire.StatsRequest):
+                return wire.StatsReply(stats=await self.gateway.stats())
+        except Overloaded as exc:
+            return wire.OverloadedReply(
+                pending=exc.pending, limit=exc.limit, retry_after=exc.retry_after
+            )
+        except (QueryError, BackendError, InvalidParameterError) as exc:
+            return wire.ErrorReply(f"{type(exc).__name__}: {exc}")
+        return wire.ErrorReply(
+            f"gateway cannot answer {type(request).__name__}"
+        )
+
+    @staticmethod
+    async def _gather(coros: List[Any]) -> List[Any]:
+        """Gather that re-raises the highest-priority failure after every
+        branch settled (a plain ``gather`` abandons siblings whose
+        exceptions then log as never-retrieved)."""
+        results = await asyncio.gather(*coros, return_exceptions=True)
+        for exception_type in (Overloaded, QueryError, BackendError):
+            for result in results:
+                if isinstance(result, exception_type):
+                    raise result
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        return results

@@ -24,6 +24,7 @@ import multiprocessing as mp
 import os
 import queue
 import signal
+import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
@@ -86,6 +87,13 @@ class TopKCache:
     Hits, misses and evictions are counted into the owning registry
     (``rwr.topk.cache.{hits,misses,evictions}``); ``max_entries=0``
     disables caching entirely.
+
+    The cache is thread-safe: ``get``/``put``/``stats`` hold an internal
+    lock, because under the async gateway the pool is reached from
+    executor threads concurrently with stats readers — an unlocked
+    ``OrderedDict.move_to_end`` racing a ``popitem`` corrupts the LRU
+    order (or raises ``KeyError``) in ways a single synchronous caller
+    never sees.
     """
 
     def __init__(self, max_entries: int = DEFAULT_TOPK_CACHE_ENTRIES,
@@ -96,6 +104,7 @@ class TopKCache:
             )
         self.max_entries = max_entries
         self._entries: "OrderedDict[Hashable, TopKResult]" = OrderedDict()
+        self._lock = threading.Lock()
         self._registry = registry if registry is not None else MetricsRegistry()
         # Pre-register so an all-miss (or never-queried) cache still
         # exports zeros instead of absent series.
@@ -114,33 +123,45 @@ class TopKCache:
 
     def get(self, key: Hashable) -> Optional[TopKResult]:
         """The cached answer for ``key``, or ``None`` (counts hit/miss)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses.inc()
-            return None
-        self._entries.move_to_end(key)
-        self._hits.inc()
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses.inc()
+                return None
+            self._entries.move_to_end(key)
+            self._hits.inc()
+            return entry
 
     def put(self, key: Hashable, value: TopKResult) -> None:
         """Insert an answer, evicting least-recently-used entries beyond
         capacity."""
         if self.max_entries == 0:
             return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self._evictions.inc()
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions.inc()
 
     def stats(self) -> Dict[str, float]:
         """Current counter values plus occupancy (for ``pool_stats``)."""
-        return {
-            "entries": float(len(self._entries)),
-            "hits": self._hits.value,
-            "misses": self._misses.value,
-            "evictions": self._evictions.value,
-        }
+        with self._lock:
+            return {
+                "entries": float(len(self._entries)),
+                "hits": self._hits.value,
+                "misses": self._misses.value,
+                "evictions": self._evictions.value,
+            }
+
+
+def _command_seed_count(command: tuple) -> int:
+    """How many seeds a worker command carries (0 for control commands)."""
+    if command[0] == "query_many":
+        return len(command[1])
+    if command[0] == "query_topk":
+        return len(command[1][0])
+    return 0
 
 
 def engine_for_bundle(bundle: SolverArtifacts) -> QueryEngine:
@@ -421,6 +442,9 @@ class WorkerPool:
         self._clean_orphan_metrics()
         self._started = time.perf_counter()
         self._worker_queries = [0] * n_workers
+        # Guards _worker_queries: the counts are read by routing decisions
+        # and pool_stats() while gateway executor threads submit work.
+        self._queries_lock = threading.Lock()
         self._mmap = mmap
         self._ctx = mp.get_context(start_method)
         self._result_queue = self._ctx.Queue()
@@ -447,6 +471,10 @@ class WorkerPool:
         self._registry.counter(
             telemetry.REQUEST_RETRIES,
             help="requests re-dispatched after a worker death",
+        )
+        self._registry.counter(
+            telemetry.WORKER_REROUTES,
+            help="pinned requests rerouted off a disabled worker slot",
         )
         # Top-k result cache, keyed by the artifact generation the workers
         # serve.  A bare artifact directory is its own (only) generation;
@@ -510,8 +538,9 @@ class WorkerPool:
         slot 0 while the rest idle.  Pass an explicit ``worker`` to pin
         the request (tests, determinism drills); a pinned worker whose
         slot has been taken out of rotation by the supervisor is rerouted
-        to a healthy one.
+        to the least-loaded healthy one.
         """
+        self._ensure_current_generation()
         worker = self._route_worker(worker)
         request_id = self._submit(worker, seeds)
         result = self._collect({request_id})[request_id]
@@ -521,6 +550,7 @@ class WorkerPool:
     def query_many_each(self, seeds: Sequence[int]) -> List[np.ndarray]:
         """Have every healthy worker answer the same batch; returns one
         ``(k, n)`` matrix per worker (the cross-process determinism check)."""
+        self._ensure_current_generation()
         requests = {self._submit(w, seeds): w for w in self._require_healthy()}
         results = self._collect(set(requests))
         self._maybe_write_metrics()
@@ -530,6 +560,7 @@ class WorkerPool:
         """Split a batch across the healthy workers; rows come back in seed
         order (bit-identical even if a worker dies and its share is retried
         elsewhere — the artifacts are immutable)."""
+        self._ensure_current_generation()
         seed_list = list(seeds)
         workers = self._require_healthy()
         chunks = [c for c in np.array_split(np.arange(len(seed_list)), len(workers))]
@@ -691,7 +722,9 @@ class WorkerPool:
                 depths.append(None)
         known = [d for d in depths if d is not None]
         workers = []
-        for worker_id, submitted in enumerate(self._worker_queries):
+        with self._queries_lock:
+            worker_queries = list(self._worker_queries)
+        for worker_id, submitted in enumerate(worker_queries):
             process = self._processes[worker_id]
             workers.append(
                 {
@@ -708,7 +741,7 @@ class WorkerPool:
             "n_workers": self.n_workers,
             "uptime_seconds": uptime,
             "queue_depth": sum(known) if known else None,
-            "queries_submitted": sum(self._worker_queries),
+            "queries_submitted": sum(worker_queries),
             "worker_restarts": sum(self._respawns),
             "requests_retried": int(
                 self._registry.counter(telemetry.REQUEST_RETRIES).value
@@ -839,7 +872,15 @@ class WorkerPool:
         return workers
 
     def _route_worker(self, worker: Optional[int]) -> int:
-        """Resolve a caller's worker choice: explicit pin or least-loaded."""
+        """Resolve a caller's worker choice: explicit pin or least-loaded.
+
+        A pinned worker whose slot left rotation is rerouted through the
+        same least-loaded selection as unpinned traffic — sending every
+        orphaned pin to the lowest healthy slot would recreate exactly the
+        hot-spotting the load-aware routing removed.  Reroutes are counted
+        (``rwr.serve.worker_reroutes``) so a dashboard can tell pinned
+        traffic is landing somewhere else than asked.
+        """
         if worker is None:
             return self._least_loaded_worker()
         if not 0 <= worker < self.n_workers:
@@ -847,7 +888,11 @@ class WorkerPool:
                 f"worker must be in [0, {self.n_workers}), got {worker}"
             )
         if self._disabled[worker]:
-            return self._require_healthy()[0]
+            self._registry.counter(
+                telemetry.WORKER_REROUTES,
+                help="pinned requests rerouted off a disabled worker slot",
+            ).inc()
+            return self._least_loaded_worker()
         return worker
 
     def _least_loaded_worker(self) -> int:
@@ -858,17 +903,20 @@ class WorkerPool:
         far, then the lowest slot id — the same bookkeeping
         :meth:`pool_stats` reports, so routing is observable.
         """
+        with self._queries_lock:
+            worker_queries = list(self._worker_queries)
+
         def load(worker_id: int) -> Tuple[int, int, int]:
             try:
                 depth = int(self._task_queues[worker_id].qsize())
             except NotImplementedError:  # pragma: no cover - macOS queues
                 depth = 0
-            return (depth, self._worker_queries[worker_id], worker_id)
+            return (depth, worker_queries[worker_id], worker_id)
 
         return min(self._require_healthy(), key=load)
 
     # ------------------------------------------------------------------
-    # Internals: top-k plumbing
+    # Internals: generation tracking + top-k plumbing
     # ------------------------------------------------------------------
     def _generation_token(self) -> Optional[str]:
         """The artifact generation the pool should be serving right now."""
@@ -880,13 +928,19 @@ class WorkerPool:
             return self._generation
 
     def _ensure_current_generation(self) -> Optional[str]:
-        """Follow the store's ``current`` pointer before a top-k query.
+        """Follow the store's ``current`` pointer before any query.
 
         When a new generation has been published since the workers opened
         their artifacts, every healthy worker re-opens (cheap: mmap) so
         replies match the generation the cache keys them under.  Entries
         keyed under the previous generation become unreachable and age
         out of the LRU — the automatic invalidation the cache relies on.
+
+        Every query mode (dense ``query_many`` / ``query_many_each`` /
+        ``scatter`` as well as the top-k paths) funnels through here, so
+        after a publish the dense and top-k answers always come from the
+        *same* generation — the store's ``current`` — rather than dense
+        queries serving whatever the workers opened at spawn time.
         """
         token = self._generation_token()
         if token is not None and token != self._generation:
@@ -918,7 +972,8 @@ class WorkerPool:
         request_id = self._dispatch(
             worker, ("query_topk", (seeds, k, exclude_seed))
         )
-        self._worker_queries[worker] += len(seeds)
+        with self._queries_lock:
+            self._worker_queries[worker] += len(seeds)
         return request_id
 
     def _absorb_topk_replies(
@@ -982,7 +1037,8 @@ class WorkerPool:
             )
         seed_list = list(seeds)
         request_id = self._dispatch(worker, ("query_many", seed_list))
-        self._worker_queries[worker] += len(seed_list)
+        with self._queries_lock:
+            self._worker_queries[worker] += len(seed_list)
         return request_id
 
     # ------------------------------------------------------------------
@@ -1122,13 +1178,21 @@ class WorkerPool:
         retried result is bit-identical to what the dead worker would have
         returned.  A request that exhausts ``max_retries`` fails its origin
         with a :class:`WorkerError` naming the crash.
+
+        The per-worker ``_worker_queries`` counts move with the work: the
+        dead worker gives back the seeds it never answered and the retry
+        target is charged for them, so the load-aware routing (and
+        ``pool_stats``) keep reflecting where queries actually ran.
         """
         healthy = self._healthy_workers()
         for index, wire_id in enumerate(orphans):
             record = self._inflight.pop(wire_id, None)
             if record is None or record["origin"] in self._cancelled:
                 continue
+            seeds_moved = _command_seed_count(record["command"])
             if record["attempts"] >= self.max_retries or not healthy:
+                with self._queries_lock:
+                    self._worker_queries[dead_worker] -= seeds_moved
                 self._failed[record["origin"]] = (
                     f"worker {dead_worker} died (exitcode {exitcode}) and "
                     f"request {record['origin']} exhausted its "
@@ -1145,6 +1209,9 @@ class WorkerPool:
                 origin=record["origin"],
                 attempts=record["attempts"] + 1,
             )
+            with self._queries_lock:
+                self._worker_queries[dead_worker] -= seeds_moved
+                self._worker_queries[target] += seeds_moved
             self._registry.counter(
                 telemetry.REQUEST_RETRIES,
                 help="requests re-dispatched after a worker death",

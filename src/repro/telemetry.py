@@ -98,6 +98,19 @@ FALLBACK_RESIDUAL = "rwr.queries.fallback.residual"
 # Serving supervision (worker crash detection / respawn / re-dispatch).
 WORKER_RESTARTS = "rwr.serve.worker_restarts"
 REQUEST_RETRIES = "rwr.serve.request_retries"
+WORKER_REROUTES = "rwr.serve.worker_reroutes"
+
+# Async gateway front door (repro.gateway): end-to-end request latency,
+# seeds per coalesced backend solve, admission-control sheds, replica
+# failovers, and per-backend health/queue-depth gauges
+# (``rwr.gateway.backend.<name>.{healthy,queue_depth}``).
+GATEWAY_REQUESTS = "rwr.gateway.requests"
+GATEWAY_REQUEST_SECONDS = "rwr.gateway.request.seconds"
+GATEWAY_COALESCE_BATCH = "rwr.gateway.coalesce.batch_size"
+GATEWAY_SHED = "rwr.gateway.shed"
+GATEWAY_FAILOVERS = "rwr.gateway.failovers"
+GATEWAY_BACKEND_ERRORS = "rwr.gateway.backend.errors"
+GATEWAY_BACKEND_PREFIX = "rwr.gateway.backend."
 
 # Top-k query path: generation-keyed result cache in the serve tier,
 # selection pruning ratio, and the size of the k-pair wire replies.

@@ -1,0 +1,364 @@
+"""Length-prefixed binary wire protocol for the serve tier.
+
+One protocol connects all three remote pieces of the serving stack: load
+generators talk to the :class:`repro.gateway.GatewayServer`, and the
+gateway talks to ``repro serve --listen`` pool backends — the frames are
+identical in both hops, so a client can also bypass the gateway and hit a
+pool directly.
+
+Frame layout
+------------
+Every message (request or reply) is one *frame*::
+
+    u32  length      little-endian byte count of the payload that follows
+    u8   version     protocol version (currently 1)
+    u8   opcode      message type
+    ...  body        opcode-specific, fixed little-endian layout
+
+Requests
+--------
+``OP_QUERY``
+    ``u32 n_seeds`` then ``n_seeds`` ``i64`` seed ids.  Answered with a
+    ``REPLY_DENSE`` frame of ``n_seeds`` dense float64 score rows.
+``OP_TOPK``
+    ``u32 n_seeds``, ``u32 k``, ``u8 exclude_seed`` then ``n_seeds``
+    ``i64`` seed ids.  Answered with a ``REPLY_TOPK`` frame carrying the
+    existing 16-byte ``(int64 id, float64 score)`` pair records of
+    :data:`repro.core.topk.PAIR_DTYPE` — the same payload shrink the
+    in-process top-k path buys, now across hosts.
+``OP_STATS``
+    Empty body; answered with a ``REPLY_STATS`` JSON document (queue
+    depth, generation, supervision counters).  This is what the gateway's
+    health monitor polls for backpressure and failover decisions.
+
+Replies
+-------
+``REPLY_DENSE``
+    ``u32 rows``, ``u64 cols`` then ``rows * cols`` ``f8`` scores.
+``REPLY_TOPK``
+    ``u32 n_seeds`` then per seed ``u32 n_pairs`` + ``n_pairs`` 16-byte
+    pair records (``n_pairs`` can be below the requested ``k`` when the
+    candidate pool was smaller — the documented clamp semantics).
+``REPLY_STATS``
+    UTF-8 JSON for the rest of the payload.
+``REPLY_ERROR``
+    UTF-8 error message; the request failed and retrying it unchanged
+    will fail again (bad seed id, unknown opcode).
+``REPLY_OVERLOADED``
+    UTF-8 JSON ``{"pending": .., "limit": .., "retry_after": ..}``; the
+    server *shed* the request instead of queueing it unboundedly.
+    Retrying after ``retry_after`` seconds is expected to succeed.
+
+Integers and floats are little-endian on the wire (the native layout on
+every deployment target, so encoding is zero-copy); the explicit dtypes
+keep a big-endian host correct, just slower.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame; a corrupt length prefix must not make a
+#: reader allocate gigabytes.  1 GiB fits a ~16k-seed dense reply at
+#: scale 23 — far beyond what the gateway ever batches.
+MAX_FRAME_BYTES = 1 << 30
+
+OP_QUERY = 1
+OP_TOPK = 2
+OP_STATS = 3
+
+REPLY_DENSE = 16
+REPLY_TOPK = 17
+REPLY_STATS = 18
+REPLY_ERROR = 19
+REPLY_OVERLOADED = 20
+
+_LEN = struct.Struct("<I")
+_HEADER = struct.Struct("<BB")  # version, opcode
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_TOPK_HEAD = struct.Struct("<IIB")  # n_seeds, k, exclude_seed
+
+#: Explicit little-endian layouts for the array payloads.
+WIRE_SEED_DTYPE = np.dtype("<i8")
+WIRE_SCORE_DTYPE = np.dtype("<f8")
+WIRE_PAIR_DTYPE = np.dtype([("id", "<i8"), ("score", "<f8")])
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that do not parse as a protocol frame."""
+
+
+# ----------------------------------------------------------------------
+# Message dataclasses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class QueryRequest:
+    """Dense scores for a batch of seeds."""
+
+    seeds: np.ndarray  # (n,) int64
+
+    opcode = OP_QUERY
+
+
+@dataclass(frozen=True, eq=False)
+class TopKRequest:
+    """Top-k (id, score) pairs for a batch of seeds."""
+
+    seeds: np.ndarray  # (n,) int64
+    k: int
+    exclude_seed: bool = True
+
+    opcode = OP_TOPK
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Server-side stats (health/backpressure probe)."""
+
+    opcode = OP_STATS
+
+
+@dataclass(frozen=True, eq=False)
+class DenseReply:
+    scores: np.ndarray  # (rows, cols) float64
+
+    opcode = REPLY_DENSE
+
+
+@dataclass(frozen=True, eq=False)
+class TopKReply:
+    #: One PAIR_DTYPE array per requested seed, in request order.
+    pairs: List[np.ndarray] = field(default_factory=list)
+
+    opcode = REPLY_TOPK
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    opcode = REPLY_STATS
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    message: str
+
+    opcode = REPLY_ERROR
+
+
+@dataclass(frozen=True)
+class OverloadedReply:
+    """Typed shed: the server refused the request under backpressure."""
+
+    pending: int = 0
+    limit: int = 0
+    retry_after: float = 0.05
+
+    opcode = REPLY_OVERLOADED
+
+
+Request = Union[QueryRequest, TopKRequest, StatsRequest]
+Reply = Union[DenseReply, TopKReply, StatsReply, ErrorReply, OverloadedReply]
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def _seed_bytes(seeds: Sequence[int]) -> bytes:
+    return np.ascontiguousarray(seeds, dtype=WIRE_SEED_DTYPE).tobytes()
+
+
+def encode_message(message: Union[Request, Reply]) -> bytes:
+    """Serialize a request or reply into a frame payload (no length prefix)."""
+    head = _HEADER.pack(PROTOCOL_VERSION, message.opcode)
+    if isinstance(message, QueryRequest):
+        seeds = _seed_bytes(message.seeds)
+        return head + _U32.pack(len(seeds) // 8) + seeds
+    if isinstance(message, TopKRequest):
+        seeds = _seed_bytes(message.seeds)
+        return (
+            head
+            + _TOPK_HEAD.pack(len(seeds) // 8, int(message.k), int(message.exclude_seed))
+            + seeds
+        )
+    if isinstance(message, StatsRequest):
+        return head
+    if isinstance(message, DenseReply):
+        scores = np.ascontiguousarray(message.scores, dtype=WIRE_SCORE_DTYPE)
+        if scores.ndim != 2:
+            raise ProtocolError(
+                f"dense reply must be 2-D (rows, cols), got shape {scores.shape}"
+            )
+        rows, cols = scores.shape
+        return head + _U32.pack(rows) + _U64.pack(cols) + scores.tobytes()
+    if isinstance(message, TopKReply):
+        parts = [head, _U32.pack(len(message.pairs))]
+        for packed in message.pairs:
+            wire = np.ascontiguousarray(packed).astype(WIRE_PAIR_DTYPE, copy=False)
+            parts.append(_U32.pack(len(wire)))
+            parts.append(wire.tobytes())
+        return b"".join(parts)
+    if isinstance(message, StatsReply):
+        return head + json.dumps(message.stats).encode("utf-8")
+    if isinstance(message, ErrorReply):
+        return head + message.message.encode("utf-8")
+    if isinstance(message, OverloadedReply):
+        body = {
+            "pending": int(message.pending),
+            "limit": int(message.limit),
+            "retry_after": float(message.retry_after),
+        }
+        return head + json.dumps(body).encode("utf-8")
+    raise ProtocolError(f"cannot encode {type(message).__name__}")
+
+
+def decode_message(payload: bytes) -> Union[Request, Reply]:
+    """Parse a frame payload back into its message dataclass."""
+    if len(payload) < _HEADER.size:
+        raise ProtocolError(f"frame too short ({len(payload)} bytes)")
+    version, opcode = _HEADER.unpack_from(payload)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} (expected {PROTOCOL_VERSION})"
+        )
+    body = payload[_HEADER.size:]
+    try:
+        if opcode == OP_QUERY:
+            (n,) = _U32.unpack_from(body)
+            seeds = _read_array(body, _U32.size, n, WIRE_SEED_DTYPE)
+            return QueryRequest(seeds=seeds)
+        if opcode == OP_TOPK:
+            n, k, exclude = _TOPK_HEAD.unpack_from(body)
+            seeds = _read_array(body, _TOPK_HEAD.size, n, WIRE_SEED_DTYPE)
+            return TopKRequest(seeds=seeds, k=int(k), exclude_seed=bool(exclude))
+        if opcode == OP_STATS:
+            return StatsRequest()
+        if opcode == REPLY_DENSE:
+            (rows,) = _U32.unpack_from(body)
+            (cols,) = _U64.unpack_from(body, _U32.size)
+            flat = _read_array(
+                body, _U32.size + _U64.size, rows * cols, WIRE_SCORE_DTYPE
+            )
+            return DenseReply(scores=flat.reshape(rows, cols))
+        if opcode == REPLY_TOPK:
+            (n,) = _U32.unpack_from(body)
+            offset = _U32.size
+            pairs: List[np.ndarray] = []
+            for _ in range(n):
+                (n_pairs,) = _U32.unpack_from(body, offset)
+                offset += _U32.size
+                packed = _read_array(body, offset, n_pairs, WIRE_PAIR_DTYPE)
+                offset += n_pairs * WIRE_PAIR_DTYPE.itemsize
+                pairs.append(packed)
+            return TopKReply(pairs=pairs)
+        if opcode == REPLY_STATS:
+            return StatsReply(stats=json.loads(body.decode("utf-8")))
+        if opcode == REPLY_ERROR:
+            return ErrorReply(message=body.decode("utf-8", errors="replace"))
+        if opcode == REPLY_OVERLOADED:
+            info = json.loads(body.decode("utf-8"))
+            return OverloadedReply(
+                pending=int(info.get("pending", 0)),
+                limit=int(info.get("limit", 0)),
+                retry_after=float(info.get("retry_after", 0.05)),
+            )
+    except ProtocolError:
+        raise
+    except (struct.error, ValueError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame body for opcode {opcode}: {exc}") from exc
+    raise ProtocolError(f"unknown opcode {opcode}")
+
+
+def _read_array(body: bytes, offset: int, count: int, dtype: np.dtype) -> np.ndarray:
+    end = offset + count * dtype.itemsize
+    if end > len(body):
+        raise ProtocolError(
+            f"truncated frame: need {end} body bytes, have {len(body)}"
+        )
+    # .copy() detaches the array from the receive buffer so the frame's
+    # bytes object can be released immediately.
+    return np.frombuffer(body, dtype=dtype, count=count, offset=offset).copy()
+
+
+# ----------------------------------------------------------------------
+# Frame transport — asyncio streams and blocking sockets
+# ----------------------------------------------------------------------
+def pack_frame(payload: bytes) -> bytes:
+    """Prefix a payload with its little-endian u32 length."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+async def write_message(
+    writer: asyncio.StreamWriter, message: Union[Request, Reply]
+) -> None:
+    """Encode, frame and flush one message on an asyncio stream."""
+    writer.write(pack_frame(encode_message(message)))
+    await writer.drain()
+
+
+async def read_message(
+    reader: asyncio.StreamReader,
+) -> Optional[Union[Request, Reply]]:
+    """Read one framed message; ``None`` on a clean EOF between frames."""
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise ProtocolError("connection closed mid-frame") from exc
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds MAX_FRAME_BYTES")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_message(payload)
+
+
+def send_message(sock: socket.socket, message: Union[Request, Reply]) -> None:
+    """Blocking-socket counterpart of :func:`write_message`."""
+    sock.sendall(pack_frame(encode_message(message)))
+
+
+def recv_message(sock: socket.socket) -> Optional[Union[Request, Reply]]:
+    """Blocking-socket counterpart of :func:`read_message`."""
+    prefix = _recv_exactly(sock, _LEN.size)
+    if prefix is None:
+        return None
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds MAX_FRAME_BYTES")
+    payload = _recv_exactly(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    return decode_message(payload)
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None  # clean close between frames
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

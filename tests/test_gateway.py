@@ -1,0 +1,493 @@
+"""Tests for the asyncio gateway: coalescing, shedding, sharding, failover."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import BePI, InvalidParameterError, telemetry
+from repro.core.topk import PAIR_DTYPE
+from repro.gateway import (
+    BackendError,
+    Gateway,
+    GatewayServer,
+    HashRing,
+    LocalBackend,
+    Overloaded,
+    PoolServer,
+    RemoteBackend,
+    parse_endpoint,
+)
+from repro.persistence import save_artifacts
+from repro.serve import WorkerPool
+from repro import wire
+
+
+@pytest.fixture(scope="module")
+def served_solver(small_graph):
+    return BePI(tol=1e-11, hub_ratio=0.2).preprocess(small_graph)
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(served_solver, tmp_path_factory):
+    path = tmp_path_factory.mktemp("gw-artifacts") / "solver"
+    save_artifacts(served_solver, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def pool(artifact_dir):
+    with WorkerPool(artifact_dir, n_workers=1, timeout=120) as pool:
+        yield pool
+
+
+class FakeBackend:
+    """In-memory backend that records every batched call it answers."""
+
+    def __init__(self, name="fake", n_cols=4, delay=0.0, fail=False):
+        self.name = name
+        self.n_cols = n_cols
+        self.delay = delay
+        self.fail = fail
+        self.calls = []
+        self.topk_calls = []
+
+    async def query_many(self, seeds):
+        if self.fail:
+            raise BackendError(f"backend {self.name}: injected failure")
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        self.calls.append(list(seeds))
+        # Row content is a function of the seed only, so tests can verify
+        # each caller got *their* row back out of a shared batch.
+        return np.array(
+            [[float(s) + j / 10 for j in range(self.n_cols)] for s in seeds]
+        )
+
+    async def query_topk_many(self, seeds, k, exclude_seed):
+        if self.fail:
+            raise BackendError(f"backend {self.name}: injected failure")
+        self.topk_calls.append((list(seeds), k, exclude_seed))
+        return [
+            np.array([(int(s), 1.0)], dtype=PAIR_DTYPE) for s in seeds
+        ]
+
+    async def stats(self):
+        return {"queue_depth": 0}
+
+    async def close(self):
+        pass
+
+
+class TestParseEndpoint:
+    def test_parses_host_and_port(self):
+        assert parse_endpoint("127.0.0.1:7311") == ("127.0.0.1", 7311)
+        assert parse_endpoint("example.com:80") == ("example.com", 80)
+
+    @pytest.mark.parametrize("bad", ["localhost", ":80", "host:", "host:abc"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(InvalidParameterError):
+            parse_endpoint(bad)
+
+
+class TestHashRing:
+    def test_routing_is_deterministic_across_instances(self):
+        names = ["a:1", "b:2", "c:3"]
+        first = HashRing(names)
+        second = HashRing(list(reversed(names)))
+        # Same owner for every seed regardless of construction order or
+        # process (BLAKE2b, not the salted builtin hash).
+        assert [first.route(s) for s in range(500)] == [
+            second.route(s) for s in range(500)
+        ]
+
+    def test_order_is_a_failover_chain(self):
+        ring = HashRing(["a", "b", "c"])
+        for seed in range(100):
+            chain = ring.order(seed)
+            assert chain[0] == ring.route(seed)
+            assert sorted(chain) == ["a", "b", "c"]
+
+    def test_every_backend_owns_a_share(self):
+        ring = HashRing(["a", "b", "c"])
+        owners = {ring.route(s) for s in range(2000)}
+        assert owners == {"a", "b", "c"}
+
+    def test_removing_a_backend_only_remaps_its_seeds(self):
+        full = HashRing(["a", "b", "c"])
+        reduced = HashRing(["a", "b"])
+        for seed in range(1000):
+            if full.route(seed) != "c":
+                assert reduced.route(seed) == full.route(seed)
+
+    def test_rejects_empty_and_duplicate_names(self):
+        with pytest.raises(InvalidParameterError):
+            HashRing([])
+        with pytest.raises(InvalidParameterError):
+            HashRing(["a", "a"])
+
+
+class TestCoalescing:
+    def test_concurrent_queries_merge_into_one_batched_solve(self):
+        backend = FakeBackend()
+
+        async def scenario():
+            async with Gateway(
+                [backend], coalesce_window=0.02, health_interval=0
+            ) as gateway:
+                rows = await asyncio.gather(
+                    *(gateway.query(seed) for seed in range(12))
+                )
+                return rows, await gateway.stats()
+
+        rows, stats = asyncio.run(scenario())
+        # One backend call carried all twelve concurrent requests...
+        assert len(backend.calls) == 1
+        assert sorted(backend.calls[0]) == list(range(12))
+        # ...and each caller got its own row out of the shared batch.
+        for seed, row in enumerate(rows):
+            assert row[0] == float(seed)
+        assert stats["requests"] == 12
+
+    def test_batch_size_histogram_records_coalesced_sizes(self):
+        backend = FakeBackend()
+
+        async def scenario():
+            async with Gateway(
+                [backend], coalesce_window=0.02, health_interval=0
+            ) as gateway:
+                await asyncio.gather(*(gateway.query(s) for s in range(8)))
+                return gateway.registry.get(telemetry.GATEWAY_COALESCE_BATCH)
+
+        histogram = asyncio.run(scenario())
+        assert histogram.count == 1
+        assert histogram.sum == 8
+
+    def test_topk_and_dense_coalesce_separately(self):
+        backend = FakeBackend()
+
+        async def scenario():
+            async with Gateway(
+                [backend], coalesce_window=0.02, health_interval=0
+            ) as gateway:
+                dense, pairs = await asyncio.gather(
+                    gateway.query(3), gateway.query_topk(5, k=2)
+                )
+                return dense, pairs
+
+        dense, pairs = asyncio.run(scenario())
+        assert dense[0] == 3.0
+        assert pairs["id"][0] == 5
+        assert len(backend.calls) == 1 and len(backend.topk_calls) == 1
+
+    def test_zero_window_still_answers(self):
+        backend = FakeBackend()
+
+        async def scenario():
+            async with Gateway(
+                [backend], coalesce_window=0.0, health_interval=0
+            ) as gateway:
+                return await gateway.query(4)
+
+        assert asyncio.run(scenario())[0] == 4.0
+
+
+class TestAdmissionControl:
+    def test_sheds_beyond_max_pending(self):
+        backend = FakeBackend(delay=0.2)
+
+        async def scenario():
+            async with Gateway(
+                [backend],
+                coalesce_window=0.01,
+                max_pending=3,
+                health_interval=0,
+            ) as gateway:
+                outcomes = await asyncio.gather(
+                    *(gateway.query(s) for s in range(10)),
+                    return_exceptions=True,
+                )
+                return outcomes, await gateway.stats()
+
+        outcomes, stats = asyncio.run(scenario())
+        served = [o for o in outcomes if isinstance(o, np.ndarray)]
+        shed = [o for o in outcomes if isinstance(o, Overloaded)]
+        assert len(served) == 3
+        assert len(shed) == 7
+        # The typed reply tells clients how long to back off.
+        assert all(o.retry_after > 0 and o.limit == 3 for o in shed)
+        assert stats["sheds"] == 7
+        # Shedding never failed an *admitted* request.
+        assert not [o for o in outcomes if isinstance(o, BackendError)]
+
+    def test_recovers_after_backlog_drains(self):
+        backend = FakeBackend(delay=0.05)
+
+        async def scenario():
+            async with Gateway(
+                [backend],
+                coalesce_window=0.005,
+                max_pending=2,
+                health_interval=0,
+            ) as gateway:
+                first = await asyncio.gather(
+                    *(gateway.query(s) for s in range(4)),
+                    return_exceptions=True,
+                )
+                # Backlog drained: the gateway admits traffic again.
+                second = await gateway.query(9)
+                return first, second
+
+        first, second = asyncio.run(scenario())
+        assert any(isinstance(o, Overloaded) for o in first)
+        assert second[0] == 9.0
+
+
+class TestShardingAndFailover:
+    def test_seeds_route_by_ring_shard(self):
+        left = FakeBackend(name="left")
+        right = FakeBackend(name="right")
+
+        async def scenario():
+            async with Gateway(
+                [left, right], coalesce_window=0.02, health_interval=0
+            ) as gateway:
+                await asyncio.gather(*(gateway.query(s) for s in range(32)))
+                return gateway.ring
+
+        ring = asyncio.run(scenario())
+        for backend in (left, right):
+            for batch in backend.calls:
+                assert {ring.route(s) for s in batch} == {backend.name}
+        routed = sorted(s for b in (left, right) for c in b.calls for s in c)
+        assert routed == list(range(32))
+
+    def test_failover_to_replica_when_primary_fails(self):
+        healthy = FakeBackend(name="healthy")
+        broken = FakeBackend(name="broken", fail=True)
+
+        async def scenario():
+            async with Gateway(
+                [healthy, broken], coalesce_window=0.02, health_interval=0
+            ) as gateway:
+                rows = await asyncio.gather(
+                    *(gateway.query(s) for s in range(16))
+                )
+                return rows, await gateway.stats()
+
+        rows, stats = asyncio.run(scenario())
+        for seed, row in enumerate(rows):
+            assert row[0] == float(seed)
+        # Some seeds hashed to the broken backend and were retried on the
+        # healthy replica.
+        assert stats["failovers"] >= 1
+        assert stats["backend_errors"] >= 1
+        assert stats["backends"]["broken"]["healthy"] is False
+
+    def test_all_replicas_down_surfaces_backend_error(self):
+        async def scenario():
+            async with Gateway(
+                [FakeBackend(name="a", fail=True), FakeBackend(name="b", fail=True)],
+                coalesce_window=0.0,
+                health_interval=0,
+            ) as gateway:
+                with pytest.raises(BackendError, match="replica"):
+                    await gateway.query(1)
+
+        asyncio.run(scenario())
+
+    def test_failed_backend_is_deprioritized_not_dropped(self):
+        broken = FakeBackend(name="broken", fail=True)
+        healthy = FakeBackend(name="healthy")
+
+        async def scenario():
+            async with Gateway(
+                [broken, healthy], coalesce_window=0.0, health_interval=0
+            ) as gateway:
+                # A seed whose shard primary is the broken backend: the
+                # failed dispatch marks it unhealthy.
+                seed = next(
+                    s for s in range(100) if gateway.ring.route(s) == "broken"
+                )
+                await gateway.query(seed)
+                chain = gateway._failover_chain("broken")
+                return chain
+
+        chain = asyncio.run(scenario())
+        # Cooling-down backends move to the back of the chain, they do not
+        # vanish: when everything is unhealthy there is nothing better.
+        assert set(chain) == {"broken", "healthy"}
+        assert chain[-1] == "broken"
+
+
+class TestBitIdentityThroughGateway:
+    def test_dense_and_topk_match_direct_pool(self, pool, served_solver):
+        seeds = [0, 3, 5, 11]
+        expected = pool.query_many(seeds)
+        expected_topk = [
+            r.pairs() for r in pool.query_topk_many(seeds, 4, exclude_seed=True)
+        ]
+
+        async def scenario():
+            async with Gateway(
+                [LocalBackend(pool)], coalesce_window=0.01, health_interval=0
+            ) as gateway:
+                rows = await asyncio.gather(
+                    *(gateway.query(s) for s in seeds)
+                )
+                pairs = await asyncio.gather(
+                    *(gateway.query_topk(s, 4) for s in seeds)
+                )
+                return rows, pairs
+
+        rows, pairs = asyncio.run(scenario())
+        for row, direct in zip(rows, expected):
+            assert np.array_equal(row, direct)
+        for packed, direct in zip(pairs, expected_topk):
+            assert [(int(p["id"]), float(p["score"])) for p in packed] == direct
+
+
+class TestWireTier:
+    """Real sockets: PoolServer backends, RemoteBackend, GatewayServer."""
+
+    def test_remote_backend_round_trip_and_failover_on_kill(
+        self, pool, served_solver
+    ):
+        async def scenario():
+            # Two wire servers over the same pool — bit-identical replicas,
+            # exactly what immutable artifact generations guarantee.
+            async with PoolServer(pool) as stays_up, PoolServer(pool) as dies:
+                up_host, up_port = stays_up.address
+                down_host, down_port = dies.address
+                backends = [
+                    RemoteBackend(up_host, up_port, name="up"),
+                    RemoteBackend(down_host, down_port, name="down",
+                                  connect_timeout=2.0),
+                ]
+                gateway = Gateway(
+                    backends,
+                    coalesce_window=0.01,
+                    health_interval=0,
+                    failover_cooldown=0.5,
+                )
+                async with gateway:
+                    seeds = list(range(16))
+                    before = await asyncio.gather(
+                        *(gateway.query(s) for s in seeds)
+                    )
+                    # Kill one replica mid-flight; its shard's seeds must
+                    # fail over to the survivor with identical answers.
+                    await dies.close()
+                    after = await asyncio.gather(
+                        *(gateway.query(s) for s in seeds)
+                    )
+                    stats = await gateway.stats()
+                return before, after, stats
+
+        before, after, stats = asyncio.run(scenario())
+        expected = None
+        for row_before, row_after in zip(before, after):
+            assert np.array_equal(row_before, row_after)
+        assert stats["failovers"] >= 1
+
+    def test_gateway_server_answers_wire_clients(self, pool, served_solver):
+        seeds = np.array([1, 2, 8], dtype=np.int64)
+        expected = pool.query_many([int(s) for s in seeds])
+
+        async def scenario():
+            async with Gateway(
+                [LocalBackend(pool)], coalesce_window=0.01, health_interval=0
+            ) as gateway:
+                async with GatewayServer(gateway) as server:
+                    host, port = server.address
+                    reader, writer = await asyncio.open_connection(host, port)
+                    await wire.write_message(
+                        writer, wire.QueryRequest(seeds=seeds)
+                    )
+                    dense = await wire.read_message(reader)
+                    await wire.write_message(
+                        writer,
+                        wire.TopKRequest(seeds=seeds[:1], k=3,
+                                         exclude_seed=True),
+                    )
+                    topk = await wire.read_message(reader)
+                    await wire.write_message(writer, wire.StatsRequest())
+                    stats = await wire.read_message(reader)
+                    writer.close()
+                    await writer.wait_closed()
+                    return dense, topk, stats
+
+        dense, topk, stats = asyncio.run(scenario())
+        assert isinstance(dense, wire.DenseReply)
+        assert np.array_equal(dense.scores, expected)
+        assert isinstance(topk, wire.TopKReply)
+        direct = pool.query_topk(1, 3, exclude_seed=True)
+        assert [(int(p["id"]), float(p["score"])) for p in topk.pairs[0]] == \
+            direct.pairs()
+        assert isinstance(stats, wire.StatsReply)
+        assert stats.stats["pending"] == 0
+
+    def test_pool_server_sheds_with_typed_reply(self, pool):
+        async def scenario():
+            server = PoolServer(pool, shed_queue_depth=-1)  # shed everything
+            async with server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                await wire.write_message(
+                    writer,
+                    wire.QueryRequest(seeds=np.array([0], dtype=np.int64)),
+                )
+                reply = await wire.read_message(reader)
+                writer.close()
+                await writer.wait_closed()
+                return reply
+
+        reply = asyncio.run(scenario())
+        assert isinstance(reply, wire.OverloadedReply)
+        assert reply.retry_after > 0
+
+    def test_invalid_seed_surfaces_as_query_error_not_failover(self, pool):
+        async def scenario():
+            async with PoolServer(pool) as server:
+                host, port = server.address
+                backend = RemoteBackend(host, port, name="only")
+                async with Gateway(
+                    [backend], coalesce_window=0.0, health_interval=0
+                ) as gateway:
+                    from repro.gateway import QueryError
+
+                    with pytest.raises(QueryError, match="out of range"):
+                        await gateway.query(10**9)
+                    stats = await gateway.stats()
+                    # An application error is not a transport failure: no
+                    # failover, and the backend stays healthy.
+                    assert stats["failovers"] == 0
+                    assert stats["backends"]["only"]["healthy"] is True
+
+        asyncio.run(scenario())
+
+
+class TestGatewayValidation:
+    def test_rejects_no_backends(self):
+        with pytest.raises(InvalidParameterError):
+            Gateway([])
+
+    def test_rejects_duplicate_backend_names(self):
+        with pytest.raises(InvalidParameterError):
+            Gateway([FakeBackend(name="x"), FakeBackend(name="x")])
+
+    def test_rejects_bad_window_and_limit(self):
+        with pytest.raises(InvalidParameterError):
+            Gateway([FakeBackend()], coalesce_window=-1)
+        with pytest.raises(InvalidParameterError):
+            Gateway([FakeBackend()], max_pending=0)
+
+    def test_closed_gateway_refuses_queries(self):
+        async def scenario():
+            gateway = Gateway([FakeBackend()], health_interval=0)
+            await gateway.start()
+            await gateway.close()
+            with pytest.raises(BackendError, match="closed"):
+                await gateway.query(0)
+
+        asyncio.run(scenario())

@@ -277,6 +277,132 @@ class TestPoolTelemetry:
         assert merged.get("serve.uptime.seconds").value > 0
 
 
+class TestGenerationSwap:
+    """After an ArtifactStore publish, *every* query mode must follow the
+    ``current`` pointer — the dense paths used to keep serving the
+    generation the workers opened at spawn time while top-k re-opened."""
+
+    @pytest.fixture()
+    def swapped_store(self, served_solver, small_graph, tmp_path):
+        from repro import generate_rmat
+
+        store = ArtifactStore(tmp_path / "store")
+        store.publish(served_solver)
+        # Same node count, different edges: scores differ measurably.
+        replacement = BePI(tol=1e-11, hub_ratio=0.2).preprocess(
+            generate_rmat(7, 760, seed=9)
+        )
+        return store, replacement
+
+    def test_dense_paths_follow_publish(self, swapped_store):
+        store, replacement = swapped_store
+        seeds = [0, 3, 5]
+        with WorkerPool(store.root, n_workers=2, timeout=120) as pool:
+            pool.query_many(seeds)  # workers now hold gen-000001
+            store.publish(replacement)
+            expected = replacement.query_many(seeds)
+            assert np.array_equal(pool.query_many(seeds), expected)
+            assert all(
+                np.array_equal(per_worker, expected)
+                for per_worker in pool.query_many_each(seeds)
+            )
+            # Scatter splits the batch across workers, so compare against
+            # the same per-chunk evaluation (batch composition affects
+            # bits; see test_workers_serve_bit_identical_scores).
+            chunks = np.array_split(np.arange(len(seeds)), pool.n_workers)
+            chunked = np.vstack(
+                [replacement.query_many([seeds[i] for i in chunk])
+                 for chunk in chunks if chunk.size]
+            )
+            assert np.array_equal(pool.scatter(seeds), chunked)
+            assert pool.pool_stats()["generation"].endswith("gen-000002")
+
+    def test_dense_and_topk_agree_after_publish(self, swapped_store):
+        """Acceptance: post-publish, dense and top-k answers come from the
+        same generation — the top-k pairs are exactly the dense row's
+        ranking, not a mix of old and new artifacts."""
+        store, replacement = swapped_store
+        with WorkerPool(store.root, n_workers=2, timeout=120) as pool:
+            pool.query_topk(0, 5, exclude_seed=False)  # warm gen-000001
+            store.publish(replacement)
+            dense_row = pool.query_many([0])[0]
+            result = pool.query_topk(0, 5, exclude_seed=False)
+            assert np.array_equal(dense_row, replacement.query_many([0])[0])
+            assert np.array_equal(dense_row[result.ids], result.scores)
+            # The pre-publish cache entry is unreachable under the new
+            # generation key: this answer required a fresh solve.
+            assert np.array_equal(
+                result.scores, np.sort(dense_row)[::-1][:5]
+            )
+
+
+class TestSupervisionRouting:
+    def test_pinned_disabled_worker_reroutes_to_least_loaded(self, artifact_dir):
+        with WorkerPool(artifact_dir, n_workers=3, timeout=120) as pool:
+            # Take slot 0 out of rotation and make slot 1 look busy: the
+            # orphaned pin must land on slot 2, not hot-spot the first
+            # healthy slot.
+            pool._disabled[0] = True
+            with pool._queries_lock:
+                pool._worker_queries[1] = 100
+            pool.query_many([0], worker=0)
+            per_worker = {
+                w["worker_id"]: w["queries_submitted"]
+                for w in pool.pool_stats()["workers"]
+            }
+            assert per_worker[0] == 0
+            assert per_worker[2] == 1
+            merged = pool.metrics()
+        assert merged.get(telemetry.WORKER_REROUTES).value == 1
+
+    def test_unpinned_requests_never_count_as_reroutes(self, artifact_dir):
+        with WorkerPool(artifact_dir, n_workers=2, timeout=120) as pool:
+            pool.query_many([0])
+            pool.query_many([1], worker=1)
+            merged = pool.metrics()
+        assert merged.get(telemetry.WORKER_REROUTES).value == 0
+
+
+class TestTopKCacheThreadSafety:
+    def test_concurrent_get_put_stats_stay_consistent(self):
+        import threading
+
+        from repro.core.topk import TopKResult
+        from repro.serve import TopKCache
+
+        cache = TopKCache(max_entries=32)
+        value = TopKResult(
+            ids=np.array([1, 2], dtype=np.int64),
+            scores=np.array([0.5, 0.25]),
+        )
+        errors = []
+
+        def hammer(worker_id):
+            try:
+                for i in range(500):
+                    key = ("gen", (worker_id * 500 + i) % 64, 2, True)
+                    cache.put(key, value)
+                    cache.get(key)
+                    cache.get(("gen", "missing", worker_id, i))
+                    cache.stats()
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = cache.stats()
+        # Capacity respected and the counters add up: every get was
+        # either a hit or a miss, nothing lost to a race.
+        assert len(cache) <= 32
+        assert stats["hits"] + stats["misses"] == 8 * 500 * 2
+
+
 class TestDynamicPublishing:
     def test_rebuilds_publish_generations(self, tiny_graph, tmp_path):
         store = ArtifactStore(tmp_path / "store")

@@ -1,0 +1,203 @@
+"""Tests for the length-prefixed binary wire protocol."""
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro import wire
+
+
+def _roundtrip(message):
+    return wire.decode_message(wire.encode_message(message))
+
+
+class TestRoundTrips:
+    def test_query_request(self):
+        seeds = np.array([0, 7, 123456789], dtype=np.int64)
+        decoded = _roundtrip(wire.QueryRequest(seeds=seeds))
+        assert isinstance(decoded, wire.QueryRequest)
+        assert np.array_equal(decoded.seeds, seeds)
+        assert decoded.seeds.dtype == wire.WIRE_SEED_DTYPE
+
+    def test_topk_request(self):
+        seeds = np.array([3, 1], dtype=np.int64)
+        decoded = _roundtrip(
+            wire.TopKRequest(seeds=seeds, k=17, exclude_seed=False)
+        )
+        assert isinstance(decoded, wire.TopKRequest)
+        assert np.array_equal(decoded.seeds, seeds)
+        assert decoded.k == 17
+        assert decoded.exclude_seed is False
+
+    def test_stats_request(self):
+        assert isinstance(_roundtrip(wire.StatsRequest()), wire.StatsRequest)
+
+    def test_dense_reply_bit_identical(self):
+        rng = np.random.default_rng(7)
+        scores = rng.random((3, 41))
+        decoded = _roundtrip(wire.DenseReply(scores=scores))
+        assert isinstance(decoded, wire.DenseReply)
+        # Bit-identical through the frame: scores are the acceptance
+        # currency of the whole serve tier.
+        assert np.array_equal(decoded.scores, scores)
+        assert decoded.scores.shape == (3, 41)
+
+    def test_dense_reply_empty(self):
+        decoded = _roundtrip(
+            wire.DenseReply(scores=np.empty((0, 0), dtype=np.float64))
+        )
+        assert decoded.scores.shape == (0, 0)
+
+    def test_dense_reply_rejects_1d(self):
+        with pytest.raises(wire.ProtocolError, match="2-D"):
+            wire.encode_message(wire.DenseReply(scores=np.zeros(4)))
+
+    def test_topk_reply_variable_lengths(self):
+        # Per-seed pair counts may differ (the documented k clamp).
+        first = np.array(
+            [(4, 0.25), (1, 0.125)], dtype=wire.WIRE_PAIR_DTYPE
+        )
+        second = np.empty(0, dtype=wire.WIRE_PAIR_DTYPE)
+        decoded = _roundtrip(wire.TopKReply(pairs=[first, second]))
+        assert isinstance(decoded, wire.TopKReply)
+        assert len(decoded.pairs) == 2
+        assert np.array_equal(decoded.pairs[0], first)
+        assert decoded.pairs[1].size == 0
+
+    def test_topk_reply_accepts_native_pair_dtype(self):
+        from repro.core.topk import PAIR_DTYPE
+
+        native = np.array([(9, 0.5)], dtype=PAIR_DTYPE)
+        decoded = _roundtrip(wire.TopKReply(pairs=[native]))
+        assert decoded.pairs[0]["id"][0] == 9
+        assert decoded.pairs[0]["score"][0] == 0.5
+
+    def test_stats_reply(self):
+        stats = {"queue_depth": 3, "generation": "gen-000002", "nested": {"a": 1}}
+        decoded = _roundtrip(wire.StatsReply(stats=stats))
+        assert decoded.stats == stats
+
+    def test_error_reply(self):
+        decoded = _roundtrip(wire.ErrorReply(message="seed 10**9 out of range"))
+        assert decoded.message == "seed 10**9 out of range"
+
+    def test_overloaded_reply(self):
+        decoded = _roundtrip(
+            wire.OverloadedReply(pending=12, limit=8, retry_after=0.25)
+        )
+        assert (decoded.pending, decoded.limit, decoded.retry_after) == (12, 8, 0.25)
+
+
+class TestMalformedFrames:
+    def test_empty_payload(self):
+        with pytest.raises(wire.ProtocolError, match="too short"):
+            wire.decode_message(b"")
+
+    def test_wrong_version(self):
+        payload = wire.encode_message(wire.StatsRequest())
+        bad = bytes([wire.PROTOCOL_VERSION + 1]) + payload[1:]
+        with pytest.raises(wire.ProtocolError, match="version"):
+            wire.decode_message(bad)
+
+    def test_unknown_opcode(self):
+        bad = struct.pack("<BB", wire.PROTOCOL_VERSION, 250)
+        with pytest.raises(wire.ProtocolError, match="unknown opcode"):
+            wire.decode_message(bad)
+
+    def test_truncated_seed_array(self):
+        payload = wire.encode_message(
+            wire.QueryRequest(seeds=np.arange(4, dtype=np.int64))
+        )
+        with pytest.raises(wire.ProtocolError, match="truncated"):
+            wire.decode_message(payload[:-8])
+
+    def test_length_bomb_rejected(self):
+        # A corrupt count must not make the reader allocate gigabytes.
+        bad = (
+            struct.pack("<BB", wire.PROTOCOL_VERSION, wire.OP_QUERY)
+            + struct.pack("<I", 2**31)
+        )
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_message(bad)
+
+    def test_oversized_frame_rejected_by_packer(self):
+        with pytest.raises(wire.ProtocolError, match="MAX_FRAME_BYTES"):
+            wire.pack_frame(b"x" * (wire.MAX_FRAME_BYTES + 1))
+
+
+class TestBlockingTransport:
+    def test_send_recv_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            seeds = np.array([5, 6], dtype=np.int64)
+            wire.send_message(left, wire.QueryRequest(seeds=seeds))
+            wire.send_message(left, wire.StatsRequest())
+            first = wire.recv_message(right)
+            second = wire.recv_message(right)
+            assert np.array_equal(first.seeds, seeds)
+            assert isinstance(second, wire.StatsRequest)
+            # Clean close between frames reads as None, not an error.
+            left.close()
+            assert wire.recv_message(right) is None
+        finally:
+            right.close()
+
+    def test_mid_frame_close_is_a_protocol_error(self):
+        left, right = socket.socketpair()
+        try:
+            frame = wire.pack_frame(
+                wire.encode_message(wire.StatsRequest()) + b"padding"
+            )
+            left.sendall(frame[:5])  # length prefix + 1 payload byte
+            left.close()
+            with pytest.raises(wire.ProtocolError, match="mid-frame"):
+                wire.recv_message(right)
+        finally:
+            right.close()
+
+    def test_recv_rejects_length_prefix_bomb(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack("<I", wire.MAX_FRAME_BYTES + 1))
+            with pytest.raises(wire.ProtocolError, match="MAX_FRAME_BYTES"):
+                wire.recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestAsyncTransport:
+    def test_stream_roundtrip_and_clean_eof(self):
+        import asyncio
+
+        async def scenario():
+            server_side = {}
+
+            async def handler(reader, writer):
+                server_side["request"] = await wire.read_message(reader)
+                await wire.write_message(
+                    writer, wire.DenseReply(scores=np.ones((1, 3)))
+                )
+                server_side["eof"] = await wire.read_message(reader)
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            async with server:
+                reader, writer = await asyncio.open_connection(host, port)
+                await wire.write_message(
+                    writer, wire.QueryRequest(seeds=np.array([2], dtype=np.int64))
+                )
+                reply = await wire.read_message(reader)
+                writer.close()
+                await writer.wait_closed()
+                await asyncio.sleep(0.05)
+            assert np.array_equal(
+                server_side["request"].seeds, np.array([2], dtype=np.int64)
+            )
+            assert server_side["eof"] is None
+            assert np.array_equal(reply.scores, np.ones((1, 3)))
+
+        asyncio.run(scenario())
