@@ -29,7 +29,11 @@ Package map
   atomic switchover, and multi-process mmap-backed query serving,
 - :mod:`repro.wire` / :mod:`repro.gateway` — the multi-host serve tier:
   length-prefixed binary socket protocol and the asyncio gateway
-  (request coalescing, admission control, consistent-hash sharding).
+  (request coalescing, admission control, consistent-hash sharding),
+- :mod:`repro.core.dynamic` / :mod:`repro.core.incremental` — continuous
+  updates: edge-update batches applied as bounded incremental corrections,
+  background rebuilds publishing new store generations, hot-swapped into
+  the serve tier with zero downtime.
 """
 
 from repro import datasets, telemetry, wire
@@ -39,13 +43,20 @@ from repro.bench.memory import MemoryBudget
 from repro.core.accuracy import AccuracyBound, accuracy_bound, tolerance_for_target
 from repro.core.base import BatchQueryResult, QueryResult, RWRSolver
 from repro.core.bepi import BePI, BePIB, BePIS
-from repro.core.dynamic import DynamicRWR
+from repro.core.dynamic import BackgroundRebuildError, DynamicRWR
 from repro.core.engine import (
     BearQueryEngine,
     BePIQueryEngine,
     LUQueryEngine,
     QueryEngine,
     SolverArtifacts,
+)
+from repro.core.incremental import (
+    IncrementalResult,
+    UpdateBatch,
+    UpdateResult,
+    build_updated_bundle,
+    incremental_update,
 )
 from repro.core.hub_ratio import (
     HubRatioSelection,
@@ -106,6 +117,7 @@ __all__ = [
     "ArtifactIntegrityError",
     "ArtifactStore",
     "BackendError",
+    "BackgroundRebuildError",
     "BatchQueryResult",
     "BePI",
     "BePIB",
@@ -123,6 +135,7 @@ __all__ = [
     "Graph",
     "GraphFormatError",
     "HubRatioSelection",
+    "IncrementalResult",
     "InvalidParameterError",
     "LUQueryEngine",
     "LUSolver",
@@ -146,10 +159,13 @@ __all__ = [
     "TimeBudgetExceededError",
     "TopKCache",
     "TopKResult",
+    "UpdateBatch",
+    "UpdateResult",
     "WorkerPool",
     "accuracy_bound",
     "add_deadends",
     "artifact_nbytes",
+    "build_updated_bundle",
     "choose_hub_ratio",
     "datasets",
     "generate_bipartite",
@@ -157,6 +173,7 @@ __all__ = [
     "generate_hub_and_spoke",
     "generate_preferential_attachment",
     "generate_rmat",
+    "incremental_update",
     "load_artifacts",
     "load_edge_list",
     "load_solver",

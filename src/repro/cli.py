@@ -7,7 +7,11 @@ Commands
 ``build``       preprocess and export a serving artifact directory (or store)
 ``query``       top-k RWR ranking for a seed (edge list, .npz, or artifact dir)
 ``serve``       answer seed batches from worker processes over an artifact dir
-                (``--listen HOST:PORT`` exposes the pool over the wire protocol)
+                (``--listen HOST:PORT`` exposes the pool over the wire protocol;
+                ``--follow-store SECONDS`` hot-swaps onto newly published
+                generations while serving)
+``update``      apply an edge-update batch to a store's current generation and
+                publish the corrected artifacts as the next generation
 ``gateway``     coalescing/shedding/sharding front door over serve backends
 ``compare``     run the method comparison matrix on one graph
 ``datasets``    list the built-in stand-in datasets
@@ -176,6 +180,31 @@ def _write_metrics_file(registry: MetricsRegistry, path: str) -> None:
         handle.write(registry.to_json())
 
 
+async def _follow_store_forever(pool, interval: float) -> None:
+    """Poll the pool's store every ``interval`` seconds and hot-swap the
+    workers onto a freshly published generation, announcing each swap.
+
+    Query traffic already follows the ``current`` pointer per call; this
+    poller keeps an *idle* listener fresh too, so the first request after
+    a publish never pays the reopen round-trip — and the printed swap line
+    doubles as the externally observable acknowledgment drills wait for.
+    """
+    import asyncio
+
+    loop = asyncio.get_running_loop()
+    generation = await loop.run_in_executor(None, pool.refresh_generation)
+    while True:
+        await asyncio.sleep(interval)
+        try:
+            fresh = await loop.run_in_executor(None, pool.refresh_generation)
+        except Exception as error:  # pragma: no cover - store race/outage
+            print(f"follow-store poll failed: {error}", file=sys.stderr)
+            continue
+        if fresh != generation:
+            print(f"now serving {fresh} (was {generation})", flush=True)
+            generation = fresh
+
+
 def _serve_listen(args: argparse.Namespace, fault_plan) -> int:
     """``repro serve ARTIFACTS --listen HOST:PORT`` — one shard of the
     serve tier: a :class:`~repro.gateway.PoolServer` speaking the wire
@@ -210,7 +239,16 @@ def _serve_listen(args: argparse.Namespace, fault_plan) -> int:
                 print(f"pool listening on {bound_host}:{bound_port} "
                       f"({args.workers} workers over {args.artifacts})",
                       flush=True)
-                await stop.wait()
+                follower = None
+                if args.follow_store:
+                    follower = asyncio.create_task(
+                        _follow_store_forever(pool, args.follow_store)
+                    )
+                try:
+                    await stop.wait()
+                finally:
+                    if follower is not None:
+                        follower.cancel()
                 print("draining and shutting down", flush=True)
             stats = pool.pool_stats()
             print(f"served {stats['queries_submitted']} queries across "
@@ -275,6 +313,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                       f"{stats['load_seconds'] * 1e3:.1f} ms, "
                       f"load RSS delta {delta_text}")
             first_round = True
+            generation = pool.refresh_generation() if args.follow_store else None
+            next_poll = (
+                time.monotonic() + args.follow_store if args.follow_store else None
+            )
             while shutdown["signal"] is None:
                 # The top-k scatter path: replies are k (id, score) pairs
                 # per seed, not n-float rows, and repeat rounds in linger
@@ -293,6 +335,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 # metrics snapshot) until a signal asks us to drain.
                 deadline = time.monotonic() + args.linger
                 while shutdown["signal"] is None and time.monotonic() < deadline:
+                    if next_poll is not None and time.monotonic() >= next_poll:
+                        fresh = pool.refresh_generation()
+                        if fresh != generation:
+                            print(f"now serving {fresh} (was {generation})",
+                                  flush=True)
+                            generation = fresh
+                        next_poll = time.monotonic() + args.follow_store
                     time.sleep(0.05)
             if shutdown["signal"] is not None:
                 print(f"received {shutdown['signal']}: draining and shutting down",
@@ -311,6 +360,95 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
+    return 0
+
+
+def _parse_edge_arg(text: str, with_weight: bool):
+    """``U:V`` (or ``U:V:W`` when ``with_weight``) -> int/float tuple."""
+    parts = text.split(":")
+    try:
+        if with_weight and len(parts) == 3:
+            return int(parts[0]), int(parts[1]), float(parts[2])
+        if len(parts) == 2:
+            u, v = int(parts[0]), int(parts[1])
+            return (u, v, None) if with_weight else (u, v)
+    except ValueError:
+        pass
+    expected = "U:V[:WEIGHT]" if with_weight else "U:V"
+    raise SystemExit(f"error: expected {expected}, got {text!r}")
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    """``repro update STORE`` — apply edge-update batches to the store's
+    current generation and publish each effective result as the next
+    generation (incremental correction when the tracked error bound
+    allows, full re-preprocess otherwise; see :mod:`repro.core.incremental`).
+    """
+    import numpy as np
+
+    from repro.core.dynamic import DynamicRWR
+    from repro.store import ArtifactStore
+
+    if not args.add and not args.remove and not args.random_batch:
+        print("error: provide --add/--remove edges or --random-batch K",
+              file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.store)
+    registry = MetricsRegistry()
+    with registry.activate():
+        dyn = DynamicRWR.from_store(
+            store,
+            incremental=not args.full,
+            error_bound=args.error_bound,
+            n_jobs=args.n_jobs,
+        )
+        n_nodes = dyn.graph.n_nodes
+        if args.add or args.remove:
+            batches = [(
+                [_parse_edge_arg(text, with_weight=True) for text in args.add],
+                [_parse_edge_arg(text, with_weight=False) for text in args.remove],
+            )]
+        else:
+            rng = np.random.default_rng(args.batch_seed)
+            batches = []
+            for _ in range(args.batches):
+                pairs = rng.integers(0, n_nodes, size=(args.random_batch, 2))
+                batches.append(([(int(u), int(v), None) for u, v in pairs], []))
+        for number, (added, removed) in enumerate(batches, start=1):
+            rebuilds_before = dyn.n_rebuilds
+            unweighted = [(u, v) for u, v, w in added if w is None]
+            weighted = [(u, v, w) for u, v, w in added if w is not None]
+            if unweighted:
+                dyn.add_edges(unweighted)
+            if weighted:
+                dyn.add_edges(
+                    [(u, v) for u, v, _ in weighted],
+                    weights=[w for _, _, w in weighted],
+                )
+            if removed:
+                dyn.remove_edges(removed)
+            dyn.rebuild()
+            if dyn.n_rebuilds == rebuilds_before:
+                print(f"batch {number}: no-op (cancelled out against the "
+                      f"current graph), rebuild skipped")
+                continue
+            current = store.current_path()
+            print(f"batch {number}: {dyn.last_rebuild_mode} rebuild -> "
+                  f"{current.name if current else '?'} "
+                  f"(error bound {dyn.last_error_bound:.3g}, "
+                  f"{len(added)} adds / {len(removed)} removes)")
+    decided = dyn.n_rebuilds + dyn.n_skipped_rebuilds
+    print(f"applied {len(batches)} batch(es): {dyn.n_corrections} incremental, "
+          f"{dyn.n_full_rebuilds} full, {dyn.n_skipped_rebuilds} skipped "
+          f"({dyn.n_skipped_rebuilds / decided if decided else 0.0:.0%} "
+          f"skip ratio)")
+    if args.prune is not None:
+        result = store.prune(keep=args.prune)
+        print(f"pruned {len(result)} generation(s)"
+              + (f", kept leased/current: {', '.join(result.skipped)}"
+                 if result.skipped else ""))
+    if args.metrics_out:
+        _write_metrics(registry, args.metrics_out)
     return 0
 
 
@@ -560,7 +698,47 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --listen: answer REPLY_OVERLOADED when "
                               "more than N requests are queued "
                               "(default: queue unboundedly)")
+    p_serve.add_argument("--follow-store", type=float, default=None,
+                         metavar="SECONDS",
+                         help="poll the store's current pointer every SECONDS "
+                              "and hot-swap the workers onto newly published "
+                              "generations, printing each swap (with --linger "
+                              "or --listen)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_update = sub.add_parser(
+        "update",
+        help="apply edge-update batches to a store's current generation",
+    )
+    p_update.add_argument("store", help="ArtifactStore root (see build --store)")
+    p_update.add_argument("--add", metavar="U:V[:W]", action="append", default=[],
+                          help="insert edge U->V (weight W sets it; repeatable)")
+    p_update.add_argument("--remove", metavar="U:V", action="append", default=[],
+                          help="delete edge U->V (repeatable)")
+    p_update.add_argument("--random-batch", type=int, default=None, metavar="K",
+                          help="instead of --add/--remove: stream batches of K "
+                               "random edge insertions")
+    p_update.add_argument("--batches", type=int, default=1, metavar="N",
+                          help="number of random batches to stream (default: 1)")
+    p_update.add_argument("--batch-seed", type=int, default=0,
+                          help="RNG seed for --random-batch (default: 0)")
+    p_update.add_argument("--error-bound", type=float, default=0.0, metavar="B",
+                          help="largest tracked L1 error bound an incremental "
+                               "correction may carry before falling back to a "
+                               "full re-preprocess (default: 0.0 — exact only)")
+    p_update.add_argument("--full", action="store_true",
+                          help="skip the incremental path and re-preprocess "
+                               "from scratch")
+    p_update.add_argument("--n-jobs", type=int, default=1,
+                          help="worker threads for block refactorization")
+    p_update.add_argument("--prune", type=int, default=None, metavar="KEEP",
+                          help="afterwards, prune to the newest KEEP "
+                               "generations (current and leased ones are "
+                               "never deleted)")
+    p_update.add_argument("--metrics-out", metavar="PATH", default=None,
+                          help="write the run's telemetry snapshot (JSON), "
+                               "including the rwr.dynamic.* series")
+    p_update.set_defaults(func=_cmd_update)
 
     p_gw = sub.add_parser(
         "gateway",

@@ -421,6 +421,11 @@ class Gateway:
         self._pending_total = 0
         self._unhealthy_until: Dict[str, float] = {}
         self._depths: Dict[str, float] = {}
+        # Backend name -> generation name it last reported serving, so
+        # sharded replicas converging onto a freshly published generation
+        # is observable (and divergence — a replica stuck on the old one —
+        # shows up both here and in the per-backend generation gauge).
+        self._generations: Dict[str, Optional[str]] = {}
         self._monitor_task: Optional[asyncio.Task] = None
         self._closed = False
         # Pre-register so an idle gateway exports zeros, not absent series.
@@ -532,6 +537,7 @@ class Gateway:
                 name: {
                     "healthy": now >= self._unhealthy_until.get(name, 0.0),
                     "queue_depth": self._depths.get(name),
+                    "generation": self._generations.get(name),
                 }
                 for name in self.backends
             },
@@ -611,6 +617,26 @@ class Gateway:
             f"{telemetry.GATEWAY_BACKEND_PREFIX}{name}.healthy",
             help="1 = backend answering, 0 = cooling down after a failure",
         )
+
+    def _record_generation(self, name: str, generation: Any) -> None:
+        """Track the generation a backend reports serving.
+
+        ``generation`` arrives as the pool's token (a resolved artifact
+        path); only its final component — the ``gen-NNNNNN`` name for
+        store-backed pools — is kept.  Store generations additionally
+        export their numeric index as a gauge, so "replica stuck on an old
+        generation" is a plottable, alertable signal rather than a string
+        buried in stats.
+        """
+        gen_name = str(generation).rstrip("/").rsplit("/", 1)[-1] if generation else None
+        self._generations[name] = gen_name
+        if gen_name and gen_name.startswith("gen-"):
+            suffix = gen_name[4:]
+            if suffix.isdigit():
+                self.registry.gauge(
+                    f"{telemetry.GATEWAY_BACKEND_PREFIX}{name}.generation_index",
+                    help="numeric index of the generation the backend serves",
+                ).set(float(suffix))
 
     def _failover_chain(self, primary: str) -> List[str]:
         """Replicas to try, primary first; cooling-down backends move to
@@ -700,6 +726,7 @@ class Gateway:
                 depth = float(stats.get("queue_depth") or 0)
                 self._depths[name] = depth
                 depth_gauge.set(depth)
+                self._record_generation(name, stats.get("generation"))
                 # A live stats reply is proof of recovery: clear any
                 # failure cooldown instead of waiting it out.
                 self._unhealthy_until.pop(name, None)

@@ -53,7 +53,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -329,7 +329,11 @@ def verify_artifacts(directory: PathLike) -> int:
     return len(checksums)
 
 
-def save_artifacts(source: Union[BePI, SolverArtifacts], directory: PathLike) -> Path:
+def save_artifacts(
+    source: Union[BePI, SolverArtifacts],
+    directory: PathLike,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
     """Write an immutable artifact directory (format v4) for serving.
 
     Layout: ``<directory>/manifest.json`` plus ``<directory>/arrays/`` with
@@ -342,6 +346,11 @@ def save_artifacts(source: Union[BePI, SolverArtifacts], directory: PathLike) ->
     array file, so a reader that finds one can trust — and verify — every
     array file it names (the generation-level atomicity for live swaps is
     handled by :class:`repro.store.ArtifactStore` on top).
+
+    ``metadata`` (optional, JSON-serializable) is recorded verbatim under
+    the manifest's ``"lineage"`` key.  The dynamic-update pipeline uses it
+    for generation provenance: parent generation name, update-batch
+    digest, correction error bound, and rebuild mode.
 
     Accepts a preprocessed :class:`~repro.core.bepi.BePI` solver or its
     :class:`~repro.core.engine.SolverArtifacts` bundle; returns the
@@ -406,6 +415,8 @@ def save_artifacts(source: Union[BePI, SolverArtifacts], directory: PathLike) ->
         "csr_shapes": csr_shapes,
         "checksums": checksums,
     }
+    if metadata is not None:
+        manifest["lineage"] = dict(metadata)
     manifest_tmp = root / (_MANIFEST_NAME + ".tmp")
     manifest_tmp.write_text(json.dumps(manifest, indent=2))
     os.replace(manifest_tmp, root / _MANIFEST_NAME)
@@ -423,6 +434,17 @@ def _read_manifest(directory: Path) -> Dict[str, Any]:
             f"{manifest.get('format_version')}"
         )
     return manifest
+
+
+def read_manifest(directory: PathLike) -> Dict[str, Any]:
+    """The parsed (and version-checked) manifest of an artifact directory.
+
+    Exposes the provenance fields without loading any array — in
+    particular the ``"lineage"`` dict the dynamic-update pipeline writes
+    (parent generation, update-batch digest, error bound, rebuild mode;
+    absent on generations published outside that pipeline).
+    """
+    return _read_manifest(Path(directory))
 
 
 def load_artifacts(
@@ -515,10 +537,14 @@ def artifact_nbytes(directory: PathLike) -> int:
 # ----------------------------------------------------------------------
 # Unified loading
 # ----------------------------------------------------------------------
-def _solver_from_bundle(bundle: SolverArtifacts, source: str) -> BePI:
-    """Rebuild a query-ready BePI around a loaded artifact bundle."""
-    config = bundle.config
-    solver = BePI(
+def solver_from_config(config: Dict[str, Any]) -> BePI:
+    """A fresh (un-preprocessed) BePI matching an artifact bundle's config.
+
+    Used wherever a rebuild must reproduce the build policy of an existing
+    bundle without holding the original solver object — the background
+    rebuilder and the full-rebuild fallback of the incremental engine.
+    """
+    return BePI(
         c=config["c"],
         tol=config["tol"],
         hub_ratio=config["hub_ratio"],
@@ -528,6 +554,12 @@ def _solver_from_bundle(bundle: SolverArtifacts, source: str) -> BePI:
         gmres_restart=config.get("gmres_restart"),
         max_iterations=config.get("max_iterations"),
     )
+
+
+def solver_from_bundle(bundle: SolverArtifacts, source: str) -> BePI:
+    """Rebuild a query-ready BePI around a loaded artifact bundle."""
+    config = bundle.config
+    solver = solver_from_config(config)
     artifacts = bundle.preprocess
     # Same end state as preprocess(): graph set, matrices retained, engine
     # built — via the one code path _preprocess itself uses.
@@ -584,4 +616,4 @@ def load_solver(path: PathLike, mmap: bool = True, verify: bool = True) -> BePI:
         bundle = load_artifacts(given, mmap=mmap, verify=verify)
     else:
         bundle = _load_npz_bundle(_resolve_archive_path(given))
-    return _solver_from_bundle(bundle, str(path))
+    return solver_from_bundle(bundle, str(path))

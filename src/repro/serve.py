@@ -489,6 +489,18 @@ class WorkerPool:
             # Unpublished/unresolvable path: let the workers surface the
             # real startup error below instead of masking it here.
             self._generation = None
+        # When serving a store, pin the generation the workers have open
+        # with a liveness-scoped lease so ArtifactStore.prune cannot delete
+        # the directory behind their memory maps; the lease moves with
+        # every hot swap and is released on stop.
+        self._generation_lease = None
+        if self._is_store:
+            from repro.store import ArtifactStore
+
+            self._store: Optional["ArtifactStore"] = ArtifactStore(self.path)
+            self._move_generation_lease(self._generation)
+        else:
+            self._store = None
         self._topk_cache = TopKCache(topk_cache_entries, registry=self._registry)
         for worker_id in range(n_workers):
             task_queue = self._ctx.Queue()
@@ -811,6 +823,9 @@ class WorkerPool:
             except (WorkerError, OSError):  # pragma: no cover - best effort
                 pass
         self._closed = True
+        if self._generation_lease is not None:
+            self._generation_lease.release()
+            self._generation_lease = None
         for task_queue in self._task_queues:
             try:
                 task_queue.put(("stop", None))
@@ -927,6 +942,32 @@ class WorkerPool:
         except GraphFormatError:
             return self._generation
 
+    def refresh_generation(self) -> Optional[str]:
+        """Follow the store's ``current`` pointer *now*; returns the name
+        of the generation the pool is serving afterwards.
+
+        Query paths already do this implicitly per call; this public hook
+        exists for pollers (``repro serve --follow-store``) that want the
+        workers swapped onto a freshly published generation even while no
+        queries are flowing, and for callers that need the swap
+        acknowledged before asserting on replies.  On a bare artifact
+        directory it is a no-op returning the directory's resolved name.
+        """
+        token = self._ensure_current_generation()
+        return Path(token).name if token is not None else None
+
+    def _move_generation_lease(self, token: Optional[str]) -> None:
+        """Re-pin the store lease onto the generation ``token`` resolves to."""
+        if self._store is None or token is None:
+            return
+        old_lease = self._generation_lease
+        try:
+            self._generation_lease = self._store.acquire_lease(Path(token).name)
+        except (GraphFormatError, OSError):  # pragma: no cover - races only
+            self._generation_lease = None
+        if old_lease is not None:
+            old_lease.release()
+
     def _ensure_current_generation(self) -> Optional[str]:
         """Follow the store's ``current`` pointer before any query.
 
@@ -951,6 +992,7 @@ class WorkerPool:
             for request_id, worker_id in requests.items():
                 self._stats[worker_id].update(results[request_id])
             self._generation = token
+            self._move_generation_lease(token)
         return self._generation
 
     def _cache_key(

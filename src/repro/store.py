@@ -45,19 +45,59 @@ from __future__ import annotations
 import os
 import re
 import shutil
+import uuid
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.core.bepi import BePI
 from repro.core.engine import SolverArtifacts
 from repro.exceptions import ArtifactIntegrityError, GraphFormatError
-from repro.persistence import PathLike, load_artifacts, save_artifacts
+from repro.persistence import PathLike, load_artifacts, read_manifest, save_artifacts
 
 _GENERATIONS_DIR = "generations"
 _QUARANTINE_DIR = "quarantine"
+_LEASES_DIR = "leases"
 _CURRENT_LINK = "current"
 _CURRENT_FILE = "CURRENT"
 _GENERATION_RE = re.compile(r"^gen-(\d{6})$")
+_LEASE_RE = re.compile(r"^(gen-\d{6})\.(\d+)-[0-9a-f]+\.lease$")
+
+
+class GenerationLease:
+    """A liveness-scoped pin on one generation (see
+    :meth:`ArtifactStore.acquire_lease`).
+
+    The lease is a marker file under ``<root>/leases/`` whose name embeds
+    the holder's pid; :meth:`ArtifactStore.prune` refuses to delete a
+    leased generation while that pid is alive, and garbage-collects the
+    marker once it is not (a crashed holder cannot pin a generation
+    forever).  Usable as a context manager; :meth:`release` is idempotent.
+    """
+
+    def __init__(self, generation: str, path: Path):
+        self.generation = generation
+        self.path = path
+
+    def release(self) -> None:
+        self.path.unlink(missing_ok=True)
+
+    def __enter__(self) -> "GenerationLease":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GenerationLease({self.generation!r})"
+
+
+class PruneResult(List[str]):
+    """Names removed by :meth:`ArtifactStore.prune`; behaves as that list
+    (back-compat), with the protected-but-expired names on ``skipped``."""
+
+    def __init__(self, removed: List[str], skipped: List[str]):
+        super().__init__(removed)
+        self.skipped = list(skipped)
 
 
 class ArtifactStore:
@@ -90,11 +130,19 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
-    def publish(self, source: Union[BePI, SolverArtifacts]) -> Path:
+    def publish(
+        self,
+        source: Union[BePI, SolverArtifacts],
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> Path:
         """Write ``source`` as the next generation and point ``current`` at it.
 
         The new generation becomes visible to readers only once it is
         complete; the returned path is the final ``gen-*`` directory.
+        ``metadata`` (JSON-serializable) is recorded as the manifest's
+        ``"lineage"`` — the dynamic-update pipeline writes the parent
+        generation, update-batch digest, error bound, and rebuild mode
+        there (see :meth:`lineage`).
         """
         index = self._next_index()
         name = f"gen-{index:06d}"
@@ -102,7 +150,7 @@ class ArtifactStore:
         if staging.exists():
             shutil.rmtree(staging)
         try:
-            save_artifacts(source, staging)
+            save_artifacts(source, staging, metadata=metadata)
             final = self.generations_dir / name
             os.rename(staging, final)
         except BaseException:
@@ -111,20 +159,98 @@ class ArtifactStore:
         self._set_current(name)
         return final
 
-    def prune(self, keep: int = 2) -> List[str]:
-        """Delete all but the newest ``keep`` generations; returns the names
-        removed.  The current generation is never deleted."""
+    def prune(self, keep: int = 2) -> PruneResult:
+        """Delete all but the newest ``keep`` generations.
+
+        Returns the removed names (as a list, back-compat); the result's
+        ``.skipped`` attribute names the expired generations that were
+        *protected* instead of deleted.  Two kinds of generations are
+        never removed: the one ``current`` points at (deleting it would
+        leave the pointer dangling) and any generation pinned by a live
+        lease (:meth:`acquire_lease`) — a serving pool mid-reopen holds
+        one, so its memory-mapped arrays cannot vanish underneath it.
+        """
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
         current = self.current_path()
         current_name = current.name if current is not None else None
-        removed = []
+        leased = self.leased_generations()
+        removed: List[str] = []
+        skipped: List[str] = []
         for name in self.generations()[:-keep]:
-            if name == current_name:
+            if name == current_name or name in leased:
+                skipped.append(name)
                 continue
             shutil.rmtree(self.generations_dir / name)
             removed.append(name)
-        return removed
+        return PruneResult(removed, skipped)
+
+    # ------------------------------------------------------------------
+    # Leases
+    # ------------------------------------------------------------------
+    def acquire_lease(self, name: Optional[str] = None) -> GenerationLease:
+        """Pin generation ``name`` (default: current) against pruning.
+
+        Returns a :class:`GenerationLease`; release it (or let its holder
+        process exit — dead holders are garbage-collected) to make the
+        generation prunable again.  Raises
+        :class:`~repro.exceptions.GraphFormatError` when the generation
+        does not exist.
+        """
+        if name is None:
+            current = self.current_path()
+            if current is None:
+                raise GraphFormatError(
+                    f"{self.root}: store has no published generation"
+                )
+            name = current.name
+        if not (self.generations_dir / name).is_dir():
+            raise GraphFormatError(f"{self.root}: no generation {name!r}")
+        leases_dir = self.root / _LEASES_DIR
+        leases_dir.mkdir(parents=True, exist_ok=True)
+        path = leases_dir / f"{name}.{os.getpid()}-{uuid.uuid4().hex[:8]}.lease"
+        path.write_text(f"{os.getpid()}\n")
+        return GenerationLease(name, path)
+
+    def leased_generations(self) -> Set[str]:
+        """Generation names pinned by a lease whose holder is still alive.
+
+        Stale leases — marker files whose embedded pid no longer exists —
+        are unlinked as they are discovered, so a crashed pool cannot pin
+        a generation forever.
+        """
+        leases_dir = self.root / _LEASES_DIR
+        if not leases_dir.is_dir():
+            return set()
+        leased: Set[str] = set()
+        for entry in leases_dir.iterdir():
+            match = _LEASE_RE.match(entry.name)
+            if match is None:
+                continue
+            name, pid = match.group(1), int(match.group(2))
+            if _pid_alive(pid):
+                leased.add(name)
+            else:
+                entry.unlink(missing_ok=True)
+        return leased
+
+    # ------------------------------------------------------------------
+    # Lineage
+    # ------------------------------------------------------------------
+    def lineage(self, name: Optional[str] = None) -> Optional[Dict[str, Any]]:
+        """The ``"lineage"`` metadata of generation ``name`` (default:
+        current): parent generation, update-batch digest, error bound, and
+        rebuild mode as written by the dynamic-update pipeline.  ``None``
+        for generations published outside that pipeline."""
+        if name is None:
+            current = self.current_path()
+            if current is None:
+                return None
+            name = current.name
+        target = self.generations_dir / name
+        if not target.is_dir():
+            raise GraphFormatError(f"{self.root}: no generation {name!r}")
+        return read_manifest(target).get("lineage")
 
     # ------------------------------------------------------------------
     # Reading
@@ -267,3 +393,18 @@ class ArtifactStore:
             f"generations={len(self.generations())}, "
             f"current={current.name if current else None})"
         )
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists but owned elsewhere
+        return True
+    except OSError:  # pragma: no cover - e.g. platforms without kill
+        return True
+    return True

@@ -120,6 +120,21 @@ TOPK_CACHE_EVICTIONS = "rwr.topk.cache.evictions"
 TOPK_PRUNED_FRAC = "rwr.topk.pruned_frac"
 TOPK_REPLY_BYTES = "rwr.topk.reply.bytes"
 
+# Dynamic-update pipeline (repro.core.dynamic + repro.core.incremental):
+# rebuild decisions (incremental correction vs full re-preprocess vs no-op
+# skip), the tracked error bound of the generation being served, and the
+# background-rebuild hot swaps.
+DYNAMIC_REBUILDS = "rwr.dynamic.rebuilds"
+DYNAMIC_REBUILDS_SKIPPED = "rwr.dynamic.rebuilds.skipped"
+DYNAMIC_REBUILD_SECONDS = "rwr.dynamic.rebuild.seconds"
+DYNAMIC_PUBLISHES = "rwr.dynamic.publishes"
+DYNAMIC_PENDING_UPDATES = "rwr.dynamic.pending_updates"
+DYNAMIC_SKIPPED_REBUILD_RATIO = "rwr.dynamic.skipped_rebuild_ratio"
+DYNAMIC_CORRECTIONS = "rwr.dynamic.corrections"
+DYNAMIC_FULL_REBUILDS = "rwr.dynamic.full_rebuilds"
+DYNAMIC_ERROR_BOUND = "rwr.dynamic.error_bound"
+DYNAMIC_BACKGROUND_SWAPS = "rwr.dynamic.background.swaps"
+
 
 class Counter:
     """A monotonically increasing counter."""
@@ -572,6 +587,17 @@ def get_registry() -> MetricsRegistry:
 def global_registry() -> MetricsRegistry:
     """The process-global default registry."""
     return _GLOBAL_REGISTRY
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    """The innermost :meth:`MetricsRegistry.activate` context, or ``None``.
+
+    Unlike :func:`get_registry` this does *not* fall back to the global
+    registry, so long-lived components that own a default registry (e.g.
+    :class:`repro.core.dynamic.DynamicRWR`) can resolve "the registry the
+    caller installed, else my own" per call instead of capturing one at
+    construction time."""
+    return _ACTIVE_REGISTRY.get()
 
 
 def span(name: str, buckets: Optional[Iterable[float]] = None):

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro import BePI, Graph, InvalidParameterError, PowerSolver, generate_rmat
+from repro import telemetry
 from repro.core.dynamic import DynamicRWR
 
 from .conftest import exact_rwr
@@ -190,21 +191,157 @@ class TestAutoRebuild:
 class TestDynamicTelemetry:
     def test_rebuild_counters_and_durations(self, dynamic):
         registry = dynamic.telemetry
-        assert registry.get("dynamic.rebuilds").value == 1.0  # initial build
-        assert registry.get("dynamic.rebuild.seconds").count == 1
+        assert registry.get(telemetry.DYNAMIC_REBUILDS).value == 1.0  # initial
+        assert registry.get(telemetry.DYNAMIC_REBUILD_SECONDS).count == 1
 
         dynamic.add_edges([(0, 99)])
-        assert registry.get("dynamic.pending_updates").value == 1.0
+        assert registry.get(telemetry.DYNAMIC_PENDING_UPDATES).value == 1.0
         dynamic.rebuild()
-        assert registry.get("dynamic.rebuilds").value == 2.0
-        assert registry.get("dynamic.rebuild.seconds").count == 2
-        assert registry.get("dynamic.pending_updates").value == 0.0
+        assert registry.get(telemetry.DYNAMIC_REBUILDS).value == 2.0
+        assert registry.get(telemetry.DYNAMIC_REBUILD_SECONDS).count == 2
+        assert registry.get(telemetry.DYNAMIC_PENDING_UPDATES).value == 0.0
 
     def test_skipped_rebuild_ratio(self, dynamic):
         dynamic.add_edges([(0, 99)])
         dynamic.remove_edges([(0, 99)])  # cancels out -> skipped rebuild
         dynamic.rebuild()
         registry = dynamic.telemetry
-        assert registry.get("dynamic.rebuilds.skipped").value == 1.0
+        assert registry.get(telemetry.DYNAMIC_REBUILDS_SKIPPED).value == 1.0
         # 1 skipped of 2 decisions (initial build + this skip).
-        assert registry.get("dynamic.skipped_rebuild_ratio").value == pytest.approx(0.5)
+        assert registry.get(
+            telemetry.DYNAMIC_SKIPPED_REBUILD_RATIO
+        ).value == pytest.approx(0.5)
+
+    def test_mode_counters_and_error_bound_gauge(self, dynamic):
+        dynamic.add_edges([(0, 99)])
+        dynamic.rebuild()
+        registry = dynamic.telemetry
+        corrections = registry.get(telemetry.DYNAMIC_CORRECTIONS)
+        full = registry.get(telemetry.DYNAMIC_FULL_REBUILDS)
+        total = (corrections.value if corrections else 0.0) + (
+            full.value if full else 0.0
+        )
+        assert total == 1.0
+        assert dynamic.last_rebuild_mode in ("incremental", "full")
+        assert registry.get(telemetry.DYNAMIC_ERROR_BOUND).value == pytest.approx(
+            dynamic.last_error_bound
+        )
+        if dynamic.last_rebuild_mode == "incremental":
+            # The default error_bound=0.0 admits only exact corrections.
+            assert dynamic.last_error_bound == 0.0
+
+    def test_gauges_follow_ambient_registry_swap(self, dynamic):
+        """Metrics land on a registry activated *after* construction —
+        the registry captured at init time must not pin the destination."""
+        fresh = telemetry.MetricsRegistry()
+        with fresh.activate():
+            dynamic.add_edges([(0, 99)])
+            dynamic.remove_edges([(0, 99)])
+            dynamic.rebuild()
+        assert fresh.get(telemetry.DYNAMIC_REBUILDS_SKIPPED).value == 1.0
+        assert fresh.get(telemetry.DYNAMIC_PENDING_UPDATES).value == 0.0
+        # Outside the activation, writes fall back to the instance registry.
+        dynamic.add_edges([(0, 98)])
+        assert (
+            dynamic.telemetry.get(telemetry.DYNAMIC_PENDING_UPDATES).value == 1.0
+        )
+
+
+class TestQueryPassthroughs:
+    def test_query_many_matches_looped_query(self, dynamic):
+        seeds = [0, 3, 7]
+        rows = dynamic.query_many(seeds)
+        assert rows.shape == (3, dynamic.graph.n_nodes)
+        for row, seed in zip(rows, seeds):
+            assert np.allclose(row, dynamic.query(seed), atol=1e-9)
+
+    def test_query_many_detailed(self, dynamic):
+        result = dynamic.query_many_detailed([1, 2], batch_size=1)
+        assert result.scores.shape == (2, dynamic.graph.n_nodes)
+        assert result.iterations.shape == (2,)
+
+    def test_query_topk_matches_dense(self, dynamic):
+        result = dynamic.query_topk(0, 5)
+        scores = dynamic.query(0)
+        order = np.lexsort((result.ids, -scores[result.ids]))
+        assert np.array_equal(order, np.arange(len(result.ids)))
+        dense_top = sorted(
+            ((i, s) for i, s in enumerate(scores) if i != 0),
+            key=lambda pair: (-pair[1], pair[0]),
+        )[:5]
+        assert [i for i, _ in dense_top] == result.ids.tolist()
+
+    def test_query_topk_many(self, dynamic):
+        results = dynamic.query_topk_many([0, 1], 4)
+        assert len(results) == 2
+        assert all(len(r.ids) == 4 for r in results)
+
+    def test_passthroughs_follow_rebuild(self, dynamic):
+        before = dynamic.query_many([0])[0]
+        dynamic.add_edges([(0, 99)])
+        dynamic.rebuild()
+        after = dynamic.query_many([0])[0]
+        assert not np.array_equal(before, after)
+
+
+class TestIncrementalPolicy:
+    def test_incremental_rebuild_matches_fresh_solver(self):
+        graph = generate_rmat(7, 600, seed=9)
+        dynamic = DynamicRWR(graph, solver_factory=lambda: BePI(tol=1e-11))
+        # Reweighting an existing edge stays inside the served block
+        # structure, so the correction must be exact (bound 0).
+        u, v = map(int, graph.edges()[0])
+        dynamic.add_edges([(u, v)], weights=[4.0])
+        dynamic.rebuild()
+        assert dynamic.last_rebuild_mode == "incremental"
+        assert dynamic.last_error_bound == 0.0
+        assert dynamic.n_corrections == 1
+        fresh = BePI(tol=1e-11).preprocess(dynamic._graph)
+        assert np.allclose(dynamic.query(0), fresh.query(0), atol=1e-8)
+
+    def test_error_bound_never_exceeded(self):
+        """Tolerance drill: with a positive error_bound, the served scores
+        stay within the tracked bound of the exact new graph's scores."""
+        graph = generate_rmat(7, 600, seed=11)
+        dynamic = DynamicRWR(
+            graph, solver_factory=lambda: BePI(tol=1e-11), error_bound=0.5
+        )
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, graph.n_nodes, size=(6, 2))
+        dynamic.add_edges([(int(u), int(v)) for u, v in pairs])
+        dynamic.rebuild()
+        fresh = BePI(tol=1e-11).preprocess(dynamic._graph)
+        for seed in (0, 5, 9):
+            observed = np.abs(dynamic.query(seed) - fresh.query(seed)).sum()
+            assert observed <= dynamic.last_error_bound + 1e-7
+        assert dynamic.last_error_bound <= 0.5
+
+    def test_incremental_disabled_forces_full(self):
+        graph = generate_rmat(6, 250, seed=12)
+        dynamic = DynamicRWR(
+            graph, solver_factory=lambda: BePI(tol=1e-11), incremental=False
+        )
+        u, v = map(int, graph.edges()[0])
+        dynamic.add_edges([(u, v)], weights=[4.0])
+        dynamic.rebuild()
+        assert dynamic.last_rebuild_mode == "full"
+        assert dynamic.n_corrections == 0
+        assert dynamic.n_full_rebuilds == 1
+
+    def test_baseline_solver_always_full(self):
+        graph = generate_rmat(5, 100, seed=13)
+        dynamic = DynamicRWR(graph, solver_factory=lambda: PowerSolver(tol=1e-11))
+        dynamic.remove_edges([tuple(graph.edges()[0])])
+        dynamic.rebuild()
+        assert dynamic.last_rebuild_mode == "full"
+        assert isinstance(dynamic.solver, PowerSolver)
+
+    def test_negative_error_bound_rejected(self):
+        graph = generate_rmat(5, 100, seed=13)
+        with pytest.raises(InvalidParameterError):
+            DynamicRWR(graph, error_bound=-0.1)
+
+    def test_background_requires_store(self):
+        graph = generate_rmat(5, 100, seed=13)
+        with pytest.raises(InvalidParameterError):
+            DynamicRWR(graph, background=True)

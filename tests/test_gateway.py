@@ -243,6 +243,68 @@ class TestAdmissionControl:
         assert second[0] == 9.0
 
 
+class TestGenerationSurfacing:
+    def test_health_poll_exports_backend_generation(self):
+        backend = FakeBackend(name="shard0")
+
+        async def stats():
+            return {
+                "queue_depth": 0,
+                "generation": "/store/generations/gen-000007",
+            }
+
+        backend.stats = stats
+
+        async def scenario():
+            async with Gateway(
+                [backend], coalesce_window=0.0, health_interval=0.01
+            ) as gateway:
+                for _ in range(100):
+                    snapshot = await gateway.stats()
+                    if snapshot["backends"]["shard0"]["generation"]:
+                        break
+                    await asyncio.sleep(0.01)
+                gauge = gateway.registry.get(
+                    f"{telemetry.GATEWAY_BACKEND_PREFIX}shard0"
+                    ".generation_index"
+                )
+                return snapshot, gauge
+
+        snapshot, gauge = asyncio.run(scenario())
+        # The full path is reduced to the generation name, and the
+        # numeric index is exported so replica divergence after a
+        # publish is visible on a dashboard.
+        assert snapshot["backends"]["shard0"]["generation"] == "gen-000007"
+        assert gauge is not None and gauge.value == 7.0
+
+    def test_non_generation_names_skip_the_index_gauge(self):
+        backend = FakeBackend(name="bare")
+
+        async def stats():
+            return {"queue_depth": 0, "generation": "/artifacts/solver"}
+
+        backend.stats = stats
+
+        async def scenario():
+            async with Gateway(
+                [backend], coalesce_window=0.0, health_interval=0.01
+            ) as gateway:
+                for _ in range(100):
+                    snapshot = await gateway.stats()
+                    if snapshot["backends"]["bare"]["generation"]:
+                        break
+                    await asyncio.sleep(0.01)
+                gauge = gateway.registry.get(
+                    f"{telemetry.GATEWAY_BACKEND_PREFIX}bare"
+                    ".generation_index"
+                )
+                return snapshot, gauge
+
+        snapshot, gauge = asyncio.run(scenario())
+        assert snapshot["backends"]["bare"]["generation"] == "solver"
+        assert gauge is None
+
+
 class TestShardingAndFailover:
     def test_seeds_route_by_ring_shard(self):
         left = FakeBackend(name="left")

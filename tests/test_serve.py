@@ -142,6 +142,81 @@ class TestArtifactStore:
         assert third.name == "gen-000003"
 
 
+class TestGenerationLeases:
+    def test_lease_protects_generation_from_prune(self, served_solver, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        for _ in range(3):
+            store.publish(served_solver)
+        with store.acquire_lease("gen-000001"):
+            result = store.prune(keep=1)
+            assert result == ["gen-000002"]
+            assert result.skipped == ["gen-000001"]
+            assert "gen-000001" in store.generations()
+        # Released: the next prune can take it.
+        result = store.prune(keep=1)
+        assert result == ["gen-000001"]
+        assert result.skipped == []
+
+    def test_lease_defaults_to_current(self, served_solver, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        generation = store.publish(served_solver)
+        lease = store.acquire_lease()
+        assert lease.generation == generation.name
+        assert store.leased_generations() == {generation.name}
+        lease.release()
+        assert store.leased_generations() == set()
+
+    def test_release_is_idempotent(self, served_solver, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.publish(served_solver)
+        lease = store.acquire_lease()
+        lease.release()
+        lease.release()
+
+    def test_lease_requires_existing_generation(self, served_solver, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(GraphFormatError):
+            store.acquire_lease()  # nothing published yet
+        store.publish(served_solver)
+        with pytest.raises(GraphFormatError):
+            store.acquire_lease("gen-999999")
+
+    def test_dead_holder_lease_is_garbage_collected(self, served_solver, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        for _ in range(2):
+            store.publish(served_solver)
+        # Forge a lease held by a pid that cannot exist.
+        leases = store.root / "leases"
+        leases.mkdir(exist_ok=True)
+        stale = leases / "gen-000001.999999999-deadbeef.lease"
+        stale.write_text("999999999\n")
+        assert store.leased_generations() == set()
+        assert not stale.exists()
+        result = store.prune(keep=1)
+        assert result == ["gen-000001"]
+
+    def test_pool_leases_generation_it_serves(self, served_solver, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        for _ in range(2):
+            store.publish(served_solver)
+        with WorkerPool(store.root, n_workers=1) as pool:
+            # The pool pins the generation its workers have open.
+            assert store.leased_generations() == {"gen-000002"}
+            store.publish(served_solver)  # gen-000003 becomes current
+            result = store.prune(keep=1)
+            # gen-000002 is expired but leased; gen-000001 goes.
+            assert result == ["gen-000001"]
+            assert result.skipped == ["gen-000002"]
+            # The lease follows the hot swap onto the new generation.
+            assert pool.refresh_generation() == "gen-000003"
+            assert store.leased_generations() == {"gen-000003"}
+        assert store.leased_generations() == set()
+
+    def test_refresh_generation_on_bare_directory(self, artifact_dir):
+        with WorkerPool(artifact_dir, n_workers=1) as pool:
+            assert pool.refresh_generation() == artifact_dir.name
+
+
 class TestResolve:
     def test_resolves_artifact_dir(self, artifact_dir):
         assert resolve_artifact_path(artifact_dir) == artifact_dir
