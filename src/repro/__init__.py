@@ -36,7 +36,7 @@ Package map
   the serve tier with zero downtime.
 """
 
-from repro import datasets, telemetry, wire
+from repro import datasets, telemetry, tracing, wire
 from repro.approximate import NBLinSolver
 from repro.baselines import BearSolver, DenseSolver, GMRESSolver, LUSolver, PowerSolver
 from repro.bench.memory import MemoryBudget
@@ -186,6 +186,7 @@ __all__ = [
     "sweep_hub_ratios",
     "telemetry",
     "tolerance_for_target",
+    "tracing",
     "verify_artifacts",
     "wire",
     "__version__",

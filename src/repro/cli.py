@@ -13,6 +13,9 @@ Commands
 ``update``      apply an edge-update batch to a store's current generation and
                 publish the corrected artifacts as the next generation
 ``gateway``     coalescing/shedding/sharding front door over serve backends
+``top``         live terminal view of a serving fleet (QPS, latency
+                percentiles, queue depths, cache hit rate, generations,
+                recent slow queries) polled over ``OP_METRICS``
 ``compare``     run the method comparison matrix on one graph
 ``datasets``    list the built-in stand-in datasets
 ``metrics``     render a telemetry snapshot (JSON file written by --metrics-out)
@@ -112,6 +115,35 @@ def _write_metrics(registry: MetricsRegistry, path: str) -> None:
     with open(path, "w") as handle:
         handle.write(registry.to_json())
     print(f"wrote metrics snapshot to {path}")
+
+
+def _add_tracing_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-sample", type=float, default=None, metavar="RATE",
+                        help="fraction of requests to trace, 0..1 "
+                             "(default %(default)s -> library default)")
+    parser.add_argument("--trace-log", metavar="PATH", default=None,
+                        help="append finished span records to PATH as JSON "
+                             "lines (written atomically, tmp + rename)")
+    parser.add_argument("--slow-query", type=float, default=None, metavar="SECONDS",
+                        help="log any traced request slower than this with "
+                             "its full span breakdown")
+
+
+def _configure_tracing(args: argparse.Namespace):
+    """Replace the global tracer when any tracing flag was given."""
+    from repro import tracing
+
+    if (args.trace_sample is None and args.trace_log is None
+            and args.slow_query is None):
+        return tracing.get_tracer()
+    kwargs = {}
+    if args.trace_sample is not None:
+        kwargs["sample_rate"] = args.trace_sample
+    if args.trace_log is not None:
+        kwargs["log_path"] = args.trace_log
+    if args.slow_query is not None:
+        kwargs["slow_threshold"] = args.slow_query
+    return tracing.configure(**kwargs)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -217,6 +249,7 @@ def _serve_listen(args: argparse.Namespace, fault_plan) -> int:
     from repro.serve import WorkerPool
 
     host, port = parse_endpoint(args.listen)
+    tracer = _configure_tracing(args)
 
     async def run() -> int:
         loop = asyncio.get_running_loop()
@@ -250,6 +283,7 @@ def _serve_listen(args: argparse.Namespace, fault_plan) -> int:
                     if follower is not None:
                         follower.cancel()
                 print("draining and shutting down", flush=True)
+            tracer.flush_log()
             stats = pool.pool_stats()
             print(f"served {stats['queries_submitted']} queries across "
                   f"{stats['n_workers']} workers "
@@ -275,6 +309,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     fault_plan = load_plan(args.fault_plan) if args.fault_plan else None
     if args.listen:
         return _serve_listen(args, fault_plan)
+    tracer = _configure_tracing(args)
     if args.seeds:
         seeds = [int(s) for s in args.seeds.split(",")]
     elif args.random:
@@ -357,6 +392,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                       file=sys.stderr)
             if args.metrics_out:
                 print(f"wrote metrics snapshot to {args.metrics_out}")
+            tracer.flush_log()
     finally:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
@@ -475,12 +511,15 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     host, port = parse_endpoint(args.listen)
     for endpoint in args.backend:
         parse_endpoint(endpoint)  # fail fast on typos, before spawning a pool
+    tracer = _configure_tracing(args)
 
-    async def _flush_metrics_forever(registry: MetricsRegistry) -> None:
+    async def _flush_metrics_forever(gateway) -> None:
         while True:
             await asyncio.sleep(2.0)
             try:
-                _write_metrics_file(registry, args.metrics_out)
+                # The merged fleet registry (gateway + every polled
+                # backend), so the snapshot on disk matches `repro top`.
+                _write_metrics_file(gateway.fleet_registry(), args.metrics_out)
             except OSError:  # pragma: no cover - disk hiccup; retry next tick
                 pass
 
@@ -505,6 +544,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             }
             gateway = Gateway(
                 backends,
+                tracer=tracer,
                 **{k: v for k, v in overrides.items() if v is not None},
             )
             async with gateway:
@@ -518,7 +558,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
                     flusher = None
                     if args.metrics_out:
                         flusher = asyncio.create_task(
-                            _flush_metrics_forever(gateway.registry)
+                            _flush_metrics_forever(gateway)
                         )
                     try:
                         await stop.wait()
@@ -526,11 +566,12 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
                         if flusher is not None:
                             flusher.cancel()
                     print("draining and shutting down", flush=True)
+            tracer.flush_log()
             print(f"admitted {gateway.registry.get(GATEWAY_REQUESTS).value:.0f} "
                   f"request(s), shed "
                   f"{gateway.registry.get(GATEWAY_SHED).value:.0f}")
             if args.metrics_out:
-                _write_metrics(gateway.registry, args.metrics_out)
+                _write_metrics(gateway.fleet_registry(), args.metrics_out)
         finally:
             if pool is not None:
                 pool.stop()
@@ -594,6 +635,222 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                       f"{summary['p50']:>12.6g} {summary['p95']:>12.6g} "
                       f"{summary['p99']:>12.6g}")
     return 0
+
+
+def _fetch_fleet(target: str) -> dict:
+    """One fleet snapshot: from a JSON file, or over the wire.
+
+    ``target`` is either a path to a JSON document (the gateway's
+    ``--metrics-out`` file or a saved fleet snapshot) or a gateway /
+    pool-server ``HOST:PORT`` answered via ``OP_METRICS``.
+    """
+    import json
+
+    if os.path.exists(target):
+        with open(target) as handle:
+            return json.load(handle)
+
+    import asyncio
+
+    from repro import wire
+    from repro.gateway import parse_endpoint
+
+    host, port = parse_endpoint(target)
+
+    async def fetch() -> dict:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            await wire.write_message(writer, wire.MetricsRequest())
+            reply = await wire.read_message(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:  # pragma: no cover - peer already gone
+                pass
+        if not isinstance(reply, wire.StatsReply):
+            raise wire.ProtocolError(
+                f"expected StatsReply to OP_METRICS, got "
+                f"{type(reply).__name__}"
+            )
+        return reply.stats
+
+    return asyncio.run(fetch())
+
+
+def _fleet_counter(snapshot: dict, name: str) -> float:
+    entry = (snapshot.get("counters") or {}).get(name)
+    return float(entry.get("value", 0.0)) if entry else 0.0
+
+
+def _fleet_rate(current: dict, previous, name: str) -> Optional[float]:
+    """Per-second rate of a counter between two polls, if computable."""
+    if previous is None:
+        return None
+    prev_snapshot, elapsed = previous
+    if elapsed <= 0:
+        return None
+    delta = _fleet_counter(current, name) - _fleet_counter(prev_snapshot, name)
+    return max(0.0, delta) / elapsed
+
+
+def render_fleet(snapshot: dict, previous=None) -> str:
+    """Render one fleet snapshot as a terminal page (pure, testable).
+
+    ``snapshot`` is a ``repro-fleet/v1`` document (or a bare metrics
+    snapshot, rendered as a single unnamed shard); ``previous`` is an
+    optional ``(snapshot, elapsed_seconds)`` pair from the prior frame
+    used for QPS.
+    """
+    from repro import telemetry
+
+    if not str(snapshot.get("schema", "")).startswith("repro-fleet"):
+        # Bare registry snapshot (a PoolServer, or a --metrics-out file):
+        # render it as a single unnamed shard.
+        snapshot = {
+            "schema": snapshot.get("schema", "repro-metrics"),
+            "gateway": {},
+            "backends": {"(self)": snapshot},
+            "merged": snapshot,
+            "generations": {},
+            "trace": {},
+            "slow_queries": [],
+        }
+    merged = snapshot.get("merged") or {}
+    gateway_snap = snapshot.get("gateway") or {}
+    backends = snapshot.get("backends") or {}
+    generations = snapshot.get("generations") or {}
+    trace = snapshot.get("trace") or {}
+    slow = snapshot.get("slow_queries") or []
+    lines: List[str] = []
+    lines.append(
+        f"repro fleet — {len(backends)} backend(s), schema "
+        f"{snapshot.get('schema')}"
+    )
+
+    requests = _fleet_counter(gateway_snap, telemetry.GATEWAY_REQUESTS)
+    qps = _fleet_rate(
+        {"counters": (gateway_snap.get("counters") or {})},
+        (
+            ({"counters": ((previous[0].get("gateway") or {}).get("counters") or {})},
+             previous[1])
+            if previous is not None else None
+        ),
+        telemetry.GATEWAY_REQUESTS,
+    )
+    qps_text = f" ({qps:.1f}/s)" if qps is not None else ""
+    lines.append(
+        f"  requests {requests:.0f}{qps_text}   "
+        f"shed {_fleet_counter(gateway_snap, telemetry.GATEWAY_SHED):.0f}   "
+        f"failovers "
+        f"{_fleet_counter(gateway_snap, telemetry.GATEWAY_FAILOVERS):.0f}   "
+        f"backend errors "
+        f"{_fleet_counter(gateway_snap, telemetry.GATEWAY_BACKEND_ERRORS):.0f}"
+    )
+    latency = (gateway_snap.get("histograms") or {}).get(
+        telemetry.GATEWAY_REQUEST_SECONDS
+    )
+    if latency:
+        gw_registry = MetricsRegistry.from_snapshot(gateway_snap)
+        metric = gw_registry.get(telemetry.GATEWAY_REQUEST_SECONDS)
+        summary = metric.summary()
+        lines.append(
+            f"  latency p50 {summary['p50'] * 1e3:.2f}ms "
+            f"p95 {summary['p95'] * 1e3:.2f}ms "
+            f"p99 {summary['p99'] * 1e3:.2f}ms "
+            f"(n={summary['count']:.0f})"
+        )
+        exemplars = metric.exemplars()
+        if exemplars:
+            pairs = ", ".join(
+                f"<={bound}s -> {trace_id}"
+                for bound, trace_id in list(exemplars.items())[-3:]
+            )
+            lines.append(f"  latency exemplars: {pairs}")
+    hits = _fleet_counter(merged, telemetry.TOPK_CACHE_HITS)
+    misses = _fleet_counter(merged, telemetry.TOPK_CACHE_MISSES)
+    if hits + misses > 0:
+        lines.append(
+            f"  topk cache hit rate {hits / (hits + misses) * 100:.1f}% "
+            f"(hits {hits:.0f}, misses {misses:.0f})"
+        )
+    if trace:
+        lines.append(
+            f"  traces {trace.get('traces_started', 0)}   "
+            f"spans {trace.get('spans_recorded', 0)} "
+            f"(ring {trace.get('ring_spans', 0)}, "
+            f"dropped {trace.get('ring_dropped', 0)})   "
+            f"slow {trace.get('slow_queries', 0)}"
+        )
+
+    if backends:
+        lines.append("")
+        lines.append(f"  {'backend':<24} {'queries':>10} {'qps':>8} "
+                     f"{'p95 ms':>9} {'unconverged':>12}  generation")
+        for name in sorted(backends):
+            shard = backends[name]
+            queries = _fleet_counter(shard, telemetry.QUERIES_TOTAL)
+            shard_qps = None
+            if previous is not None:
+                prev_shard = (previous[0].get("backends") or {}).get(name)
+                if prev_shard is not None:
+                    shard_qps = _fleet_rate(
+                        shard, (prev_shard, previous[1]), telemetry.QUERIES_TOTAL
+                    )
+            shard_registry = MetricsRegistry.from_snapshot(shard)
+            p95 = float("nan")
+            if (shard.get("histograms") or {}).get(telemetry.QUERY_SECONDS):
+                p95 = shard_registry.get(
+                    telemetry.QUERY_SECONDS
+                ).percentile(95) * 1e3
+            unconverged = _fleet_counter(shard, telemetry.QUERIES_UNCONVERGED)
+            lines.append(
+                f"  {name:<24} {queries:>10.0f} "
+                f"{(f'{shard_qps:.1f}' if shard_qps is not None else '-'):>8} "
+                f"{p95:>9.2f} {unconverged:>12.0f}  "
+                f"{generations.get(name) or '-'}"
+            )
+
+    if slow:
+        lines.append("")
+        lines.append("  recent slow queries")
+        for entry in list(slow)[-5:]:
+            tags = entry.get("tags") or {}
+            tag_text = " ".join(f"{k}={v}" for k, v in sorted(tags.items()))
+            lines.append(
+                f"    {entry.get('trace_id')} {entry.get('name')} "
+                f"{float(entry.get('duration', 0.0)) * 1e3:.1f}ms "
+                f"{tag_text} ({len(entry.get('spans') or [])} spans)"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``repro top TARGET`` — live terminal view of a serving fleet."""
+    import time
+
+    frames = 1 if args.once else args.frames
+    previous = None
+    rendered = 0
+    while True:
+        started = time.perf_counter()
+        try:
+            snapshot = _fetch_fleet(args.target)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot fetch fleet snapshot from {args.target}: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        page = render_fleet(snapshot, previous)
+        if rendered and not args.no_clear:
+            # ANSI home + clear-below keeps the page steady between frames.
+            sys.stdout.write("\x1b[H\x1b[J")
+        sys.stdout.write(page)
+        sys.stdout.flush()
+        rendered += 1
+        if frames is not None and rendered >= frames:
+            return 0
+        time.sleep(max(0.0, args.interval))
+        previous = (snapshot, time.perf_counter() - started)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -698,6 +955,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --listen: answer REPLY_OVERLOADED when "
                               "more than N requests are queued "
                               "(default: queue unboundedly)")
+    _add_tracing_options(p_serve)
     p_serve.add_argument("--follow-store", type=float, default=None,
                          metavar="SECONDS",
                          help="poll the store's current pointer every SECONDS "
@@ -765,10 +1023,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_gw.add_argument("--shed-depth", type=int, default=None, metavar="N",
                       help="also shed when every live backend reports a "
                            "queue deeper than N (default: disabled)")
+    _add_tracing_options(p_gw)
     p_gw.add_argument("--metrics-out", metavar="PATH", default=None,
                       help="keep the gateway telemetry snapshot (JSON) "
                            "fresh at PATH")
     p_gw.set_defaults(func=_cmd_gateway)
+
+    p_top = sub.add_parser(
+        "top", help="live terminal view of a serving fleet"
+    )
+    p_top.add_argument("target",
+                       help="gateway (or pool server) HOST:PORT answered via "
+                            "OP_METRICS, or a fleet/metrics JSON file")
+    p_top.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                       help="refresh period (default %(default)s)")
+    p_top.add_argument("--once", action="store_true",
+                       help="render a single frame and exit")
+    p_top.add_argument("--frames", type=int, default=None, metavar="N",
+                       help="render N frames and exit (default: forever)")
+    p_top.add_argument("--no-clear", action="store_true",
+                       help="append frames instead of redrawing in place")
+    p_top.set_defaults(func=_cmd_top)
 
     p_query = sub.add_parser("query", help="top-k RWR ranking for a seed")
     p_query.add_argument("graph", help="edge-list file, saved solver (.npz), "

@@ -25,7 +25,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro import telemetry
+from repro import telemetry, tracing
 from repro.bench.memory import MemoryBudget, matrix_memory_bytes
 from repro.core.engine import validate_seed, validate_seeds
 from repro.core.topk import TopKResult, topk_from_scores, validate_k
@@ -245,7 +245,7 @@ class RWRSolver(abc.ABC):
         elapsed = time.perf_counter() - start
         self.telemetry.histogram(
             telemetry.QUERY_SECONDS, help="wall seconds per query"
-        ).observe(elapsed)
+        ).observe(elapsed, exemplar=tracing.current_trace_hex())
         self._record_convergence(extras.get("converged"), n_queries=1)
         return QueryResult(scores=scores, seconds=elapsed, iterations=iterations, extras=extras)
 
@@ -323,9 +323,10 @@ class RWRSolver(abc.ABC):
             chunk_sizes.append(size)
         elapsed = time.perf_counter() - start
 
+        exemplar = tracing.current_trace_hex()
         self.telemetry.histogram(
             telemetry.BATCH_SECONDS, help="wall seconds per multi-seed batch"
-        ).observe(elapsed)
+        ).observe(elapsed, exemplar=exemplar)
         self.telemetry.histogram(
             telemetry.BATCH_SIZE,
             buckets=telemetry.BATCH_SIZE_BUCKETS,
@@ -333,7 +334,7 @@ class RWRSolver(abc.ABC):
         ).observe(k)
         self.telemetry.histogram(
             telemetry.QUERY_SECONDS, help="wall seconds per query"
-        ).observe_many(per_seed)
+        ).observe_many(per_seed, exemplar=exemplar)
         merged = self._merge_batch_extras(extras_chunks, chunk_sizes)
         self._record_convergence(merged.get("converged"), n_queries=k)
         return BatchQueryResult(

@@ -36,7 +36,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from repro import telemetry
+from repro import telemetry, tracing
 from repro.core.pipeline import PreprocessArtifacts
 from repro.core.topk import TopKResult, topk_from_scores, validate_k
 from repro.exceptions import InvalidParameterError, SingularMatrixError
@@ -165,7 +165,9 @@ def _record_engine_chunk(registry, size: int, seconds: float, converged) -> None
     if size:
         registry.histogram(
             telemetry.QUERY_SECONDS, help="wall seconds per query (amortized in batches)"
-        ).observe_many([seconds / size] * size)
+        ).observe_many(
+            [seconds / size] * size, exemplar=tracing.current_trace_hex()
+        )
     if converged is not None:
         failures = int(np.count_nonzero(~np.atleast_1d(np.asarray(converged, dtype=bool))))
         if failures:
@@ -240,7 +242,10 @@ class QueryEngine(abc.ABC):
         if k:
             registry.histogram(
                 telemetry.BATCH_SECONDS, help="wall seconds per query_many batch"
-            ).observe(time.perf_counter() - batch_start)
+            ).observe(
+                time.perf_counter() - batch_start,
+                exemplar=tracing.current_trace_hex(),
+            )
             registry.histogram(
                 telemetry.BATCH_SIZE,
                 buckets=telemetry.BATCH_SIZE_BUCKETS,

@@ -45,7 +45,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import telemetry, wire
+from repro import telemetry, tracing, wire
 from repro.core.topk import to_pairs, validate_k
 from repro.exceptions import InvalidParameterError
 from repro.serve import WorkerPool, WorkerError
@@ -68,6 +68,9 @@ DEFAULT_REQUEST_TIMEOUT = 60.0
 
 #: Virtual points per backend on the consistent-hash ring.
 DEFAULT_RING_POINTS = 64
+
+#: Schema identifier of :meth:`Gateway.fleet_snapshot` documents.
+FLEET_SCHEMA = "repro-fleet/v1"
 
 
 class Overloaded(RuntimeError):
@@ -201,14 +204,27 @@ class LocalBackend:
         finally:
             self._inflight -= 1
 
-    async def query_many(self, seeds: Sequence[int]) -> np.ndarray:
-        return await self._run(self.pool.query_many, list(seeds))
+    async def query_many(
+        self,
+        seeds: Sequence[int],
+        trace: Sequence[Tuple[int, int]] = (),
+    ) -> np.ndarray:
+        return await self._run(
+            partial(self.pool.query_many, list(seeds), trace=list(trace) or None)
+        )
 
     async def query_topk_many(
-        self, seeds: Sequence[int], k: int, exclude_seed: bool
+        self,
+        seeds: Sequence[int],
+        k: int,
+        exclude_seed: bool,
+        trace: Sequence[Tuple[int, int]] = (),
     ) -> List[np.ndarray]:
         results = await self._run(
-            self.pool.query_topk_many, list(seeds), k, exclude_seed
+            partial(
+                self.pool.query_topk_many, list(seeds), k, exclude_seed,
+                trace=list(trace) or None,
+            )
         )
         return [to_pairs(result) for result in results]
 
@@ -221,6 +237,11 @@ class LocalBackend:
             "n_workers": stats.get("n_workers"),
             "queries_submitted": stats.get("queries_submitted"),
         }
+
+    async def metrics_snapshot(self) -> Dict[str, Any]:
+        """The pool's merged telemetry snapshot (fleet aggregation feed)."""
+        registry = await self._run(self.pool.metrics)
+        return registry.snapshot()
 
     async def close(self) -> None:
         self._executor.shutdown(wait=False, cancel_futures=True)
@@ -284,6 +305,12 @@ class RemoteBackend:
                 raise BackendError(
                     f"backend {self.name}: {type(exc).__name__}: {exc}"
                 ) from exc
+            except asyncio.CancelledError:
+                # Cancelled mid-exchange (e.g. a bounded fleet-metrics
+                # poll): the reply is still in flight, so the connection
+                # is desynchronized for whoever uses it next.  Drop it.
+                await self._drop_connection()
+                raise
             if reply is None:
                 await self._drop_connection()
                 raise BackendError(f"backend {self.name}: connection closed")
@@ -297,34 +324,65 @@ class RemoteBackend:
             )
         return reply
 
-    async def query_many(self, seeds: Sequence[int]) -> np.ndarray:
+    async def query_many(
+        self,
+        seeds: Sequence[int],
+        trace: Sequence[Tuple[int, int]] = (),
+    ) -> np.ndarray:
         reply = await self._call(
-            wire.QueryRequest(seeds=np.asarray(list(seeds), dtype=np.int64))
+            wire.QueryRequest(
+                seeds=np.asarray(list(seeds), dtype=np.int64),
+                trace=tuple(trace),
+            )
         )
         if not isinstance(reply, wire.DenseReply):
             raise BackendError(
                 f"backend {self.name}: unexpected reply {type(reply).__name__}"
             )
+        self._absorb_trace(reply.trace_records)
         return reply.scores
 
     async def query_topk_many(
-        self, seeds: Sequence[int], k: int, exclude_seed: bool
+        self,
+        seeds: Sequence[int],
+        k: int,
+        exclude_seed: bool,
+        trace: Sequence[Tuple[int, int]] = (),
     ) -> List[np.ndarray]:
         reply = await self._call(
             wire.TopKRequest(
                 seeds=np.asarray(list(seeds), dtype=np.int64),
                 k=int(k),
                 exclude_seed=bool(exclude_seed),
+                trace=tuple(trace),
             )
         )
         if not isinstance(reply, wire.TopKReply):
             raise BackendError(
                 f"backend {self.name}: unexpected reply {type(reply).__name__}"
             )
+        self._absorb_trace(reply.trace_records)
         return reply.pairs
+
+    @staticmethod
+    def _absorb_trace(records: Sequence[Dict[str, Any]]) -> None:
+        """Fold the server-side span records of a traced reply into this
+        process's tracer — the gateway's ring ends up holding the whole
+        cross-host trace."""
+        if records:
+            tracing.get_tracer().absorb(records)
 
     async def stats(self) -> Dict[str, Any]:
         reply = await self._call(wire.StatsRequest())
+        if not isinstance(reply, wire.StatsReply):
+            raise BackendError(
+                f"backend {self.name}: unexpected reply {type(reply).__name__}"
+            )
+        return reply.stats
+
+    async def metrics_snapshot(self) -> Dict[str, Any]:
+        """The backend's merged telemetry snapshot via ``OP_METRICS``."""
+        reply = await self._call(wire.MetricsRequest())
         if not isinstance(reply, wire.StatsReply):
             raise BackendError(
                 f"backend {self.name}: unexpected reply {type(reply).__name__}"
@@ -377,6 +435,14 @@ class Gateway:
     registry:
         Optional :class:`~repro.telemetry.MetricsRegistry`; defaults to a
         private one (exposed as :attr:`registry`).
+    tracer:
+        Optional :class:`~repro.tracing.Tracer` minting and collecting
+        request traces; defaults to the process-global tracer.  The
+        tracer's ``sample_rate`` decides which requests get a trace —
+        a sampled request mints a ``trace_id`` at admission and the
+        context rides to the backends (and across their spawn
+        boundaries), so the tracer's ring ends up holding complete
+        end-to-end traces.
     """
 
     def __init__(
@@ -390,6 +456,7 @@ class Gateway:
         health_interval: float = DEFAULT_HEALTH_INTERVAL,
         registry: Optional[MetricsRegistry] = None,
         ring_points: int = DEFAULT_RING_POINTS,
+        tracer: Optional[tracing.Tracer] = None,
     ):
         backends = list(backends)
         if not backends:
@@ -415,12 +482,16 @@ class Gateway:
         self.failover_cooldown = float(failover_cooldown)
         self.health_interval = float(health_interval)
         self.registry = registry if registry is not None else MetricsRegistry()
-        # mode key -> [(seed, future), ...] waiting for the flush timer.
-        self._pending: Dict[Tuple, List[Tuple[int, asyncio.Future]]] = {}
+        self.tracer = tracer if tracer is not None else tracing.get_tracer()
+        # mode key -> [(seed, future, trace_entry), ...] waiting for the
+        # flush timer; trace_entry is None for unsampled requests.
+        self._pending: Dict[Tuple, List[Tuple[int, asyncio.Future, Any]]] = {}
         self._flush_handles: Dict[Tuple, asyncio.TimerHandle] = {}
         self._pending_total = 0
         self._unhealthy_until: Dict[str, float] = {}
         self._depths: Dict[str, float] = {}
+        # Backend name -> last full registry snapshot (OP_METRICS poll).
+        self._fleet_snapshots: Dict[str, Dict[str, Any]] = {}
         # Backend name -> generation name it last reported serving, so
         # sharded replicas converging onto a freshly published generation
         # is observable (and divergence — a replica stuck on the old one —
@@ -479,7 +550,7 @@ class Gateway:
             handle.cancel()
         self._flush_handles.clear()
         for batch in self._pending.values():
-            for _, future in batch:
+            for _, future, _ in batch:
                 self._pending_total -= 1
                 if not future.done():
                     future.set_exception(BackendError("gateway closed"))
@@ -577,17 +648,54 @@ class Gateway:
         self._admit()
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.setdefault(mode, []).append((seed, future))
+        # Sampling decision at admission: a sampled request mints a trace
+        # id plus the root span id every later span parents under.
+        trace_entry: Optional[Dict[str, Any]] = None
+        trace_id = self.tracer.start_trace()
+        if trace_id is not None:
+            trace_entry = {
+                "trace_id": trace_id,
+                "root": tracing.mint_id(),
+                "enqueued": time.time(),
+            }
+        self._pending.setdefault(mode, []).append((seed, future, trace_entry))
         self._pending_total += 1
         if mode not in self._flush_handles:
             self._flush_handles[mode] = loop.call_later(
                 self.coalesce_window, self._flush, mode
             )
         start = time.perf_counter()
+        error: Optional[BaseException] = None
         try:
             return await future
+        except BaseException as exc:
+            error = exc
+            raise
         finally:
-            self._latency.observe(time.perf_counter() - start)
+            elapsed = max(0.0, time.perf_counter() - start)
+            if trace_entry is None:
+                self._latency.observe(elapsed)
+            else:
+                self._latency.observe(
+                    elapsed, exemplar=tracing.format_id(trace_id)
+                )
+                tags: Dict[str, Any] = {"seed": int(seed), "mode": mode[0]}
+                if error is not None:
+                    tags["error"] = type(error).__name__
+                # The root record lands last — every child (including the
+                # backend's, absorbed from the reply) is already in the
+                # ring, so slow-query assembly sees the full breakdown.
+                self.tracer.record(
+                    tracing.make_record(
+                        "gateway.request",
+                        trace_id=trace_id,
+                        span_id=trace_entry["root"],
+                        parent_id=None,
+                        start_time=trace_entry["enqueued"],
+                        duration=elapsed,
+                        tags=tags,
+                    )
+                )
 
     def _flush(self, mode: Tuple) -> None:
         """Flush timer fired: group the window's requests per shard and
@@ -596,9 +704,24 @@ class Gateway:
         batch = self._pending.pop(mode, [])
         if not batch:
             return
-        groups: Dict[str, List[Tuple[int, asyncio.Future]]] = {}
-        for seed, future in batch:
-            groups.setdefault(self.ring.route(seed), []).append((seed, future))
+        now = time.time()
+        for seed, _, entry in batch:
+            if entry is not None:
+                self.tracer.record(
+                    tracing.make_record(
+                        "gateway.coalesce_wait",
+                        trace_id=entry["trace_id"],
+                        span_id=tracing.mint_id(),
+                        parent_id=entry["root"],
+                        start_time=entry["enqueued"],
+                        duration=max(0.0, now - entry["enqueued"]),
+                    )
+                )
+        groups: Dict[str, List[Tuple[int, asyncio.Future, Any]]] = {}
+        for seed, future, entry in batch:
+            groups.setdefault(self.ring.route(seed), []).append(
+                (seed, future, entry)
+            )
         for name, group in groups.items():
             asyncio.ensure_future(self._dispatch(mode, name, group))
 
@@ -647,9 +770,9 @@ class Gateway:
                                             chain.index(n)))
 
     async def _dispatch(
-        self, mode: Tuple, primary: str, group: List[Tuple[int, asyncio.Future]]
+        self, mode: Tuple, primary: str, group: List[Tuple[int, asyncio.Future, Any]]
     ) -> None:
-        seeds = [seed for seed, _ in group]
+        seeds = [seed for seed, _, _ in group]
         self._batch_sizes.observe(len(seeds))
         chain = self._failover_chain(primary)
         last_error: Optional[BaseException] = None
@@ -657,17 +780,34 @@ class Gateway:
             if attempt > 0:
                 self._failovers.inc()
             backend = self.backends[name]
+            # One backend span per traced origin request per attempt; the
+            # (trace_id, span_id) contexts ride on the backend call so the
+            # server's spans nest under them.
+            spans = [
+                (entry, tracing.mint_id())
+                for _, _, entry in group
+                if entry is not None
+            ]
+            contexts = [(entry["trace_id"], span_id) for entry, span_id in spans]
+            # Only traced batches pass the kwarg, so backend stubs without
+            # trace support keep working untraced.
+            kwargs = {"trace": contexts} if contexts else {}
+            started = time.time()
+            start = time.perf_counter()
             try:
                 if mode[0] == "dense":
                     scores = await asyncio.wait_for(
-                        backend.query_many(seeds), self.request_timeout
+                        backend.query_many(seeds, **kwargs),
+                        self.request_timeout,
                     )
                     rows: List[Any] = [scores[i] for i in range(len(seeds))]
                 else:
                     _, k, exclude_seed = mode
                     rows = list(
                         await asyncio.wait_for(
-                            backend.query_topk_many(seeds, k, exclude_seed),
+                            backend.query_topk_many(
+                                seeds, k, exclude_seed, **kwargs
+                            ),
                             self.request_timeout,
                         )
                     )
@@ -675,11 +815,18 @@ class Gateway:
                 last_error = exc
                 self._backend_errors.inc()
                 self._mark_unhealthy(name)
+                self._record_backend_spans(
+                    spans, name, attempt, started, start, error=exc
+                )
                 continue
             except Exception as exc:  # QueryError, Overloaded, bugs
+                self._record_backend_spans(
+                    spans, name, attempt, started, start, error=exc
+                )
                 self._resolve(group, error=exc)
                 return
             self._health_gauge(name).set(1.0)
+            self._record_backend_spans(spans, name, attempt, started, start)
             self._resolve(group, rows=rows)
             return
         self._resolve(
@@ -690,13 +837,43 @@ class Gateway:
             ),
         )
 
+    def _record_backend_spans(
+        self,
+        spans: List[Tuple[Dict[str, Any], int]],
+        name: str,
+        attempt: int,
+        started: float,
+        start: float,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Emit the ``gateway.backend`` span (routing + socket RTT + server
+        time) of one dispatch attempt into every origin request's trace."""
+        if not spans:
+            return
+        duration = max(0.0, time.perf_counter() - start)
+        tags: Dict[str, Any] = {"backend": name, "attempt": attempt}
+        if error is not None:
+            tags["error"] = type(error).__name__
+        for entry, span_id in spans:
+            self.tracer.record(
+                tracing.make_record(
+                    "gateway.backend",
+                    trace_id=entry["trace_id"],
+                    span_id=span_id,
+                    parent_id=entry["root"],
+                    start_time=started,
+                    duration=duration,
+                    tags=tags,
+                )
+            )
+
     def _resolve(
         self,
-        group: List[Tuple[int, asyncio.Future]],
+        group: List[Tuple[int, asyncio.Future, Any]],
         rows: Optional[List[Any]] = None,
         error: Optional[BaseException] = None,
     ) -> None:
-        for index, (_, future) in enumerate(group):
+        for index, (_, future, _) in enumerate(group):
             self._pending_total -= 1
             if future.done():  # caller gave up (cancelled) — drop quietly
                 continue
@@ -731,7 +908,64 @@ class Gateway:
                 # failure cooldown instead of waiting it out.
                 self._unhealthy_until.pop(name, None)
                 self._health_gauge(name).set(1.0)
+                # Full registry snapshot for fleet aggregation — best
+                # effort; a failed poll keeps the previous snapshot.
+                poll = getattr(backend, "metrics_snapshot", None)
+                if poll is not None:
+                    try:
+                        snapshot = await asyncio.wait_for(
+                            poll(), min(self.health_interval, 5.0)
+                        )
+                    except (BackendError, QueryError, Overloaded, TimeoutError):
+                        pass
+                    else:
+                        if snapshot:
+                            self._fleet_snapshots[name] = snapshot
             await asyncio.sleep(self.health_interval)
+
+    # ------------------------------------------------------------------
+    # Fleet aggregation
+    # ------------------------------------------------------------------
+    def fleet_registry(self) -> MetricsRegistry:
+        """One merged registry over the gateway's own metrics and every
+        backend's last-polled snapshot (counters/gauges sum, histograms
+        merge bucket-wise), so fleet-wide p50/p95/p99 read like a
+        single-process run."""
+        self.tracer.export_to(self.registry)
+        return telemetry.merge_snapshots(
+            list(self._fleet_snapshots.values()) + [self.registry.snapshot()]
+        )
+
+    def fleet_snapshot(self) -> Dict[str, Any]:
+        """The fleet observability document ``repro top`` renders.
+
+        Carries the gateway's own snapshot, each backend's last-polled
+        snapshot keyed by backend name, the merged fleet registry, the
+        per-backend serving generations, the tracer's counters and the
+        recent slow-query log.
+        """
+        merged = self.fleet_registry()
+        return {
+            "schema": FLEET_SCHEMA,
+            "gateway": self.registry.snapshot(),
+            "backends": dict(self._fleet_snapshots),
+            "merged": merged.snapshot(),
+            "generations": dict(self._generations),
+            "trace": self.tracer.stats(),
+            "slow_queries": self.tracer.slow_queries(),
+        }
+
+    def fleet_prometheus(self) -> str:
+        """Prometheus exposition of the whole fleet: the gateway's own
+        series unlabelled, plus every backend's series labelled
+        ``backend="<name>"`` (names are escaped, so arbitrary endpoint
+        strings cannot break line validity)."""
+        self.tracer.export_to(self.registry)
+        parts = [self.registry.to_prometheus()]
+        for name in sorted(self._fleet_snapshots):
+            registry = MetricsRegistry.from_snapshot(self._fleet_snapshots[name])
+            parts.append(registry.to_prometheus(labels={"backend": name}))
+        return "".join(parts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -856,25 +1090,56 @@ class PoolServer(_WireServer):
                 pass
         return stats_depth + self._inflight
 
+    def _pop_trace_records(
+        self, trace: Sequence[Tuple[int, int]]
+    ) -> Tuple[Dict[str, Any], ...]:
+        """Pull the span records of a traced request out of this process's
+        tracer ring so they travel back on the wire reply (the caller's
+        gateway absorbs them — the trace lives where the request began)."""
+        if not trace:
+            return ()
+        return tuple(
+            tracing.get_tracer().pop_trace_records(
+                [trace_id for trace_id, _ in trace]
+            )
+        )
+
     async def _answer(self, request: wire.Request) -> wire.Reply:
         try:
             if isinstance(request, wire.QueryRequest):
                 if self._shedding():
                     return self._overloaded()
                 scores = await self._run(
-                    self.pool.query_many, [int(s) for s in request.seeds]
+                    partial(
+                        self.pool.query_many,
+                        [int(s) for s in request.seeds],
+                        trace=list(request.trace) or None,
+                    )
                 )
-                return wire.DenseReply(scores=scores)
+                return wire.DenseReply(
+                    scores=scores,
+                    trace_records=self._pop_trace_records(request.trace),
+                )
             if isinstance(request, wire.TopKRequest):
                 if self._shedding():
                     return self._overloaded()
                 results = await self._run(
-                    self.pool.query_topk_many,
-                    [int(s) for s in request.seeds],
-                    request.k,
-                    request.exclude_seed,
+                    partial(
+                        self.pool.query_topk_many,
+                        [int(s) for s in request.seeds],
+                        request.k,
+                        request.exclude_seed,
+                        trace=list(request.trace) or None,
+                    )
                 )
-                return wire.TopKReply(pairs=[to_pairs(r) for r in results])
+                return wire.TopKReply(
+                    pairs=[to_pairs(r) for r in results],
+                    trace_records=self._pop_trace_records(request.trace),
+                )
+            if isinstance(request, wire.MetricsRequest):
+                registry = await self._run(self.pool.metrics)
+                tracing.get_tracer().export_to(registry)
+                return wire.StatsReply(stats=registry.snapshot())
             if isinstance(request, wire.StatsRequest):
                 stats = await self._run(self.pool.pool_stats)
                 worker_stats = self.pool.worker_stats()
@@ -948,6 +1213,8 @@ class GatewayServer(_WireServer):
                 return wire.TopKReply(pairs=list(pairs))
             if isinstance(request, wire.StatsRequest):
                 return wire.StatsReply(stats=await self.gateway.stats())
+            if isinstance(request, wire.MetricsRequest):
+                return wire.StatsReply(stats=self.gateway.fleet_snapshot())
         except Overloaded as exc:
             return wire.OverloadedReply(
                 pending=exc.pending, limit=exc.limit, retry_after=exc.retry_after

@@ -26,7 +26,7 @@ from typing import Callable, List, Optional, Union
 import numpy as np
 import scipy.sparse as sp
 
-from repro import faults, telemetry
+from repro import faults, telemetry, tracing
 from repro.exceptions import ConvergenceError, InvalidParameterError
 
 MatVec = Callable[[np.ndarray], np.ndarray]
@@ -222,11 +222,12 @@ def _record_solves(results: List[GMRESResult]) -> None:
         if registry.sampling
         else None
     )
+    exemplar = tracing.current_trace_hex()
     unconverged = 0
     for result in results:
         solves.inc()
-        iterations.observe(result.n_iterations)
-        residuals.observe(result.final_residual)
+        iterations.observe(result.n_iterations, exemplar=exemplar)
+        residuals.observe(result.final_residual, exemplar=exemplar)
         if result.n_restarts:
             restarts.inc(result.n_restarts)
         if not result.converged:

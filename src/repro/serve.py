@@ -20,6 +20,7 @@ artifact directory, a store root, or a ``.npz`` archive);
 
 from __future__ import annotations
 
+import functools
 import multiprocessing as mp
 import os
 import queue
@@ -27,12 +28,13 @@ import signal
 import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import faults, telemetry
+from repro import faults, telemetry, tracing
 from repro.bench.memory import process_rss_bytes
 from repro.core.engine import (
     BearQueryEngine,
@@ -164,6 +166,27 @@ def _command_seed_count(command: tuple) -> int:
     return 0
 
 
+def _single_caller(method):
+    """Serialize a :class:`WorkerPool` worker round-trip under the pool's
+    caller lock.  Dispatch + supervised collection assume exclusive use of
+    the shared result queue; without the lock, two concurrent callers each
+    consume (and drop) the other's replies and both time out."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._caller_lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
+def _trace_task_payload(trace: Sequence[Tuple[int, int]]) -> tuple:
+    """The trailing trace element of a traced task tuple: the dispatch
+    wall-clock timestamp (for the worker's queue-wait span — perf counters
+    are not comparable across processes) plus the origin contexts."""
+    return (time.time(), tuple((int(t), int(s)) for t, s in trace))
+
+
 def engine_for_bundle(bundle: SolverArtifacts) -> QueryEngine:
     """The query engine class matching a bundle's ``kind``."""
     if bundle.kind == "bepi":
@@ -217,6 +240,50 @@ def open_query_engine(
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
+@contextmanager
+def _worker_trace(registry: MetricsRegistry, trace_payload):
+    """Trace scope for one worker query batch.
+
+    ``trace_payload`` is the optional trailing element of a traced task
+    tuple: ``(dispatch_wall_time, ((trace_id, span_id), ...))`` — one
+    context per traced origin request.  Yields ``None`` untraced, else a
+    capture list that ends up holding every span record the batch emits
+    (the ambient contexts make :meth:`MetricsRegistry.span` — and with it
+    the engine's Algorithm-4 phase spans — trace children automatically).
+
+    The pool queue wait is measured against the dispatch *wall-clock*
+    timestamp: ``perf_counter`` readings are not comparable across
+    processes, so this one span uses ``time.time()`` with the duration
+    clamped at zero against clock steps.
+    """
+    if not trace_payload:
+        yield None
+        return
+    dispatched_at, ctx_pairs = trace_payload
+    contexts = tuple(
+        tracing.TraceContext(int(t), int(s)) for t, s in ctx_pairs
+    )
+    with tracing.capture() as records:
+        now = time.time()
+        wait = max(0.0, now - float(dispatched_at))
+        registry.histogram(
+            "serve.queue_wait.seconds", help="pool task-queue wait per batch"
+        ).observe(wait, exemplar=tracing.format_id(contexts[0].trace_id))
+        for ctx in contexts:
+            records.append(
+                tracing.make_record(
+                    "serve.queue_wait",
+                    trace_id=ctx.trace_id,
+                    span_id=tracing.mint_id(),
+                    parent_id=ctx.span_id,
+                    start_time=float(dispatched_at),
+                    duration=wait,
+                )
+            )
+        with tracing.activate(contexts):
+            yield records
+
+
 def _worker_main(worker_id, path, mmap, task_queue, result_queue, fault_plan=None):
     """Worker loop: open the artifact directory, then answer until ``stop``.
 
@@ -274,31 +341,35 @@ def _worker_main(worker_id, path, mmap, task_queue, result_queue, fault_plan=Non
             command, request_id = message[0], message[1]
             if command == "stop":
                 return
+            trace_records: Optional[List[Dict[str, Any]]] = None
             try:
                 if command in ("query_many", "query_topk"):
                     if command == "query_many":
                         seeds = message[2]
                     else:
                         seeds, top_k, exclude_seed = message[2]
+                    trace_payload = message[3] if len(message) > 3 else None
                     registry.counter("serve.requests", help="query batches served").inc()
                     registry.histogram(
                         "serve.batch.size",
                         buckets=telemetry.BATCH_SIZE_BUCKETS,
                         help="seeds per served batch",
                     ).observe(len(seeds))
-                    with registry.span("serve.batch"):
-                        if command == "query_many":
-                            payload: Any = engine.query_many(seeds)
-                        else:
-                            # The payload shrink of the top-k path: k
-                            # packed (int64, float64) pairs per seed cross
-                            # the wire instead of an n-float dense row.
-                            payload = [
-                                to_pairs(result)
-                                for result in engine.query_topk_many(
-                                    seeds, top_k, exclude_seed=exclude_seed
-                                )
-                            ]
+                    with _worker_trace(registry, trace_payload) as trace_records:
+                        with registry.span("serve.batch"):
+                            if command == "query_many":
+                                payload: Any = engine.query_many(seeds)
+                            else:
+                                # The payload shrink of the top-k path: k
+                                # packed (int64, float64) pairs per seed
+                                # cross the wire instead of an n-float
+                                # dense row.
+                                payload = [
+                                    to_pairs(result)
+                                    for result in engine.query_topk_many(
+                                        seeds, top_k, exclude_seed=exclude_seed
+                                    )
+                                ]
                     # Injection window: the answer is computed but not yet
                     # sent — exactly where an OOM kill loses the most work.
                     delay = faults.delay_for(worker_id, batch_index)
@@ -331,7 +402,14 @@ def _worker_main(worker_id, path, mmap, task_queue, result_queue, fault_plan=Non
                     ("error", worker_id, request_id, f"{type(exc).__name__}: {exc}")
                 )
             else:
-                result_queue.put(("result", worker_id, request_id, payload))
+                if trace_records:
+                    # Traced query: ship the worker-side span records back
+                    # across the spawn boundary in the reply tuple.
+                    result_queue.put(
+                        ("result", worker_id, request_id, payload, trace_records)
+                    )
+                else:
+                    result_queue.put(("result", worker_id, request_id, payload))
 
 
 class WorkerPool:
@@ -445,6 +523,13 @@ class WorkerPool:
         # Guards _worker_queries: the counts are read by routing decisions
         # and pool_stats() while gateway executor threads submit work.
         self._queries_lock = threading.Lock()
+        # Serializes worker round-trips (dispatch + supervised collection):
+        # _collect assumes exclusive use of the shared result queue, so
+        # concurrent callers — two PoolServers over one pool, or a fleet
+        # metrics poll racing a query — must take turns or each would
+        # consume and drop the other's replies.  Reentrant because e.g.
+        # query_many -> _ensure_current_generation both take it.
+        self._caller_lock = threading.RLock()
         self._mmap = mmap
         self._ctx = mp.get_context(start_method)
         self._result_queue = self._ctx.Queue()
@@ -539,8 +624,12 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @_single_caller
     def query_many(
-        self, seeds: Sequence[int], worker: Optional[int] = None
+        self,
+        seeds: Sequence[int],
+        worker: Optional[int] = None,
+        trace: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> np.ndarray:
         """``(k, n)`` RWR scores for ``seeds``, answered by one worker.
 
@@ -551,14 +640,20 @@ class WorkerPool:
         the request (tests, determinism drills); a pinned worker whose
         slot has been taken out of rotation by the supervisor is rerouted
         to the least-loaded healthy one.
+
+        ``trace`` optionally carries ``(trace_id, span_id)`` contexts —
+        one per traced origin request — across the spawn boundary; the
+        worker's span records come back with the reply and land in this
+        process's :func:`repro.tracing.get_tracer` ring.
         """
         self._ensure_current_generation()
         worker = self._route_worker(worker)
-        request_id = self._submit(worker, seeds)
+        request_id = self._submit(worker, seeds, trace=trace)
         result = self._collect({request_id})[request_id]
         self._maybe_write_metrics()
         return result
 
+    @_single_caller
     def query_many_each(self, seeds: Sequence[int]) -> List[np.ndarray]:
         """Have every healthy worker answer the same batch; returns one
         ``(k, n)`` matrix per worker (the cross-process determinism check)."""
@@ -568,6 +663,7 @@ class WorkerPool:
         self._maybe_write_metrics()
         return [results[rid] for rid in sorted(requests, key=requests.get)]
 
+    @_single_caller
     def scatter(self, seeds: Sequence[int]) -> np.ndarray:
         """Split a batch across the healthy workers; rows come back in seed
         order (bit-identical even if a worker dies and its share is retried
@@ -610,17 +706,22 @@ class WorkerPool:
             [seed], k, exclude_seed=exclude_seed, worker=worker
         )[0]
 
+    @_single_caller
     def query_topk_many(
         self,
         seeds: Sequence[int],
         k: int,
         exclude_seed: bool = True,
         worker: Optional[int] = None,
+        trace: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> List[TopKResult]:
         """Top-``k`` answers for a batch of seeds from one worker.
 
         Cached seeds are answered locally; only the misses are shipped to
         a worker (least-loaded by default, or pinned via ``worker``).
+        ``trace`` carries trace contexts to the worker exactly as in
+        :meth:`query_many` (cache hits never reach a worker, so a fully
+        cached batch contributes no worker-side spans).
         """
         k = validate_k(k)
         seed_list = [int(s) for s in seeds]
@@ -636,7 +737,8 @@ class WorkerPool:
         if misses:
             target = self._route_worker(worker)
             request_id = self._submit_topk(
-                target, [seed_list[i] for i in misses], k, exclude_seed
+                target, [seed_list[i] for i in misses], k, exclude_seed,
+                trace=trace,
             )
             replies = self._collect({request_id})[request_id]
             self._absorb_topk_replies(
@@ -646,6 +748,7 @@ class WorkerPool:
         self._maybe_write_metrics()
         return [answers[index] for index in range(len(seed_list))]
 
+    @_single_caller
     def scatter_topk(
         self,
         seeds: Sequence[int],
@@ -689,6 +792,7 @@ class WorkerPool:
         """Occupancy and hit/miss/eviction counters of the top-k cache."""
         return self._topk_cache.stats()
 
+    @_single_caller
     def rss_bytes(self) -> List[int]:
         """Current resident set size of every healthy worker, in bytes."""
         requests = {self._dispatch(w, ("rss",)): w for w in self._require_healthy()}
@@ -702,6 +806,7 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
+    @_single_caller
     def worker_metrics(self) -> List[Dict[str, Any]]:
         """One metrics snapshot per healthy worker (see :mod:`repro.telemetry`)."""
         requests = {self._dispatch(w, ("metrics",)): w for w in self._require_healthy()}
@@ -968,6 +1073,7 @@ class WorkerPool:
         if old_lease is not None:
             old_lease.release()
 
+    @_single_caller
     def _ensure_current_generation(self) -> Optional[str]:
         """Follow the store's ``current`` pointer before any query.
 
@@ -1009,11 +1115,17 @@ class WorkerPool:
         return self._topk_cache.get(key) if key is not None else None
 
     def _submit_topk(
-        self, worker: int, seeds: List[int], k: int, exclude_seed: bool
+        self,
+        worker: int,
+        seeds: List[int],
+        k: int,
+        exclude_seed: bool,
+        trace: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> int:
-        request_id = self._dispatch(
-            worker, ("query_topk", (seeds, k, exclude_seed))
-        )
+        command: tuple = ("query_topk", (seeds, k, exclude_seed))
+        if trace:
+            command += (_trace_task_payload(trace),)
+        request_id = self._dispatch(worker, command)
         with self._queries_lock:
             self._worker_queries[worker] += len(seeds)
         return request_id
@@ -1072,13 +1184,21 @@ class WorkerPool:
         self._task_queues[worker].put((command[0], wire_id) + tuple(command[1:]))
         return wire_id
 
-    def _submit(self, worker: int, seeds: Sequence[int]) -> int:
+    def _submit(
+        self,
+        worker: int,
+        seeds: Sequence[int],
+        trace: Optional[Sequence[Tuple[int, int]]] = None,
+    ) -> int:
         if not 0 <= worker < self.n_workers:
             raise InvalidParameterError(
                 f"worker must be in [0, {self.n_workers}), got {worker}"
             )
         seed_list = list(seeds)
-        request_id = self._dispatch(worker, ("query_many", seed_list))
+        command: tuple = ("query_many", seed_list)
+        if trace:
+            command += (_trace_task_payload(trace),)
+        request_id = self._dispatch(worker, command)
         with self._queries_lock:
             self._worker_queries[worker] += len(seed_list)
         return request_id
@@ -1106,9 +1226,7 @@ class WorkerPool:
                     if origin in self._failed:
                         raise WorkerError(self._failed.pop(origin))
                 try:
-                    kind, worker_id, request_id, payload = self._result_queue.get(
-                        timeout=POLL_INTERVAL
-                    )
+                    message = self._result_queue.get(timeout=POLL_INTERVAL)
                 except queue.Empty:
                     if time.monotonic() >= deadline:
                         raise WorkerError(
@@ -1116,6 +1234,9 @@ class WorkerPool:
                             f"{len(expected - set(results))} outstanding request(s)"
                         )
                     continue
+                # Replies are 4-tuples; traced query replies carry the
+                # worker's span records as a 5th element.
+                kind, worker_id, request_id, payload = message[:4]
                 if kind == "ready":
                     # A respawned worker finished opening the artifacts.
                     self._stats[worker_id] = payload
@@ -1134,6 +1255,11 @@ class WorkerPool:
                 origin = record["origin"]
                 if kind == "error":
                     raise WorkerError(f"worker {worker_id}: {payload}")
+                if len(message) > 4 and message[4]:
+                    # Worker-side span records for a traced query: fold
+                    # them into this process's tracer so a PoolServer (or
+                    # an in-process caller) can assemble the full trace.
+                    tracing.get_tracer().absorb(message[4])
                 results[origin] = payload
         except BaseException:
             # Drain/cancel the rest of the batch: outstanding origins are

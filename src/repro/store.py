@@ -310,6 +310,16 @@ class ArtifactStore:
                 if not recover:
                     raise
                 self.quarantine(current.name)
+            except (FileNotFoundError, GraphFormatError):
+                # The generation vanished mid-load (arrays gone, or the
+                # manifest missing from a directory that no longer exists):
+                # a concurrent worker detected the corruption first,
+                # quarantined it, and rolled ``current`` back.  Re-resolve
+                # and retry — but a directory still present is genuinely
+                # malformed, not raced away.
+                if current.is_dir():
+                    raise
+                continue
         raise GraphFormatError(f"{self.root}: store has no published generation")
 
     # ------------------------------------------------------------------

@@ -45,6 +45,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, MutableMapping, Optional, Tuple
 
+from repro import tracing
 from repro.exceptions import InvalidParameterError
 
 #: Snapshot schema identifier embedded in every exported snapshot.
@@ -135,6 +136,16 @@ DYNAMIC_FULL_REBUILDS = "rwr.dynamic.full_rebuilds"
 DYNAMIC_ERROR_BOUND = "rwr.dynamic.error_bound"
 DYNAMIC_BACKGROUND_SWAPS = "rwr.dynamic.background.swaps"
 
+# Distributed tracing (repro.tracing): sampled traces minted at the
+# gateway, span records landing in the tracer's ring, ring evictions,
+# and slow-query log entries.  Exported by :meth:`repro.tracing.Tracer.
+# export_to` so fleet snapshots carry tracer health alongside latency.
+TRACE_TRACES = "rwr.trace.traces"
+TRACE_SPANS = "rwr.trace.spans"
+TRACE_DROPPED = "rwr.trace.dropped"
+TRACE_SLOW = "rwr.trace.slow_queries"
+TRACE_RING_SPANS = "rwr.trace.ring_spans"
+
 
 class Counter:
     """A monotonically increasing counter."""
@@ -224,6 +235,7 @@ class Histogram:
         self._counts = [0] * (len(uppers) + 1)  # last entry = +Inf overflow
         self._sum = 0.0
         self._count = 0
+        self._exemplars: Dict[int, str] = {}  # bucket index -> last trace id
         self._lock = threading.Lock()
 
     @property
@@ -238,17 +250,31 @@ class Histogram:
     def bucket_counts(self) -> List[int]:
         return list(self._counts)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        """Record one observation; ``exemplar`` optionally tags the bucket
+        it lands in with a trace id, so a p99 spike in the summary links
+        straight to a concrete trace in the tracer's ring."""
         value = float(value)
         index = bisect_left(self.buckets, value)
         with self._lock:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+            if exemplar is not None:
+                self._exemplars[index] = str(exemplar)
 
-    def observe_many(self, values: Iterable[float]) -> None:
+    def exemplars(self) -> Dict[str, str]:
+        """Bucket upper bound (formatted) -> most recent exemplar trace id."""
+        with self._lock:
+            items = dict(self._exemplars)
+        bounds = list(self.buckets) + [float("inf")]
+        return {_format_number(bounds[i]): trace for i, trace in sorted(items.items())}
+
+    def observe_many(
+        self, values: Iterable[float], exemplar: Optional[str] = None
+    ) -> None:
         for value in values:
-            self.observe(value)
+            self.observe(value, exemplar=exemplar)
 
     def mean(self) -> float:
         return self._sum / self._count if self._count else float("nan")
@@ -302,17 +328,61 @@ class Histogram:
                 self._counts[index] += bucket_count
             self._sum += other._sum
             self._count += other._count
+            self._exemplars.update(other._exemplars)
 
 
 class Span:
-    """One timed section of the query path; spans nest via a context stack."""
+    """One timed section of the query path; spans nest via a context stack.
 
-    __slots__ = ("name", "parent", "seconds")
+    Duration (``seconds``) is measured with :func:`time.perf_counter`
+    (monotonic — immune to wall-clock steps); ``start_time``/``end_time``
+    are separate wall-clock timestamps kept for trace display only.
 
-    def __init__(self, name: str, parent: Optional["Span"] = None):
+    When a trace is active (see :mod:`repro.tracing`) the span carries
+    trace identity: ``contexts`` holds one
+    :class:`~repro.tracing.TraceContext` per trace it belongs to (several
+    when the work was coalesced from multiple origin requests), and a
+    random 64-bit ``span_id`` is minted.  Nested spans inherit their
+    parent's contexts re-parented under the parent's ``span_id``, which
+    is how the Algorithm-4 phase spans become trace children for free.
+    Untraced spans skip all of it — ``contexts`` is empty and ``span_id``
+    ``None``.
+    """
+
+    __slots__ = ("name", "parent", "seconds", "contexts", "span_id",
+                 "start_time", "end_time")
+
+    def __init__(
+        self,
+        name: str,
+        parent: Optional["Span"] = None,
+        contexts: Optional[Tuple["tracing.TraceContext", ...]] = None,
+    ):
         self.name = name
         self.parent = parent
         self.seconds: Optional[float] = None
+        self.start_time: float = time.time()
+        self.end_time: Optional[float] = None
+        if contexts is None:
+            if parent is not None:
+                contexts = tuple(
+                    ctx._replace(span_id=parent.span_id)
+                    for ctx in parent.contexts
+                )
+            else:
+                contexts = tracing.current_contexts()
+        self.contexts = tuple(contexts)
+        self.span_id: Optional[int] = tracing.mint_id() if self.contexts else None
+
+    @property
+    def trace_id(self) -> Optional[int]:
+        """The primary trace this span belongs to (``None`` when untraced)."""
+        return self.contexts[0].trace_id if self.contexts else None
+
+    @property
+    def parent_id(self) -> Optional[int]:
+        """Parent span id within the primary trace (``None`` when untraced)."""
+        return self.contexts[0].span_id if self.contexts else None
 
     @property
     def path(self) -> str:
@@ -416,6 +486,10 @@ class MetricsRegistry:
         exception-safe: the duration is recorded and the stack unwound even
         when the body raises, with the failure counted in
         ``<name>.errors``.
+
+        When a trace is ambient (:func:`repro.tracing.activate`) the span
+        additionally emits one trace record per origin trace and tags the
+        histogram bucket with its trace id as an exemplar.
         """
         span = Span(name, parent=_ACTIVE_SPAN.get())
         token = _ACTIVE_SPAN.set(span)
@@ -426,12 +500,20 @@ class MetricsRegistry:
             self.counter(f"{name}.errors").inc()
             raise
         finally:
-            span.seconds = time.perf_counter() - start
+            span.seconds = max(0.0, time.perf_counter() - start)
+            span.end_time = time.time()
             _ACTIVE_SPAN.reset(token)
-            self.histogram(
+            histogram = self.histogram(
                 f"{name}.seconds",
                 buckets=DEFAULT_TIME_BUCKETS if buckets is None else buckets,
-            ).observe(span.seconds)
+            )
+            if span.contexts:
+                histogram.observe(
+                    span.seconds, exemplar=tracing.format_id(span.trace_id)
+                )
+                tracing.record_span(span)
+            else:
+                histogram.observe(span.seconds)
 
     # ------------------------------------------------------------------
     # Ambient-registry plumbing
@@ -459,13 +541,18 @@ class MetricsRegistry:
             elif metric.kind == "gauge":
                 gauges[name] = {"value": metric.value, "help": metric.help}
             else:
-                histograms[name] = {
+                entry = {
                     "buckets": list(metric.buckets),
                     "counts": metric.bucket_counts,
                     "sum": metric.sum,
                     "count": metric.count,
                     "help": metric.help,
                 }
+                with metric._lock:
+                    exemplars = {str(i): t for i, t in metric._exemplars.items()}
+                if exemplars:
+                    entry["exemplars"] = exemplars
+                histograms[name] = entry
         return {
             "schema": SNAPSHOT_SCHEMA,
             "sampling": self.sampling,
@@ -485,6 +572,9 @@ class MetricsRegistry:
             incoming._counts = [int(c) for c in entry["counts"]]
             incoming._sum = float(entry["sum"])
             incoming._count = int(entry["count"])
+            incoming._exemplars = {
+                int(i): str(t) for i, t in entry.get("exemplars", {}).items()
+            }
             self.histogram(name, buckets=entry["buckets"], help=entry.get("help", "")).merge(
                 incoming
             )
@@ -513,14 +603,28 @@ class MetricsRegistry:
             )
         return cls.from_snapshot(snapshot)
 
-    def to_prometheus(self) -> str:
+    def to_prometheus(self, labels: Optional[Mapping[str, str]] = None) -> str:
         """The registry in the Prometheus text exposition format (0.0.4).
 
         Metric names are sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` and
         prefixed ``repro_``; counters gain the conventional ``_total``
         suffix, histograms emit ``_bucket``/``_sum``/``_count`` series with
-        cumulative ``le`` labels.
+        cumulative ``le`` labels.  ``labels`` attaches constant labels to
+        every sample line (the gateway uses ``{"backend": name}`` for
+        per-shard fleet series); label names are sanitized and values
+        escaped, so arbitrary backend names cannot break line validity.
         """
+        constant = [
+            f'{_prometheus_label_name(key)}="{_escape_label_value(str(value))}"'
+            for key, value in (labels or {}).items()
+        ]
+
+        def _sample(prom_name: str, value: str, extra: Optional[str] = None) -> str:
+            parts = ([extra] if extra else []) + constant
+            if parts:
+                return f"{prom_name}{{{','.join(parts)}}} {value}"
+            return f"{prom_name} {value}"
+
         lines: List[str] = []
         for name in sorted(self._metrics):
             metric = self._metrics[name]
@@ -528,21 +632,23 @@ class MetricsRegistry:
             if metric.kind == "counter":
                 prom = f"{prom}_total"
                 _emit_header(lines, prom, metric.help, "counter")
-                lines.append(f"{prom} {_format_number(metric.value)}")
+                lines.append(_sample(prom, _format_number(metric.value)))
             elif metric.kind == "gauge":
                 _emit_header(lines, prom, metric.help, "gauge")
-                lines.append(f"{prom} {_format_number(metric.value)}")
+                lines.append(_sample(prom, _format_number(metric.value)))
             else:
                 _emit_header(lines, prom, metric.help, "histogram")
                 cumulative = 0
                 for upper, bucket_count in zip(metric.buckets, metric.bucket_counts):
                     cumulative += bucket_count
-                    lines.append(
-                        f'{prom}_bucket{{le="{_format_number(upper)}"}} {cumulative}'
-                    )
-                lines.append(f'{prom}_bucket{{le="+Inf"}} {metric.count}')
-                lines.append(f"{prom}_sum {_format_number(metric.sum)}")
-                lines.append(f"{prom}_count {metric.count}")
+                    lines.append(_sample(
+                        f"{prom}_bucket", str(cumulative),
+                        extra=f'le="{_format_number(upper)}"',
+                    ))
+                lines.append(_sample(f"{prom}_bucket", str(metric.count),
+                                     extra='le="+Inf"'))
+                lines.append(_sample(f"{prom}_sum", _format_number(metric.sum)))
+                lines.append(_sample(f"{prom}_count", str(metric.count)))
         return "\n".join(lines) + ("\n" if lines else "")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -551,7 +657,10 @@ class MetricsRegistry:
 
 def _emit_header(lines: List[str], prom_name: str, help: str, kind: str) -> None:
     if help:
-        escaped = help.replace("\\", "\\\\").replace("\n", "\\n")
+        # Normalize CR/CRLF to LF first, then escape per the exposition
+        # format (backslash before newline, or the escapes double-escape).
+        text = help.replace("\r\n", "\n").replace("\r", "\n")
+        escaped = text.replace("\\", "\\\\").replace("\n", "\\n")
         lines.append(f"# HELP {prom_name} {escaped}")
     lines.append(f"# TYPE {prom_name} {kind}")
 
@@ -561,6 +670,21 @@ def _prometheus_name(name: str) -> str:
     if not sanitized or not (sanitized[0].isalpha() or sanitized[0] in "_:"):
         sanitized = f"_{sanitized}"
     return f"repro_{sanitized}"
+
+
+def _prometheus_label_name(name: str) -> str:
+    """Label names allow ``[a-zA-Z_][a-zA-Z0-9_]*`` (no colons)."""
+    sanitized = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] == "_"):
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash, double
+    quote and newline (CR normalized to LF first)."""
+    value = value.replace("\r\n", "\n").replace("\r", "\n")
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
 def _format_number(value: float) -> str:

@@ -11,7 +11,7 @@ Frame layout
 Every message (request or reply) is one *frame*::
 
     u32  length      little-endian byte count of the payload that follows
-    u8   version     protocol version (currently 1)
+    u8   version     protocol version (currently 2; v1 frames still parse)
     u8   opcode      message type
     ...  body        opcode-specific, fixed little-endian layout
 
@@ -30,15 +30,38 @@ Requests
     Empty body; answered with a ``REPLY_STATS`` JSON document (queue
     depth, generation, supervision counters).  This is what the gateway's
     health monitor polls for backpressure and failover decisions.
+``OP_METRICS``
+    Empty body; answered with a ``REPLY_STATS`` frame whose JSON is a
+    full :meth:`repro.telemetry.MetricsRegistry.snapshot` — the fleet
+    aggregation feed (gateway merges per-backend snapshots; ``repro
+    top`` renders them).
+
+Trace context (protocol v2)
+---------------------------
+``OP_QUERY`` and ``OP_TOPK`` bodies may end with an optional trace
+trailer::
+
+    u32  n_ctx       trace contexts attached to this request
+    ...  n_ctx x (u64 trace_id, u64 span_id)
+
+One context per *origin* request riding in the frame (a gateway batch
+coalesced from several sampled requests carries several).  The trailer
+is optional in both directions — a v1 frame has no trailer, and a v2
+frame with ``n_ctx == 0`` is untraced.  Symmetrically, ``REPLY_DENSE``
+and ``REPLY_TOPK`` may end with ``u32 blob_len`` + UTF-8 JSON list of
+finished span records, carrying the server-side span tree back to the
+caller so the gateway can assemble one end-to-end trace.
 
 Replies
 -------
 ``REPLY_DENSE``
-    ``u32 rows``, ``u64 cols`` then ``rows * cols`` ``f8`` scores.
+    ``u32 rows``, ``u64 cols`` then ``rows * cols`` ``f8`` scores
+    (+ optional trace-record trailer, above).
 ``REPLY_TOPK``
     ``u32 n_seeds`` then per seed ``u32 n_pairs`` + ``n_pairs`` 16-byte
     pair records (``n_pairs`` can be below the requested ``k`` when the
-    candidate pool was smaller — the documented clamp semantics).
+    candidate pool was smaller — the documented clamp semantics)
+    (+ optional trace-record trailer, above).
 ``REPLY_STATS``
     UTF-8 JSON for the rest of the payload.
 ``REPLY_ERROR``
@@ -61,11 +84,15 @@ import json
 import socket
 import struct
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: Versions :func:`decode_message` accepts.  v1 frames carry no trace
+#: trailer; everything else is identical, so old clients keep working.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Upper bound on a single frame; a corrupt length prefix must not make a
 #: reader allocate gigabytes.  1 GiB fits a ~16k-seed dense reply at
@@ -75,6 +102,7 @@ MAX_FRAME_BYTES = 1 << 30
 OP_QUERY = 1
 OP_TOPK = 2
 OP_STATS = 3
+OP_METRICS = 4
 
 REPLY_DENSE = 16
 REPLY_TOPK = 17
@@ -87,6 +115,7 @@ _HEADER = struct.Struct("<BB")  # version, opcode
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
 _TOPK_HEAD = struct.Struct("<IIB")  # n_seeds, k, exclude_seed
+_TRACE_CTX = struct.Struct("<QQ")  # trace_id, span_id
 
 #: Explicit little-endian layouts for the array payloads.
 WIRE_SEED_DTYPE = np.dtype("<i8")
@@ -106,6 +135,8 @@ class QueryRequest:
     """Dense scores for a batch of seeds."""
 
     seeds: np.ndarray  # (n,) int64
+    #: ``(trace_id, span_id)`` pairs — one per traced origin request.
+    trace: Tuple[Tuple[int, int], ...] = ()
 
     opcode = OP_QUERY
 
@@ -117,6 +148,8 @@ class TopKRequest:
     seeds: np.ndarray  # (n,) int64
     k: int
     exclude_seed: bool = True
+    #: ``(trace_id, span_id)`` pairs — one per traced origin request.
+    trace: Tuple[Tuple[int, int], ...] = ()
 
     opcode = OP_TOPK
 
@@ -128,9 +161,18 @@ class StatsRequest:
     opcode = OP_STATS
 
 
+@dataclass(frozen=True)
+class MetricsRequest:
+    """Full telemetry registry snapshot (fleet aggregation feed)."""
+
+    opcode = OP_METRICS
+
+
 @dataclass(frozen=True, eq=False)
 class DenseReply:
     scores: np.ndarray  # (rows, cols) float64
+    #: Finished span records (JSON-able dicts) from the serving side.
+    trace_records: Tuple[Dict[str, Any], ...] = ()
 
     opcode = REPLY_DENSE
 
@@ -139,6 +181,8 @@ class DenseReply:
 class TopKReply:
     #: One PAIR_DTYPE array per requested seed, in request order.
     pairs: List[np.ndarray] = field(default_factory=list)
+    #: Finished span records (JSON-able dicts) from the serving side.
+    trace_records: Tuple[Dict[str, Any], ...] = ()
 
     opcode = REPLY_TOPK
 
@@ -168,7 +212,7 @@ class OverloadedReply:
     opcode = REPLY_OVERLOADED
 
 
-Request = Union[QueryRequest, TopKRequest, StatsRequest]
+Request = Union[QueryRequest, TopKRequest, StatsRequest, MetricsRequest]
 Reply = Union[DenseReply, TopKReply, StatsReply, ErrorReply, OverloadedReply]
 
 
@@ -179,20 +223,38 @@ def _seed_bytes(seeds: Sequence[int]) -> bytes:
     return np.ascontiguousarray(seeds, dtype=WIRE_SEED_DTYPE).tobytes()
 
 
+def _encode_trace(trace: Sequence[Tuple[int, int]]) -> bytes:
+    parts = [_U32.pack(len(trace))]
+    for trace_id, span_id in trace:
+        parts.append(_TRACE_CTX.pack(int(trace_id), int(span_id)))
+    return b"".join(parts)
+
+
+def _encode_trace_records(records: Sequence[Dict[str, Any]]) -> bytes:
+    blob = json.dumps(list(records)).encode("utf-8")
+    return _U32.pack(len(blob)) + blob
+
+
 def encode_message(message: Union[Request, Reply]) -> bytes:
     """Serialize a request or reply into a frame payload (no length prefix)."""
     head = _HEADER.pack(PROTOCOL_VERSION, message.opcode)
     if isinstance(message, QueryRequest):
         seeds = _seed_bytes(message.seeds)
-        return head + _U32.pack(len(seeds) // 8) + seeds
+        return (
+            head + _U32.pack(len(seeds) // 8) + seeds
+            + _encode_trace(message.trace)
+        )
     if isinstance(message, TopKRequest):
         seeds = _seed_bytes(message.seeds)
         return (
             head
             + _TOPK_HEAD.pack(len(seeds) // 8, int(message.k), int(message.exclude_seed))
             + seeds
+            + _encode_trace(message.trace)
         )
     if isinstance(message, StatsRequest):
+        return head
+    if isinstance(message, MetricsRequest):
         return head
     if isinstance(message, DenseReply):
         scores = np.ascontiguousarray(message.scores, dtype=WIRE_SCORE_DTYPE)
@@ -201,13 +263,17 @@ def encode_message(message: Union[Request, Reply]) -> bytes:
                 f"dense reply must be 2-D (rows, cols), got shape {scores.shape}"
             )
         rows, cols = scores.shape
-        return head + _U32.pack(rows) + _U64.pack(cols) + scores.tobytes()
+        return (
+            head + _U32.pack(rows) + _U64.pack(cols) + scores.tobytes()
+            + _encode_trace_records(message.trace_records)
+        )
     if isinstance(message, TopKReply):
         parts = [head, _U32.pack(len(message.pairs))]
         for packed in message.pairs:
             wire = np.ascontiguousarray(packed).astype(WIRE_PAIR_DTYPE, copy=False)
             parts.append(_U32.pack(len(wire)))
             parts.append(wire.tobytes())
+        parts.append(_encode_trace_records(message.trace_records))
         return b"".join(parts)
     if isinstance(message, StatsReply):
         return head + json.dumps(message.stats).encode("utf-8")
@@ -228,29 +294,40 @@ def decode_message(payload: bytes) -> Union[Request, Reply]:
     if len(payload) < _HEADER.size:
         raise ProtocolError(f"frame too short ({len(payload)} bytes)")
     version, opcode = _HEADER.unpack_from(payload)
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
-            f"unsupported protocol version {version} (expected {PROTOCOL_VERSION})"
+            f"unsupported protocol version {version} "
+            f"(supported: {SUPPORTED_VERSIONS})"
         )
     body = payload[_HEADER.size:]
     try:
         if opcode == OP_QUERY:
             (n,) = _U32.unpack_from(body)
             seeds = _read_array(body, _U32.size, n, WIRE_SEED_DTYPE)
-            return QueryRequest(seeds=seeds)
+            offset = _U32.size + n * WIRE_SEED_DTYPE.itemsize
+            trace = _decode_trace(body, offset) if version >= 2 else ()
+            return QueryRequest(seeds=seeds, trace=trace)
         if opcode == OP_TOPK:
             n, k, exclude = _TOPK_HEAD.unpack_from(body)
             seeds = _read_array(body, _TOPK_HEAD.size, n, WIRE_SEED_DTYPE)
-            return TopKRequest(seeds=seeds, k=int(k), exclude_seed=bool(exclude))
+            offset = _TOPK_HEAD.size + n * WIRE_SEED_DTYPE.itemsize
+            trace = _decode_trace(body, offset) if version >= 2 else ()
+            return TopKRequest(
+                seeds=seeds, k=int(k), exclude_seed=bool(exclude), trace=trace
+            )
         if opcode == OP_STATS:
             return StatsRequest()
+        if opcode == OP_METRICS:
+            return MetricsRequest()
         if opcode == REPLY_DENSE:
             (rows,) = _U32.unpack_from(body)
             (cols,) = _U64.unpack_from(body, _U32.size)
             flat = _read_array(
                 body, _U32.size + _U64.size, rows * cols, WIRE_SCORE_DTYPE
             )
-            return DenseReply(scores=flat.reshape(rows, cols))
+            offset = _U32.size + _U64.size + rows * cols * WIRE_SCORE_DTYPE.itemsize
+            records = _decode_trace_records(body, offset) if version >= 2 else ()
+            return DenseReply(scores=flat.reshape(rows, cols), trace_records=records)
         if opcode == REPLY_TOPK:
             (n,) = _U32.unpack_from(body)
             offset = _U32.size
@@ -261,7 +338,8 @@ def decode_message(payload: bytes) -> Union[Request, Reply]:
                 packed = _read_array(body, offset, n_pairs, WIRE_PAIR_DTYPE)
                 offset += n_pairs * WIRE_PAIR_DTYPE.itemsize
                 pairs.append(packed)
-            return TopKReply(pairs=pairs)
+            records = _decode_trace_records(body, offset) if version >= 2 else ()
+            return TopKReply(pairs=pairs, trace_records=records)
         if opcode == REPLY_STATS:
             return StatsReply(stats=json.loads(body.decode("utf-8")))
         if opcode == REPLY_ERROR:
@@ -278,6 +356,40 @@ def decode_message(payload: bytes) -> Union[Request, Reply]:
     except (struct.error, ValueError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"malformed frame body for opcode {opcode}: {exc}") from exc
     raise ProtocolError(f"unknown opcode {opcode}")
+
+
+def _decode_trace(body: bytes, offset: int) -> Tuple[Tuple[int, int], ...]:
+    """The optional trace trailer; absent (body ends) means untraced."""
+    if offset >= len(body):
+        return ()
+    (n_ctx,) = _U32.unpack_from(body, offset)
+    offset += _U32.size
+    end = offset + n_ctx * _TRACE_CTX.size
+    if end > len(body):
+        raise ProtocolError(
+            f"truncated trace trailer: need {end} body bytes, have {len(body)}"
+        )
+    return tuple(
+        _TRACE_CTX.unpack_from(body, offset + i * _TRACE_CTX.size)
+        for i in range(n_ctx)
+    )
+
+
+def _decode_trace_records(body: bytes, offset: int) -> Tuple[Dict[str, Any], ...]:
+    """The optional span-record trailer on replies; absent means none."""
+    if offset >= len(body):
+        return ()
+    (blob_len,) = _U32.unpack_from(body, offset)
+    offset += _U32.size
+    if offset + blob_len > len(body):
+        raise ProtocolError(
+            f"truncated trace-record trailer: need {offset + blob_len} body "
+            f"bytes, have {len(body)}"
+        )
+    records = json.loads(body[offset:offset + blob_len].decode("utf-8"))
+    if not isinstance(records, list):
+        raise ProtocolError("trace-record trailer must be a JSON list")
+    return tuple(records)
 
 
 def _read_array(body: bytes, offset: int, count: int, dtype: np.dtype) -> np.ndarray:

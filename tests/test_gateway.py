@@ -52,7 +52,7 @@ class FakeBackend:
         self.calls = []
         self.topk_calls = []
 
-    async def query_many(self, seeds):
+    async def query_many(self, seeds, trace=()):
         if self.fail:
             raise BackendError(f"backend {self.name}: injected failure")
         if self.delay:
@@ -64,7 +64,7 @@ class FakeBackend:
             [[float(s) + j / 10 for j in range(self.n_cols)] for s in seeds]
         )
 
-    async def query_topk_many(self, seeds, k, exclude_seed):
+    async def query_topk_many(self, seeds, k, exclude_seed, trace=()):
         if self.fail:
             raise BackendError(f"backend {self.name}: injected failure")
         self.topk_calls.append((list(seeds), k, exclude_seed))

@@ -101,6 +101,36 @@ class TestArtifactStore:
         assert store.generations() == [first.name]
         assert (store.root / "quarantine" / second.name).is_dir()
 
+    def test_open_current_recovers_when_generation_raced_away(
+        self, served_solver, tmp_path, monkeypatch
+    ):
+        """A concurrent worker can quarantine the newest generation between
+        this process resolving ``current`` and loading it; the open must
+        re-resolve to the survivor instead of surfacing the vanished
+        directory as a load error."""
+        import repro.store as store_module
+
+        store = ArtifactStore(tmp_path / "store")
+        first = store.publish(served_solver)
+        second = store.publish(served_solver)
+        real_load = store_module.load_artifacts
+        raced = []
+
+        def racing_load(directory, **kwargs):
+            if not raced and directory.name == second.name:
+                raced.append(directory)
+                # The "other worker" wins: quarantine + rollback happen
+                # after this process resolved ``current`` to gen-000002.
+                ArtifactStore(store.root).quarantine(second.name)
+            return real_load(directory, **kwargs)
+
+        monkeypatch.setattr(store_module, "load_artifacts", racing_load)
+        bundle = store.open_current()
+        assert raced, "the simulated race never fired"
+        assert bundle.kind == "bepi"
+        assert store.current_path() == first
+        assert second.name not in store.generations()
+
     def test_open_current_without_recovery_surfaces_corruption(
         self, served_solver, tmp_path
     ):

@@ -225,10 +225,12 @@ class TestSpans:
 
 
 # One metric line: name, optional {labels}, then a number (Prometheus text
-# exposition 0.0.4).
+# exposition 0.0.4).  Label values may contain escaped quotes, escaped
+# backslashes and \n sequences — but never raw ones.
+_PROM_LABEL = r"[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\[\"\\n])*\""
 _PROM_METRIC_LINE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
-    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\\\n]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\\\n]*\")*\})?"
+    r"(\{" + _PROM_LABEL + r"(," + _PROM_LABEL + r")*\})?"
     r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$"
 )
 _PROM_COMMENT_LINE = re.compile(
@@ -419,3 +421,146 @@ class TestSolverTelemetry:
         assert registry.get(telemetry.QUERIES_TOTAL).value == 3.0
         unconverged = registry.get(telemetry.QUERIES_UNCONVERGED)
         assert unconverged is not None and unconverged.value == 3.0
+
+
+class TestSpanClocks:
+    """Satellite fix: span durations come from the monotonic clock."""
+
+    def test_duration_never_negative_when_wall_clock_steps_back(
+        self, monkeypatch
+    ):
+        import time as time_module
+
+        registry = MetricsRegistry()
+        # Wall clock jumping backwards (NTP step) must not produce a
+        # negative duration: the duration comes from perf_counter and is
+        # clamped at zero.
+        wall = iter([1000.0, 900.0])
+        real_wall = time_module.time
+        monkeypatch.setattr(
+            telemetry.time, "time",
+            lambda: next(wall, None) or real_wall(),
+        )
+        with registry.span("clock.step") as span:
+            pass
+        assert span.seconds >= 0.0
+        assert registry.get("clock.step.seconds").sum >= 0.0
+
+    def test_clamps_perf_counter_anomaly_to_zero(self, monkeypatch):
+        import time as time_module
+
+        registry = MetricsRegistry()
+        ticks = [100.0, 99.5]  # a broken perf_counter running backwards
+        real = time_module.perf_counter
+        monkeypatch.setattr(
+            telemetry.time, "perf_counter",
+            lambda: ticks.pop(0) if ticks else real(),
+        )
+        with registry.span("clock.anomaly") as span:
+            pass
+        assert span.seconds == 0.0
+
+    def test_span_keeps_wall_clock_start_and_end(self):
+        import time as time_module
+
+        registry = MetricsRegistry()
+        before = time_module.time()
+        with registry.span("walled") as span:
+            assert span.start_time >= before
+            assert span.end_time is None
+        assert span.end_time is not None
+        assert span.end_time >= span.start_time
+        assert span.end_time <= time_module.time()
+
+    def test_untraced_span_mints_no_ids(self):
+        registry = MetricsRegistry()
+        with registry.span("plain") as span:
+            pass
+        assert span.span_id is None
+        assert span.contexts == ()
+        assert span.trace_id is None
+
+
+class TestHistogramExemplars:
+    def test_observe_records_last_exemplar_per_bucket(self):
+        h = Histogram("lat", buckets=(0.01, 0.1))
+        h.observe(0.005, exemplar="aaaa")
+        h.observe(0.004, exemplar="bbbb")
+        h.observe(0.05, exemplar="cccc")
+        h.observe(5.0, exemplar="dddd")
+        h.observe(0.06)  # no exemplar: keeps the previous one
+        assert h.exemplars() == {"0.01": "bbbb", "0.1": "cccc", "+Inf": "dddd"}
+
+    def test_exemplars_survive_snapshot_round_trip(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(0.01, 0.1)).observe(
+            0.005, exemplar="00ab"
+        )
+        snapshot = registry.snapshot()
+        entry = snapshot["histograms"]["lat"]
+        assert entry["exemplars"] == {"0": "00ab"}
+        restored = MetricsRegistry.from_snapshot(snapshot)
+        assert restored.get("lat").exemplars() == {"0.01": "00ab"}
+
+    def test_snapshot_omits_key_when_no_exemplars(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(0.01,)).observe(0.005)
+        assert "exemplars" not in registry.snapshot()["histograms"]["lat"]
+
+    def test_merge_keeps_latest_exemplar(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("lat", buckets=(0.01,)).observe(0.005, exemplar="old")
+        b.histogram("lat", buckets=(0.01,)).observe(0.004, exemplar="new")
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged.get("lat").exemplars() == {"0.01": "new"}
+
+    def test_exemplars_stay_out_of_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(0.01,)).observe(
+            0.005, exemplar="00ab"
+        )
+        text = registry.to_prometheus()
+        _assert_valid_prometheus(text)
+        assert "00ab" not in text
+
+
+class TestPrometheusLabels:
+    """Satellite hardening: per-backend fleet labels and escaping."""
+
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("rwr.queries", help="queries answered").inc(3)
+        registry.gauge("depth").set(2)
+        registry.histogram("lat", buckets=(0.01,)).observe(0.005)
+        return registry
+
+    def test_constant_labels_on_every_sample(self):
+        text = self._registry().to_prometheus(labels={"backend": "shard-1"})
+        _assert_valid_prometheus(text)
+        assert 'repro_rwr_queries_total{backend="shard-1"} 3' in text
+        assert 'repro_depth{backend="shard-1"} 2' in text
+        # Histogram bucket labels merge with the constant labels.
+        assert 'repro_lat_bucket{le="0.01",backend="shard-1"} 1' in text
+
+    def test_malicious_label_values_are_escaped(self):
+        evil = 'sh"ard\n\\one\r\ntwo'
+        text = self._registry().to_prometheus(labels={"backend": evil})
+        _assert_valid_prometheus(text)
+        assert '\\"' in text  # quotes escaped
+        assert "\\\\" in text  # backslashes escaped
+
+    def test_malicious_label_names_are_sanitized(self):
+        text = self._registry().to_prometheus(
+            labels={"back end:1!": "x", "0lead": "y"}
+        )
+        _assert_valid_prometheus(text)
+
+    def test_help_text_newlines_and_backslashes_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "tricky", help="line one\nline two\r\nwith \\ backslash"
+        ).inc()
+        text = registry.to_prometheus()
+        _assert_valid_prometheus(text)
+        assert "line one\\nline two\\nwith \\\\ backslash" in text

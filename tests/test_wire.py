@@ -201,3 +201,76 @@ class TestAsyncTransport:
             assert np.array_equal(reply.scores, np.ones((1, 3)))
 
         asyncio.run(scenario())
+
+
+class TestTraceTrailers:
+    """Protocol v2: optional trace contexts on requests, span records on
+    replies, and back-compat with trailer-less v1 frames."""
+
+    def test_query_request_trace_round_trip(self):
+        trace = ((2**62 + 5, 7), (11, 2**50))
+        decoded = _roundtrip(
+            wire.QueryRequest(seeds=np.array([1, 2], dtype=np.int64), trace=trace)
+        )
+        assert decoded.trace == trace
+
+    def test_topk_request_trace_round_trip(self):
+        trace = ((123456789, 987654321),)
+        decoded = _roundtrip(
+            wire.TopKRequest(seeds=np.array([4], dtype=np.int64), k=3, trace=trace)
+        )
+        assert decoded.trace == trace
+        assert decoded.k == 3
+
+    def test_untraced_request_decodes_with_empty_trace(self):
+        decoded = _roundtrip(wire.QueryRequest(seeds=np.array([1], dtype=np.int64)))
+        assert decoded.trace == ()
+
+    def test_dense_reply_trace_records_round_trip(self):
+        records = (
+            {"name": "serve.batch", "trace_id": "00ab", "duration": 0.5},
+            {"name": "serve.queue_wait", "trace_id": "00ab", "duration": 0.1},
+        )
+        decoded = _roundtrip(
+            wire.DenseReply(scores=np.ones((1, 2)), trace_records=records)
+        )
+        assert decoded.trace_records == records
+
+    def test_topk_reply_trace_records_round_trip(self):
+        from repro.core.topk import PAIR_DTYPE
+
+        pairs = [np.array([(3, 0.5)], dtype=PAIR_DTYPE)]
+        records = ({"name": "query.schur", "pid": 42},)
+        decoded = _roundtrip(wire.TopKReply(pairs=pairs, trace_records=records))
+        assert decoded.trace_records == records
+
+    def test_metrics_request_round_trip(self):
+        decoded = _roundtrip(wire.MetricsRequest())
+        assert isinstance(decoded, wire.MetricsRequest)
+
+    def test_v1_query_frame_still_parses(self):
+        seeds = np.array([5, 9], dtype=np.int64)
+        body = struct.pack("<I", 2) + seeds.astype("<i8").tobytes()
+        frame = bytes([1, wire.OP_QUERY]) + body
+        decoded = wire.decode_message(frame)
+        assert isinstance(decoded, wire.QueryRequest)
+        assert np.array_equal(decoded.seeds, seeds)
+        assert decoded.trace == ()
+
+    def test_v1_topk_frame_still_parses(self):
+        seeds = np.array([7], dtype=np.int64)
+        body = struct.pack("<IIB", 1, 4, 1) + seeds.astype("<i8").tobytes()
+        frame = bytes([1, wire.OP_TOPK]) + body
+        decoded = wire.decode_message(frame)
+        assert isinstance(decoded, wire.TopKRequest)
+        assert decoded.k == 4 and decoded.exclude_seed is True
+        assert decoded.trace == ()
+
+    def test_truncated_trace_trailer_rejected(self):
+        encoded = wire.encode_message(
+            wire.QueryRequest(
+                seeds=np.array([1], dtype=np.int64), trace=((10, 20),)
+            )
+        )
+        with pytest.raises(wire.ProtocolError, match="trace"):
+            wire.decode_message(encoded[:-4])
