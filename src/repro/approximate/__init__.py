@@ -8,7 +8,8 @@ trade accuracy for speed — and so the accuracy gap against the exact
 solvers is measurable.
 """
 
+from repro.approximate.degraded import ApproximateAnswerer
 from repro.approximate.monte_carlo import MonteCarloSolver
 from repro.approximate.nb_lin import NBLinSolver
 
-__all__ = ["MonteCarloSolver", "NBLinSolver"]
+__all__ = ["ApproximateAnswerer", "MonteCarloSolver", "NBLinSolver"]

@@ -1,0 +1,166 @@
+"""Monte-Carlo degraded answers for the gateway's degradation ladder.
+
+When every replica for a shard is open-circuit or a request's deadline is
+nearly spent, the gateway can still say *something* useful: an approximate
+RWR answer computed locally from the graph, flagged ``degraded=True`` on
+the wire together with an error bound the eventual exact answer satisfies.
+
+:class:`ApproximateAnswerer` wraps :class:`~repro.approximate.monte_carlo.
+MonteCarloSolver` for that job.  The artifacts load lazily (first degraded
+answer, not gateway startup) and memory-mapped, so a gateway that never
+degrades never pays for the graph.  The exported bound is a per-entry
+L-infinity bound from Hoeffding's inequality union-bounded over all nodes:
+
+    P(exists i: |r_hat_i - r_i| > eps) <= delta
+    eps = sqrt(ln(2 n_nodes / delta) / (2 n_walks)) + horizon_bias
+
+so with the default ``delta = 1e-6`` the true exact scores violate a
+degraded reply's stated bound less than once per million degraded replies
+— which is what lets the chaos drill assert the bound against the
+post-recovery exact answer deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.approximate.monte_carlo import MonteCarloSolver
+from repro.core.topk import TopKResult, topk_from_scores, validate_k
+from repro.persistence import PathLike
+
+#: Mass dropped by the walk-length horizon (see MonteCarloSolver: the
+#: default max_steps covers all but 1e-9 of the geometric(c) tail).
+_HORIZON_BIAS = 1e-9
+
+
+class ApproximateAnswerer:
+    """Serve degraded (approximate, bounded-error) RWR answers locally.
+
+    Parameters
+    ----------
+    path:
+        Artifact directory or store root — the same path the backends
+        serve, so degraded answers come from the same graph generation.
+    n_walks:
+        Monte-Carlo walks per seed.  The error bound shrinks as
+        ``O(1 / sqrt(n_walks))``; the default keeps a degraded answer in
+        the low tens of milliseconds on million-edge graphs.
+    delta:
+        Probability that the exact answer violates the stated bound.
+    seed:
+        RNG seed — degraded answers are deterministic given
+        ``(seed, query seed)``.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        n_walks: int = 20_000,
+        delta: float = 1e-6,
+        seed: int = 0,
+        mmap: bool = True,
+    ):
+        self.path = Path(path)
+        self.n_walks = int(n_walks)
+        self.delta = float(delta)
+        self.seed = int(seed)
+        self.mmap = mmap
+        self._lock = threading.Lock()
+        self._solver: Optional[MonteCarloSolver] = None
+        self._bound: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lazy load
+    # ------------------------------------------------------------------
+    def _ensure_solver(self) -> MonteCarloSolver:
+        with self._lock:
+            if self._solver is None:
+                # Local imports keep ``repro.approximate`` import-light;
+                # resolve_artifact_path follows a store root's CURRENT
+                # pointer exactly as the worker pool does.
+                from repro.persistence import load_artifacts
+                from repro.serve import resolve_artifact_path
+
+                bundle = load_artifacts(
+                    resolve_artifact_path(self.path), mmap=self.mmap
+                )
+                solver = MonteCarloSolver(
+                    n_walks=self.n_walks,
+                    seed=self.seed,
+                    c=float(bundle.config.get("c", 0.05)),
+                )
+                solver.preprocess(bundle.graph)
+                self._solver = solver
+                self._bound = self._hoeffding_bound(bundle.graph.n_nodes)
+            return self._solver
+
+    def _hoeffding_bound(self, n_nodes: int) -> float:
+        return (
+            math.sqrt(
+                math.log(2.0 * max(n_nodes, 1) / self.delta)
+                / (2.0 * self.n_walks)
+            )
+            + _HORIZON_BIAS
+        )
+
+    @property
+    def loaded(self) -> bool:
+        return self._solver is not None
+
+    @property
+    def error_bound(self) -> float:
+        """Per-entry L-infinity error bound of every answer (loads the
+        artifacts if needed — the bound depends on ``n_nodes``)."""
+        self._ensure_solver()
+        assert self._bound is not None
+        return self._bound
+
+    # ------------------------------------------------------------------
+    # Answers
+    # ------------------------------------------------------------------
+    def answer_many(self, seeds) -> Tuple[np.ndarray, float]:
+        """Approximate dense scores for a seed batch.
+
+        Returns ``(scores, bound)`` with ``scores`` of shape
+        ``(len(seeds), n_nodes)`` — the degraded stand-in for
+        :meth:`WorkerPool.query_many` — and ``bound`` such that every
+        entry of the exact answer lies within ``bound`` of its estimate
+        (with probability ``1 - delta`` per reply).
+        """
+        solver = self._ensure_solver()
+        seed_list = [int(s) for s in seeds]
+        n = solver.graph.n_nodes
+        scores = np.empty((len(seed_list), n), dtype=np.float64)
+        for row, node in enumerate(seed_list):
+            scores[row] = solver.query(node)
+        return scores, self.error_bound
+
+    def answer_topk(
+        self, seed: int, k: int, exclude_seed: bool = True
+    ) -> Tuple[TopKResult, float]:
+        """Approximate top-``k`` for one seed, with the same bound.
+
+        The *scores* carry the stated bound; the *ranking* is the exact
+        ranking of the approximate scores (ties toward smaller ids, same
+        deterministic order as the exact path).
+        """
+        solver = self._ensure_solver()
+        k = validate_k(k)
+        scores = solver.query(int(seed))
+        result = topk_from_scores(scores, int(seed), k, exclude_seed=exclude_seed)
+        return result, self.error_bound
+
+    def answer_topk_many(
+        self, seeds, k: int, exclude_seed: bool = True
+    ) -> Tuple[List[TopKResult], float]:
+        """Approximate top-``k`` for a seed batch (one result per seed)."""
+        results = [
+            self.answer_topk(seed, k, exclude_seed=exclude_seed)[0]
+            for seed in seeds
+        ]
+        return results, self.error_bound

@@ -494,6 +494,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
+    from repro import faults
     from repro.gateway import (
         Gateway,
         GatewayServer,
@@ -511,6 +512,23 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     host, port = parse_endpoint(args.listen)
     for endpoint in args.backend:
         parse_endpoint(endpoint)  # fail fast on typos, before spawning a pool
+    degrade_path = None
+    if args.degrade is not None:
+        degrade_path = args.degrade or args.artifacts
+        if not degrade_path:
+            print("error: --degrade needs a path (or --artifacts to borrow)",
+                  file=sys.stderr)
+            return 2
+    hedge_after: "object" = None
+    if args.hedge_after is not None:
+        try:
+            hedge_after = float(args.hedge_after)
+        except ValueError:
+            hedge_after = args.hedge_after  # "p95"-style percentile
+    if args.fault_plan:
+        # Network chaos: the plan's ConnectionDrop/SlowLink/FrameCorrupt
+        # specs act on this process's backend connections.
+        faults.install(faults.load_plan(args.fault_plan))
     tracer = _configure_tracing(args)
 
     async def _flush_metrics_forever(gateway) -> None:
@@ -537,10 +555,23 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             if args.artifacts:
                 pool = WorkerPool(args.artifacts, n_workers=args.workers)
                 backends.append(LocalBackend(pool))
+            answerer = None
+            if degrade_path:
+                from repro.approximate import ApproximateAnswerer
+
+                answerer = ApproximateAnswerer(
+                    degrade_path, n_walks=args.degrade_walks
+                )
             overrides = {
                 "coalesce_window": args.coalesce_window,
                 "max_pending": args.max_pending,
                 "shed_queue_depth": args.shed_depth,
+                "breaker_threshold": args.breaker_threshold,
+                "breaker_reset": args.breaker_reset,
+                "failover_cooldown": args.failover_cooldown,
+                "health_interval": args.health_interval,
+                "hedge_after": hedge_after,
+                "degraded_answerer": answerer,
             }
             gateway = Gateway(
                 backends,
@@ -548,7 +579,10 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
                 **{k: v for k, v in overrides.items() if v is not None},
             )
             async with gateway:
-                server = GatewayServer(gateway, host, port)
+                server = GatewayServer(
+                    gateway, host, port,
+                    default_deadline_ms=args.deadline_ms,
+                )
                 async with server:
                     bound_host, bound_port = server.address
                     # CI and the gateway bench wait for this exact line.
@@ -826,20 +860,52 @@ def render_fleet(snapshot: dict, previous=None) -> str:
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
-    """``repro top TARGET`` — live terminal view of a serving fleet."""
+    """``repro top TARGET`` — live terminal view of a serving fleet.
+
+    A gateway mid-restart (or briefly unreachable) must not kill the
+    dashboard with a traceback: transport failures render a
+    ``reconnecting…`` banner and the fetch retries with capped backoff.
+    ``--once`` keeps the old fail-fast contract for scripts.
+    """
     import time
+
+    from repro import wire
+    from repro.exceptions import InvalidParameterError
+
+    try:
+        # A malformed TARGET is a usage error, not an outage — fail fast
+        # before entering the reconnect loop.
+        if not os.path.exists(args.target):
+            from repro.gateway import parse_endpoint
+
+            parse_endpoint(args.target)
+    except InvalidParameterError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     frames = 1 if args.once else args.frames
     previous = None
     rendered = 0
+    attempts = 0
     while True:
         started = time.perf_counter()
         try:
             snapshot = _fetch_fleet(args.target)
-        except (OSError, ValueError) as error:
-            print(f"error: cannot fetch fleet snapshot from {args.target}: "
-                  f"{error}", file=sys.stderr)
-            return 2
+        except (OSError, ValueError, wire.ProtocolError) as error:
+            if args.once:
+                print(f"error: cannot fetch fleet snapshot from "
+                      f"{args.target}: {error}", file=sys.stderr)
+                return 2
+            attempts += 1
+            delay = min(
+                max(args.interval, 0.1) * min(2 ** (attempts - 1), 8), 10.0
+            )
+            print(f"reconnecting to {args.target} "
+                  f"(attempt {attempts}, retry in {delay:.1f}s): {error}",
+                  file=sys.stderr)
+            time.sleep(delay)
+            continue
+        attempts = 0
         page = render_fleet(snapshot, previous)
         if rendered and not args.no_clear:
             # ANSI home + clear-below keeps the page steady between frames.
@@ -1023,6 +1089,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_gw.add_argument("--shed-depth", type=int, default=None, metavar="N",
                       help="also shed when every live backend reports a "
                            "queue deeper than N (default: disabled)")
+    p_gw.add_argument("--breaker-threshold", type=int, default=None,
+                      metavar="N",
+                      help="consecutive transport failures before a "
+                           "backend's circuit breaker opens (default: 3)")
+    p_gw.add_argument("--breaker-reset", type=float, default=None,
+                      metavar="SECONDS",
+                      help="seconds before an open breaker allows its "
+                           "half-open probe (default: 2.0)")
+    p_gw.add_argument("--failover-cooldown", type=float, default=None,
+                      metavar="SECONDS",
+                      help="seconds a failed backend is deprioritized in "
+                           "failover chains (default: 2.0)")
+    p_gw.add_argument("--health-interval", type=float, default=None,
+                      metavar="SECONDS",
+                      help="seconds between background backend health "
+                           "polls; 0 disables the monitor so the only "
+                           "wire traffic is request-driven "
+                           "(default: 1.0)")
+    p_gw.add_argument("--deadline-ms", type=float, default=None,
+                      metavar="MS",
+                      help="default per-request budget applied to requests "
+                           "that do not carry a deadline trailer "
+                           "(default: unbounded)")
+    p_gw.add_argument("--hedge-after", default=None, metavar="SPEC",
+                      help="hedge a slow backend call to the next replica "
+                           "after SPEC: seconds (e.g. 0.05) or a latency "
+                           "percentile like p95 (default: disabled)")
+    p_gw.add_argument("--degrade", nargs="?", const="", default=None,
+                      metavar="PATH",
+                      help="serve degraded Monte-Carlo answers from these "
+                           "artifacts when replicas are down or the "
+                           "deadline is nearly spent (no PATH: reuse "
+                           "--artifacts)")
+    p_gw.add_argument("--degrade-walks", type=int, default=20_000,
+                      metavar="N",
+                      help="Monte-Carlo walks per degraded answer "
+                           "(default: 20000)")
+    p_gw.add_argument("--fault-plan", metavar="PATH", default=None,
+                      help="inject network faults from a JSON fault plan "
+                           "into the gateway's wire transports (chaos "
+                           "drills)")
     _add_tracing_options(p_gw)
     p_gw.add_argument("--metrics-out", metavar="PATH", default=None,
                       help="keep the gateway telemetry snapshot (JSON) "

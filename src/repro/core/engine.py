@@ -202,16 +202,29 @@ class QueryEngine(abc.ABC):
 
     @abc.abstractmethod
     def query_block(
-        self, rhs: np.ndarray
+        self, rhs: np.ndarray, deadline: Optional[float] = None
     ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
-        """Solve for every column of an ``(n, k)`` block of starting vectors."""
+        """Solve for every column of an ``(n, k)`` block of starting vectors.
 
-    def query_many(self, seeds, batch_size: Optional[int] = None) -> np.ndarray:
+        ``deadline`` is an optional ``time.monotonic()`` budget: engines
+        with an iterative inner solve stop at its expiry and return their
+        best-effort iterate (``extras["converged"]`` reports what was
+        actually reached); direct engines may ignore it.
+        """
+
+    def query_many(
+        self,
+        seeds,
+        batch_size: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> np.ndarray:
         """RWR scores for a batch of seed ids; returns a ``(k, n)`` matrix.
 
         The serving entry point: validates seeds, builds the one-hot
         right-hand-side block(s), and runs :meth:`query_block`.  Row ``i``
         holds the scores of ``seeds[i]`` in original node order.
+        ``deadline`` (a ``time.monotonic()`` instant) bounds the inner
+        solves — see :meth:`query_block`.
 
         Although engines keep no state of their own, this path *does*
         report into the ambient telemetry registry
@@ -235,7 +248,10 @@ class QueryEngine(abc.ABC):
             rhs = np.zeros((n, size), dtype=np.float64)
             rhs[chunk, np.arange(size)] = 1.0
             chunk_start = time.perf_counter()
-            block_scores, _, extras = self.query_block(rhs)
+            if deadline is None:
+                block_scores, _, extras = self.query_block(rhs)
+            else:
+                block_scores, _, extras = self.query_block(rhs, deadline=deadline)
             chunk_seconds = time.perf_counter() - chunk_start
             scores[lo : lo + size] = block_scores.T
             _record_engine_chunk(registry, size, chunk_seconds, extras.get("converged"))
@@ -259,6 +275,7 @@ class QueryEngine(abc.ABC):
         k: int,
         exclude_seed: bool = True,
         candidates: Optional[np.ndarray] = None,
+        deadline: Optional[float] = None,
     ) -> TopKResult:
         """Exact top-``k`` ``(id, score)`` pairs for one seed.
 
@@ -269,7 +286,8 @@ class QueryEngine(abc.ABC):
         the candidate pool returns the whole ordered pool.
         """
         return self.query_topk_many(
-            [seed], k, exclude_seed=exclude_seed, candidates=candidates
+            [seed], k, exclude_seed=exclude_seed, candidates=candidates,
+            deadline=deadline,
         )[0]
 
     def query_topk_many(
@@ -279,6 +297,7 @@ class QueryEngine(abc.ABC):
         exclude_seed: bool = True,
         candidates: Optional[np.ndarray] = None,
         batch_size: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> List[TopKResult]:
         """Exact top-``k`` answers for a batch of seeds (one multi-RHS solve).
 
@@ -289,7 +308,7 @@ class QueryEngine(abc.ABC):
         """
         k = validate_k(k)
         seed_arr = validate_seeds(seeds, self.n_nodes)
-        scores = self.query_many(seed_arr, batch_size=batch_size)
+        scores = self.query_many(seed_arr, batch_size=batch_size, deadline=deadline)
         return [
             topk_from_scores(scores[i], int(seed), k, exclude_seed, candidates)
             for i, seed in enumerate(seed_arr)
@@ -327,12 +346,13 @@ class BlockEliminationEngine(QueryEngine):
 
     @abc.abstractmethod
     def _solve_schur_block(
-        self, rhs: np.ndarray
+        self, rhs: np.ndarray, deadline: Optional[float] = None
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Solve ``S R2 = RHS`` for an ``(n2, k)`` block.
 
         Returns ``(r2, iterations, converged, residuals)`` with per-column
-        ``(k,)`` metadata arrays.
+        ``(k,)`` metadata arrays.  ``deadline`` is the optional
+        ``time.monotonic()`` budget of :meth:`QueryEngine.query_block`.
         """
 
     # -- Algorithm 4 / Lemma 1 skeleton ---------------------------------
@@ -382,7 +402,7 @@ class BlockEliminationEngine(QueryEngine):
         return scores, iterations, self._vector_extras(converged, residual)
 
     def query_block(
-        self, rhs: np.ndarray
+        self, rhs: np.ndarray, deadline: Optional[float] = None
     ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
         pre = self.artifacts.preprocess
         c = self.artifacts.config["c"]
@@ -406,7 +426,9 @@ class BlockEliminationEngine(QueryEngine):
         # Line 4: solve S R2 = Q2~ for the whole block.
         with telemetry.span("query.schur"):
             if n2 > 0:
-                r2, iterations, converged, residuals = self._solve_schur_block(q2_tilde)
+                r2, iterations, converged, residuals = self._solve_schur_block(
+                    q2_tilde, deadline=deadline
+                )
             else:
                 r2 = np.zeros((0, k), dtype=np.float64)
                 iterations = np.zeros(k, dtype=np.int64)
@@ -473,9 +495,9 @@ class BePIQueryEngine(BlockEliminationEngine):
         )
 
     def _solve_schur_block(
-        self, rhs: np.ndarray
+        self, rhs: np.ndarray, deadline: Optional[float] = None
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        r2, iterations, converged, residuals = self._solve_primary(rhs)
+        r2, iterations, converged, residuals = self._solve_primary(rhs, deadline)
         if bool(np.all(converged)) or not self.artifacts.config.get(
             "fallback_chain", True
         ):
@@ -488,10 +510,14 @@ class BePIQueryEngine(BlockEliminationEngine):
         for rung in self._fallback_rungs():
             if pending.size == 0:
                 break
+            if deadline is not None and time.monotonic() >= deadline:
+                # Deadline spent: the best-effort iterate (with its
+                # residual reported) beats a late exact answer.
+                break
             with telemetry.span(f"query.fallback.{rung}"):
                 try:
                     fx, fit, fconv, fres = self._solve_rung(
-                        rung, np.ascontiguousarray(rhs[:, pending])
+                        rung, np.ascontiguousarray(rhs[:, pending]), deadline
                     )
                 except SingularMatrixError:
                     # e.g. a zero on the Schur diagonal: this rung cannot
@@ -513,7 +539,7 @@ class BePIQueryEngine(BlockEliminationEngine):
 
     # -- primary configured solve ---------------------------------------
     def _solve_primary(
-        self, rhs: np.ndarray
+        self, rhs: np.ndarray, deadline: Optional[float] = None
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         config = self.artifacts.config
         if config["iterative_method"] == "gmres":
@@ -524,6 +550,7 @@ class BePIQueryEngine(BlockEliminationEngine):
                 max_iterations=config["max_iterations"],
                 restart=config["gmres_restart"],
                 preconditioner=self.artifacts.preconditioner,
+                deadline=deadline,
             )
             return batch.x, batch.n_iterations, batch.converged, batch.final_residuals
         return self._bicgstab_block(rhs, self.artifacts.preconditioner)
@@ -575,7 +602,7 @@ class BePIQueryEngine(BlockEliminationEngine):
         return tuple(rungs)
 
     def _solve_rung(
-        self, rung: str, rhs: np.ndarray
+        self, rung: str, rhs: np.ndarray, deadline: Optional[float] = None
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         config = self.artifacts.config
         if rung == "gmres_jacobi":
@@ -586,6 +613,7 @@ class BePIQueryEngine(BlockEliminationEngine):
                 max_iterations=config["max_iterations"],
                 restart=config["gmres_restart"],
                 preconditioner=self._jacobi(),
+                deadline=deadline,
             )
             return batch.x, batch.n_iterations, batch.converged, batch.final_residuals
         if rung == "bicgstab":
@@ -685,8 +713,9 @@ class BearQueryEngine(BlockEliminationEngine):
         return self.artifacts.schur_inv @ rhs, 0, True, 0.0
 
     def _solve_schur_block(
-        self, rhs: np.ndarray
+        self, rhs: np.ndarray, deadline: Optional[float] = None
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        # Direct solve: one matmul, nothing to interrupt mid-flight.
         k = rhs.shape[1]
         return (
             self.artifacts.schur_inv @ rhs,
@@ -728,8 +757,9 @@ class LUQueryEngine(QueryEngine):
             return self._permutation.unapply_to_vector(r), 0, {}
 
     def query_block(
-        self, rhs: np.ndarray
+        self, rhs: np.ndarray, deadline: Optional[float] = None
     ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        # Direct triangular solves; the deadline budget does not apply.
         k = rhs.shape[1]
         with telemetry.span("query.lu_solve"):
             qp = self._permutation.apply_to_vector(rhs)

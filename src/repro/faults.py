@@ -18,7 +18,13 @@ explicit, serializable **plan** instead:
 - :class:`ArtifactByteFlip` — one byte of an artifact array file is XOR'd,
   which the manifest-v4 checksums must catch on load;
 - :class:`GMRESStagnation` — the next N GMRES solves return unconverged
-  without iterating, driving the engine's solver fallback chain.
+  without iterating, driving the engine's solver fallback chain;
+- :class:`ConnectionDrop` / :class:`SlowLink` / :class:`FrameCorrupt` —
+  network faults on a named wire endpoint (a gateway backend, usually):
+  the transport raises ``ConnectionResetError`` mid-conversation, sleeps
+  before each frame, or flips a byte so the peer sees a
+  ``ProtocolError``.  These drive the gateway's circuit breakers,
+  hedging and degradation ladder in the chaos suite.
 
 A :class:`FaultPlan` groups the specs and round-trips through plain dicts
 and JSON, so it can cross the ``spawn`` boundary into worker processes and
@@ -41,9 +47,13 @@ from repro.exceptions import InvalidParameterError
 
 __all__ = [
     "ArtifactByteFlip",
+    "ConnectionDrop",
     "FaultPlan",
+    "FrameCorrupt",
     "GMRESStagnation",
     "QueueDelay",
+    "SlowLink",
+    "WireActions",
     "WorkerCrash",
     "WorkerHang",
     "active",
@@ -57,6 +67,7 @@ __all__ = [
     "install",
     "load_plan",
     "pending_gmres_stagnations",
+    "wire_actions",
 ]
 
 
@@ -121,12 +132,59 @@ class GMRESStagnation:
     solves: int = 1
 
 
+@dataclass(frozen=True)
+class ConnectionDrop:
+    """Drop ``count`` frames on endpoint ``endpoint`` as reset connections.
+
+    Frame events (sends and receives both count) on the endpoint are
+    numbered from 0; once ``after_frames`` events have completed, the next
+    ``count`` events raise ``ConnectionResetError`` instead of touching
+    the socket.  ``endpoint="*"`` matches every labelled endpoint.  The
+    budget is finite, so the link *recovers* — exactly what a breaker's
+    half-open probe needs to observe.
+    """
+
+    endpoint: str = "*"
+    after_frames: int = 0
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class SlowLink:
+    """Sleep ``seconds`` before every frame on endpoint ``endpoint``.
+
+    Models a congested or lossy link: the frame still goes through,
+    late.  Hedged sends should beat it; deadline budgets should absorb
+    at most ``seconds`` of it per hop.
+    """
+
+    endpoint: str = "*"
+    seconds: float = 0.01
+
+
+@dataclass(frozen=True)
+class FrameCorrupt:
+    """Corrupt ``count`` frames on ``endpoint`` starting at ``at_frame``.
+
+    The transport flips the frame's version byte before sending, so the
+    peer fails with a ``ProtocolError`` — a deterministic stand-in for
+    on-the-wire corruption that must never silently flip a score bit.
+    """
+
+    endpoint: str = "*"
+    at_frame: int = 0
+    count: int = 1
+
+
 _SPEC_TYPES = {
     "worker_crashes": WorkerCrash,
     "worker_hangs": WorkerHang,
     "queue_delays": QueueDelay,
     "byte_flips": ArtifactByteFlip,
     "gmres_stagnations": GMRESStagnation,
+    "connection_drops": ConnectionDrop,
+    "slow_links": SlowLink,
+    "frame_corrupts": FrameCorrupt,
 }
 
 
@@ -144,6 +202,9 @@ class FaultPlan:
     queue_delays: Tuple[QueueDelay, ...] = ()
     byte_flips: Tuple[ArtifactByteFlip, ...] = ()
     gmres_stagnations: Tuple[GMRESStagnation, ...] = ()
+    connection_drops: Tuple[ConnectionDrop, ...] = ()
+    slow_links: Tuple[SlowLink, ...] = ()
+    frame_corrupts: Tuple[FrameCorrupt, ...] = ()
 
     def __post_init__(self):
         for name in _SPEC_TYPES:
@@ -198,6 +259,9 @@ class FaultPlan:
             queue_delays=tuple(s for s in self.queue_delays if s.worker != worker),
             byte_flips=self.byte_flips,
             gmres_stagnations=self.gmres_stagnations,
+            connection_drops=self.connection_drops,
+            slow_links=self.slow_links,
+            frame_corrupts=self.frame_corrupts,
         )
 
     @property
@@ -214,12 +278,21 @@ def load_plan(path) -> FaultPlan:
 # Process-local injector
 # ----------------------------------------------------------------------
 class _Injector:
-    """Mutable fault state derived from a plan (stagnation budget counts down)."""
+    """Mutable fault state derived from a plan (budgets count down)."""
 
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self._stagnation_budget = sum(s.solves for s in plan.gmres_stagnations)
         self._lock = threading.Lock()
+        # Network faults: per-endpoint frame-event counters plus one
+        # remaining-budget cell per drop/corrupt spec (SlowLink has no
+        # budget; it applies to every matching frame).
+        self._wire_counts: Dict[str, int] = {}
+        self._drop_budgets = [max(int(s.count), 0) for s in plan.connection_drops]
+        self._corrupt_budgets = [max(int(s.count), 0) for s in plan.frame_corrupts]
+        self._has_wire_faults = bool(
+            plan.connection_drops or plan.slow_links or plan.frame_corrupts
+        )
 
     def consume_stagnations(self, requested: int) -> int:
         with self._lock:
@@ -229,6 +302,42 @@ class _Injector:
 
     def pending_stagnations(self) -> int:
         return self._stagnation_budget
+
+    def wire_event(self, endpoint: str) -> Optional["WireActions"]:
+        if not self._has_wire_faults:
+            return None
+        with self._lock:
+            index = self._wire_counts.get(endpoint, 0)
+            self._wire_counts[endpoint] = index + 1
+            delay = sum(
+                s.seconds
+                for s in self.plan.slow_links
+                if s.endpoint in ("*", endpoint)
+            )
+            drop = False
+            for i, spec in enumerate(self.plan.connection_drops):
+                if (
+                    spec.endpoint in ("*", endpoint)
+                    and index >= spec.after_frames
+                    and self._drop_budgets[i] > 0
+                ):
+                    self._drop_budgets[i] -= 1
+                    drop = True
+                    break
+            corrupt = False
+            if not drop:
+                for i, spec in enumerate(self.plan.frame_corrupts):
+                    if (
+                        spec.endpoint in ("*", endpoint)
+                        and index >= spec.at_frame
+                        and self._corrupt_budgets[i] > 0
+                    ):
+                        self._corrupt_budgets[i] -= 1
+                        corrupt = True
+                        break
+        if not delay and not drop and not corrupt:
+            return None
+        return WireActions(delay=delay, drop=drop, corrupt=corrupt)
 
 
 _ACTIVE: Optional[_Injector] = None
@@ -307,6 +416,28 @@ def pending_gmres_stagnations() -> int:
     if _ACTIVE is None:
         return 0
     return _ACTIVE.pending_stagnations()
+
+
+@dataclass(frozen=True)
+class WireActions:
+    """What the wire transport must do for one frame event on an endpoint."""
+
+    delay: float = 0.0
+    drop: bool = False
+    corrupt: bool = False
+
+
+def wire_actions(endpoint: str) -> Optional[WireActions]:
+    """Network-fault actions for the next frame event on ``endpoint``.
+
+    Counts one frame event against the endpoint (sends and receives
+    both count) and returns what the transport should inject, or
+    ``None`` when nothing applies.  Without an active plan this is a
+    single attribute read.
+    """
+    if _ACTIVE is None:
+        return None
+    return _ACTIVE.wire_event(str(endpoint))
 
 
 # ----------------------------------------------------------------------

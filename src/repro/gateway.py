@@ -37,18 +37,21 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import random
 import time
 from bisect import bisect_right
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from functools import partial
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro import telemetry, tracing, wire
 from repro.core.topk import to_pairs, validate_k
 from repro.exceptions import InvalidParameterError
-from repro.serve import WorkerPool, WorkerError
+from repro.serve import DeadlineExpired, WorkerPool, WorkerError
 from repro.telemetry import MetricsRegistry
 
 #: Seconds a flush timer waits for more requests to coalesce.
@@ -69,8 +72,33 @@ DEFAULT_REQUEST_TIMEOUT = 60.0
 #: Virtual points per backend on the consistent-hash ring.
 DEFAULT_RING_POINTS = 64
 
+#: Consecutive transport failures before a backend's breaker opens.
+DEFAULT_BREAKER_THRESHOLD = 3
+
+#: Seconds an open breaker waits before allowing a half-open probe.
+DEFAULT_BREAKER_RESET = 2.0
+
+#: Retry-budget tokens accrued per admitted request (≈ max retry ratio).
+DEFAULT_RETRY_RATIO = 0.1
+
+#: Retry-budget bucket capacity (burst of retries tolerated from idle).
+DEFAULT_RETRY_BURST = 10.0
+
 #: Schema identifier of :meth:`Gateway.fleet_snapshot` documents.
 FLEET_SCHEMA = "repro-fleet/v1"
+
+
+def compute_retry_after(pending: int, limit: int, base: float) -> float:
+    """Retry hint for an :class:`Overloaded` shed: backlog-scaled + jittered.
+
+    The hint grows with how far over the limit the backlog is (a gateway
+    at 4x its limit needs longer than one just past it), and carries
+    ±25% uniform jitter so the clients that were all shed in the same
+    instant do not come back in the same instant — the synchronized-retry
+    thundering herd simply re-creates the overload.
+    """
+    depth_factor = max(float(pending) / float(max(limit, 1)), 1.0)
+    return float(base) * depth_factor * random.uniform(0.75, 1.25)
 
 
 class Overloaded(RuntimeError):
@@ -175,6 +203,153 @@ class HashRing:
 
 
 # ----------------------------------------------------------------------
+# Failure containment primitives
+# ----------------------------------------------------------------------
+class CircuitBreaker:
+    """Per-backend circuit breaker: closed → open → half-open → closed.
+
+    *Closed* (healthy): calls flow; ``failure_threshold`` **consecutive**
+    transport failures trip it open.  *Open*: every call is rejected
+    without touching the backend, so a dead host costs a dict lookup
+    instead of a connect timeout per request.  After ``reset_timeout``
+    seconds the breaker turns *half-open*: exactly one probe call is let
+    through — success closes the breaker, failure re-opens it for another
+    ``reset_timeout``.  Application errors (bad seed, overload) never
+    count: the transport worked, so they *reset* the failure streak.
+
+    State is re-derived from the clock on read (no timers to leak); the
+    caller reports outcomes via :meth:`record_success` /
+    :meth:`record_failure` after every allowed call.
+    """
+
+    CLOSED, HALF_OPEN, OPEN = 0, 1, 2
+    _STATE_NAMES = {0: "closed", 1: "half-open", 2: "open"}
+
+    def __init__(
+        self,
+        failure_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        reset_timeout: float = DEFAULT_BREAKER_RESET,
+    ):
+        if failure_threshold < 1:
+            raise InvalidParameterError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout <= 0:
+            raise InvalidParameterError(
+                f"reset_timeout must be > 0, got {reset_timeout}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> int:
+        if self._opened_at is None:
+            return self.CLOSED
+        if time.monotonic() - self._opened_at >= self.reset_timeout:
+            return self.HALF_OPEN
+        return self.OPEN
+
+    @property
+    def state_name(self) -> str:
+        return self._STATE_NAMES[self.state]
+
+    def allow(self) -> bool:
+        """May a call go to this backend right now?
+
+        In the half-open state only the first caller gets a True (the
+        probe); concurrent callers are rejected until the probe reports.
+        """
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.OPEN:
+            return False
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        probing = self._probing
+        self._probing = False
+        self._failures += 1
+        if (
+            self._opened_at is not None and probing
+        ) or self._failures >= self.failure_threshold:
+            # Trip (or re-trip after a failed half-open probe): the reset
+            # clock restarts now.
+            self._opened_at = time.monotonic()
+
+
+class RetryBudget:
+    """Token bucket bounding failover retries to a fraction of traffic.
+
+    Every admitted request accrues ``ratio`` tokens (capped at ``burst``);
+    every retry — a failover to the next replica, or a hedged duplicate —
+    spends one whole token.  Under a failover storm (say a backend dies
+    with hundreds of requests in flight) the bucket drains after ``burst``
+    retries and the rest fail fast instead of doubling the load on the
+    survivors, which is exactly how retry amplification turns one dead
+    replica into a fleet-wide outage.
+    """
+
+    def __init__(
+        self,
+        ratio: float = DEFAULT_RETRY_RATIO,
+        burst: float = DEFAULT_RETRY_BURST,
+    ):
+        if ratio < 0:
+            raise InvalidParameterError(f"ratio must be >= 0, got {ratio}")
+        if burst < 0:
+            # burst == 0 is a legitimate ops knob: no retries, ever.
+            raise InvalidParameterError(f"burst must be >= 0, got {burst}")
+        self.ratio = float(ratio)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+    def accrue(self) -> None:
+        self._tokens = min(self._tokens + self.ratio, self.burst)
+
+    def try_spend(self) -> bool:
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class GatewayResult:
+    """One answered gateway request: the value plus its degradation tag.
+
+    ``value`` is the dense score row (``mode="dense"``) or the packed
+    top-k pair records.  ``degraded`` marks a best-effort answer served
+    from the stale answer cache or the Monte-Carlo fallback instead of an
+    exact backend solve; ``error_bound`` is its per-entry L∞ bound
+    (``0.0`` for exact answers and stale-cache answers, which are exact
+    for a possibly older generation).
+    """
+
+    value: Any
+    degraded: bool = False
+    error_bound: float = 0.0
+    #: Which degradation rung served the answer: ``"cache"``, ``"approx"``,
+    #: or ``""`` for an exact backend solve.
+    source: str = ""
+
+
+# ----------------------------------------------------------------------
 # Backends
 # ----------------------------------------------------------------------
 class LocalBackend:
@@ -199,6 +374,9 @@ class LocalBackend:
         self._inflight += 1
         try:
             return await loop.run_in_executor(self._executor, partial(fn, *args))
+        except DeadlineExpired:
+            # Keep the type: the gateway degrades on this, not fails.
+            raise
         except (WorkerError, InvalidParameterError) as exc:
             raise QueryError(f"{type(exc).__name__}: {exc}") from exc
         finally:
@@ -208,9 +386,13 @@ class LocalBackend:
         self,
         seeds: Sequence[int],
         trace: Sequence[Tuple[int, int]] = (),
+        deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         return await self._run(
-            partial(self.pool.query_many, list(seeds), trace=list(trace) or None)
+            partial(
+                self.pool.query_many, list(seeds), trace=list(trace) or None,
+                deadline_ms=deadline_ms,
+            )
         )
 
     async def query_topk_many(
@@ -219,11 +401,12 @@ class LocalBackend:
         k: int,
         exclude_seed: bool,
         trace: Sequence[Tuple[int, int]] = (),
+        deadline_ms: Optional[float] = None,
     ) -> List[np.ndarray]:
         results = await self._run(
             partial(
                 self.pool.query_topk_many, list(seeds), k, exclude_seed,
-                trace=list(trace) or None,
+                trace=list(trace) or None, deadline_ms=deadline_ms,
             )
         )
         return [to_pairs(result) for result in results]
@@ -296,9 +479,20 @@ class RemoteBackend:
                         asyncio.open_connection(self.host, self.port),
                         self.connect_timeout,
                     )
-                await wire.write_message(self._writer, message)
+                # endpoint= routes this connection's frames through the
+                # fault injector (chaos drills); timeout= bounds every
+                # *partial* read, so a peer that accepts but never sends a
+                # complete frame cannot hold the call past the budget.
+                await wire.write_message(
+                    self._writer, message, endpoint=self.name
+                )
                 reply = await asyncio.wait_for(
-                    wire.read_message(self._reader), self.request_timeout
+                    wire.read_message(
+                        self._reader,
+                        timeout=self.request_timeout,
+                        endpoint=self.name,
+                    ),
+                    self.request_timeout,
                 )
             except (OSError, TimeoutError, wire.ProtocolError) as exc:
                 await self._drop_connection()
@@ -315,6 +509,10 @@ class RemoteBackend:
                 await self._drop_connection()
                 raise BackendError(f"backend {self.name}: connection closed")
         if isinstance(reply, wire.ErrorReply):
+            if reply.message.startswith("DeadlineExpired"):
+                # The server-side pool dropped the task as expired;
+                # re-typed so the gateway degrades instead of failing.
+                raise DeadlineExpired(reply.message)
             raise QueryError(reply.message)
         if isinstance(reply, wire.OverloadedReply):
             raise Overloaded(
@@ -328,11 +526,13 @@ class RemoteBackend:
         self,
         seeds: Sequence[int],
         trace: Sequence[Tuple[int, int]] = (),
+        deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         reply = await self._call(
             wire.QueryRequest(
                 seeds=np.asarray(list(seeds), dtype=np.int64),
                 trace=tuple(trace),
+                deadline_ms=deadline_ms,
             )
         )
         if not isinstance(reply, wire.DenseReply):
@@ -348,6 +548,7 @@ class RemoteBackend:
         k: int,
         exclude_seed: bool,
         trace: Sequence[Tuple[int, int]] = (),
+        deadline_ms: Optional[float] = None,
     ) -> List[np.ndarray]:
         reply = await self._call(
             wire.TopKRequest(
@@ -355,6 +556,7 @@ class RemoteBackend:
                 k=int(k),
                 exclude_seed=bool(exclude_seed),
                 trace=tuple(trace),
+                deadline_ms=deadline_ms,
             )
         )
         if not isinstance(reply, wire.TopKReply):
@@ -443,6 +645,30 @@ class Gateway:
         context rides to the backends (and across their spawn
         boundaries), so the tracer's ring ends up holding complete
         end-to-end traces.
+    breaker_threshold / breaker_reset:
+        Per-backend :class:`CircuitBreaker` tuning: consecutive transport
+        failures before the breaker opens, and seconds before an open
+        breaker allows its half-open probe.
+    retry_budget_ratio / retry_budget_burst:
+        :class:`RetryBudget` tuning — the fraction of admitted traffic
+        that may turn into retries (failovers + hedges) and the burst
+        tolerated from idle.
+    hedge_after:
+        Hedged-send trigger: ``None`` disables hedging, a float is a
+        fixed delay in seconds, a ``"p95"``-style string tracks that
+        percentile of recent backend-call latencies.  When the primary
+        replica has not answered within the delay, the same batch is
+        sent to the next closed-breaker replica and the first success
+        wins (replicas answer bit-identically, so duplicates are safe).
+    degraded_answerer:
+        Optional :class:`repro.approximate.ApproximateAnswerer` (or
+        compatible).  With it configured, a request whose deadline is
+        nearly spent — or whose every replica is open-circuit — gets a
+        Monte-Carlo approximate answer with an error bound instead of an
+        error, whenever the stale answer cache has no hit.
+    answer_cache_size:
+        Entries kept in the degraded-answer cache (the last exact answer
+        per ``(mode, seed)``, generation-tagged).  ``0`` disables it.
     """
 
     def __init__(
@@ -457,6 +683,13 @@ class Gateway:
         registry: Optional[MetricsRegistry] = None,
         ring_points: int = DEFAULT_RING_POINTS,
         tracer: Optional[tracing.Tracer] = None,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_reset: float = DEFAULT_BREAKER_RESET,
+        retry_budget_ratio: float = DEFAULT_RETRY_RATIO,
+        retry_budget_burst: float = DEFAULT_RETRY_BURST,
+        hedge_after: Optional[Union[float, str]] = None,
+        degraded_answerer: Optional[Any] = None,
+        answer_cache_size: int = 4096,
     ):
         backends = list(backends)
         if not backends:
@@ -483,10 +716,49 @@ class Gateway:
         self.health_interval = float(health_interval)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else tracing.get_tracer()
-        # mode key -> [(seed, future, trace_entry), ...] waiting for the
-        # flush timer; trace_entry is None for unsampled requests.
-        self._pending: Dict[Tuple, List[Tuple[int, asyncio.Future, Any]]] = {}
+        self.breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(breaker_threshold, breaker_reset)
+            for name in self.backends
+        }
+        self.retry_budget = RetryBudget(retry_budget_ratio, retry_budget_burst)
+        self.degraded_answerer = degraded_answerer
+        # hedge_after: fixed seconds, or a latency percentile of recent
+        # backend calls ("p95") — resolved per dispatch in _hedge_delay.
+        self._hedge_fixed: Optional[float] = None
+        self._hedge_percentile: Optional[float] = None
+        if hedge_after is not None:
+            if isinstance(hedge_after, str):
+                text = hedge_after.strip().lower()
+                try:
+                    if not text.startswith("p"):
+                        raise ValueError(text)
+                    percentile = float(text[1:])
+                    if not 0 < percentile < 100:
+                        raise ValueError(text)
+                except ValueError:
+                    raise InvalidParameterError(
+                        "hedge_after must be seconds or 'pNN' "
+                        f"(0 < NN < 100), got {hedge_after!r}"
+                    )
+                self._hedge_percentile = percentile
+            else:
+                if hedge_after <= 0:
+                    raise InvalidParameterError(
+                        f"hedge_after must be > 0, got {hedge_after}"
+                    )
+                self._hedge_fixed = float(hedge_after)
+        # Last exact answer per (mode, seed) + the generation it came
+        # from: the first rung of the degradation ladder.
+        self._answer_cache: "OrderedDict[Tuple, Tuple[Any, Any]]" = OrderedDict()
+        self._answer_cache_size = int(answer_cache_size)
+        # Recent backend-call latencies feeding percentile hedging.
+        self._attempt_latencies: deque = deque(maxlen=512)
+        # mode key -> [(seed, future, trace_entry, deadline), ...] waiting
+        # for the flush timer; trace_entry is None for unsampled requests,
+        # deadline is an absolute monotonic instant or None.
+        self._pending: Dict[Tuple, List[Tuple[int, asyncio.Future, Any, Any]]] = {}
         self._flush_handles: Dict[Tuple, asyncio.TimerHandle] = {}
+        self._flush_due: Dict[Tuple, float] = {}
         self._pending_total = 0
         self._unhealthy_until: Dict[str, float] = {}
         self._depths: Dict[str, float] = {}
@@ -522,6 +794,47 @@ class Gateway:
             buckets=telemetry.BATCH_SIZE_BUCKETS,
             help="seeds per coalesced backend solve",
         )
+        self._deadline_exceeded = self.registry.counter(
+            telemetry.DEADLINE_EXCEEDED,
+            help="requests whose deadline expired at the gateway",
+        )
+        self._breaker_opened = self.registry.counter(
+            telemetry.BREAKER_OPENED, help="circuit breakers tripped open"
+        )
+        self._breaker_closed = self.registry.counter(
+            telemetry.BREAKER_CLOSED,
+            help="circuit breakers closed by a successful probe",
+        )
+        self._breaker_rejected = self.registry.counter(
+            telemetry.BREAKER_REJECTED,
+            help="dispatch attempts skipped by an open breaker",
+        )
+        self._breaker_probes = self.registry.counter(
+            telemetry.BREAKER_PROBES, help="half-open probe calls allowed"
+        )
+        self._hedge_sent = self.registry.counter(
+            telemetry.HEDGE_SENT, help="hedged duplicate sends"
+        )
+        self._hedge_wins = self.registry.counter(
+            telemetry.HEDGE_WINS, help="requests answered by the hedge first"
+        )
+        self._retry_exhausted = self.registry.counter(
+            telemetry.RETRY_BUDGET_EXHAUSTED,
+            help="retries refused by the drained token bucket",
+        )
+        self._degraded = self.registry.counter(
+            telemetry.DEGRADED_REPLIES, help="degraded replies served"
+        )
+        self._degraded_cache = self.registry.counter(
+            telemetry.DEGRADED_FROM_CACHE,
+            help="degraded replies served from the stale answer cache",
+        )
+        self._degraded_approx = self.registry.counter(
+            telemetry.DEGRADED_FROM_APPROX,
+            help="degraded replies served by the Monte-Carlo fallback",
+        )
+        for name in self.backends:
+            self._breaker_gauge(name).set(float(CircuitBreaker.CLOSED))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -549,8 +862,9 @@ class Gateway:
         for handle in self._flush_handles.values():
             handle.cancel()
         self._flush_handles.clear()
+        self._flush_due.clear()
         for batch in self._pending.values():
-            for _, future, _ in batch:
+            for _, future, _, _ in batch:
                 self._pending_total -= 1
                 if not future.done():
                     future.set_exception(BackendError("gateway closed"))
@@ -567,7 +881,9 @@ class Gateway:
     # ------------------------------------------------------------------
     # Public query API
     # ------------------------------------------------------------------
-    async def query(self, seed: int) -> np.ndarray:
+    async def query(
+        self, seed: int, deadline_ms: Optional[float] = None
+    ) -> np.ndarray:
         """The dense ``(n,)`` RWR score row for one seed.
 
         Bit-identical to a direct ``WorkerPool.query_many`` call carrying
@@ -576,16 +892,46 @@ class Gateway:
         identically — the artifacts are immutable).  Different batch
         compositions agree to solver tolerance, not bit-for-bit: the
         engine solves a batch's linear systems together.
+
+        ``deadline_ms`` is the request's total budget; with it set the
+        answer may be *degraded* — use :meth:`query_detailed` to see the
+        flag and its error bound.
         """
-        return await self._submit(("dense",), int(seed))
+        return (await self.query_detailed(seed, deadline_ms=deadline_ms)).value
+
+    async def query_detailed(
+        self, seed: int, deadline_ms: Optional[float] = None
+    ) -> GatewayResult:
+        """:meth:`query` plus the degradation tag (flag + error bound)."""
+        return await self._submit(("dense",), int(seed), deadline_ms)
 
     async def query_topk(
-        self, seed: int, k: int, exclude_seed: bool = True
+        self,
+        seed: int,
+        k: int,
+        exclude_seed: bool = True,
+        deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         """The packed top-k ``(id, score)`` pair records for one seed
         (:data:`repro.core.topk.PAIR_DTYPE`; may be shorter than ``k``)."""
+        return (
+            await self.query_topk_detailed(
+                seed, k, exclude_seed=exclude_seed, deadline_ms=deadline_ms
+            )
+        ).value
+
+    async def query_topk_detailed(
+        self,
+        seed: int,
+        k: int,
+        exclude_seed: bool = True,
+        deadline_ms: Optional[float] = None,
+    ) -> GatewayResult:
+        """:meth:`query_topk` plus the degradation tag."""
         k = validate_k(k)
-        return await self._submit(("topk", k, bool(exclude_seed)), int(seed))
+        return await self._submit(
+            ("topk", k, bool(exclude_seed)), int(seed), deadline_ms
+        )
 
     async def stats(self) -> Dict[str, Any]:
         """Gateway-side serving state (admission, per-backend health)."""
@@ -600,6 +946,13 @@ class Gateway:
             "sheds": self._sheds.value,
             "failovers": self._failovers.value,
             "backend_errors": self._backend_errors.value,
+            "deadline_exceeded": self._deadline_exceeded.value,
+            "degraded": self._degraded.value,
+            "hedges": {
+                "sent": self._hedge_sent.value,
+                "wins": self._hedge_wins.value,
+            },
+            "retry_budget_tokens": self.retry_budget.tokens,
             "coalesce": {
                 "batches": batches,
                 "mean_batch": self._batch_sizes.sum / batches if batches else 0.0,
@@ -609,6 +962,7 @@ class Gateway:
                     "healthy": now >= self._unhealthy_until.get(name, 0.0),
                     "queue_depth": self._depths.get(name),
                     "generation": self._generations.get(name),
+                    "breaker": self.breakers[name].state_name,
                 }
                 for name in self.backends
             },
@@ -619,12 +973,19 @@ class Gateway:
     # ------------------------------------------------------------------
     def _admit(self) -> None:
         self._requests.inc()
+        # Every admission attempt feeds the retry token bucket, so the
+        # allowed retry volume tracks offered load.
+        self.retry_budget.accrue()
         if self._pending_total >= self.max_pending:
             self._sheds.inc()
             raise Overloaded(
                 pending=self._pending_total,
                 limit=self.max_pending,
-                retry_after=max(self.coalesce_window * 4, 0.01),
+                retry_after=compute_retry_after(
+                    self._pending_total,
+                    self.max_pending,
+                    max(self.coalesce_window * 4, 0.01),
+                ),
             )
         if self.shed_queue_depth is not None:
             depths = [
@@ -639,14 +1000,35 @@ class Gateway:
                 raise Overloaded(
                     pending=self._pending_total,
                     limit=self.max_pending,
-                    retry_after=max(self.health_interval, 0.05),
+                    retry_after=compute_retry_after(
+                        int(min(depths)),
+                        int(self.shed_queue_depth),
+                        max(self.health_interval, 0.05),
+                    ),
                 )
 
-    async def _submit(self, mode: Tuple, seed: int) -> Any:
+    async def _submit(
+        self, mode: Tuple, seed: int, deadline_ms: Optional[float] = None
+    ) -> GatewayResult:
         if self._closed:
             raise BackendError("gateway closed")
         self._admit()
         loop = asyncio.get_running_loop()
+        deadline: Optional[float] = None
+        if deadline_ms is not None:
+            if deadline_ms <= 0.0:
+                # Spent on arrival (hop latency ate the budget): the only
+                # useful reply is an instant degraded one.
+                self._deadline_exceeded.inc()
+                answer = await self._degraded_answer(mode, seed)
+                if answer is not None:
+                    self._count_degraded(answer)
+                    return answer
+                raise DeadlineExpired(
+                    f"deadline budget spent at admission "
+                    f"({deadline_ms:.1f} ms remaining)"
+                )
+            deadline = time.monotonic() + deadline_ms / 1000.0
         future: asyncio.Future = loop.create_future()
         # Sampling decision at admission: a sampled request mints a trace
         # id plus the root span id every later span parents under.
@@ -658,11 +1040,24 @@ class Gateway:
                 "root": tracing.mint_id(),
                 "enqueued": time.time(),
             }
-        self._pending.setdefault(mode, []).append((seed, future, trace_entry))
+        self._pending.setdefault(mode, []).append(
+            (seed, future, trace_entry, deadline)
+        )
         self._pending_total += 1
-        if mode not in self._flush_handles:
-            self._flush_handles[mode] = loop.call_later(
-                self.coalesce_window, self._flush, mode
+        self._schedule_flush(loop, mode, deadline)
+        watchdog: Optional[asyncio.TimerHandle] = None
+        if deadline is not None:
+            # Fire one coalesce window *before* the deadline: enough room
+            # to serve a degraded answer so the client never waits more
+            # than ~one window past its budget.  A budget tighter than
+            # the window uses a quarter of itself as the margin instead —
+            # the early flush (at half the budget) still gets a chance to
+            # answer exactly before the watchdog degrades.
+            remaining = deadline - time.monotonic()
+            margin = min(self.coalesce_window, remaining / 4.0)
+            fire_in = max(0.0, remaining - margin)
+            watchdog = loop.call_later(
+                fire_in, self._deadline_watchdog, mode, seed, future, deadline
             )
         start = time.perf_counter()
         error: Optional[BaseException] = None
@@ -672,6 +1067,8 @@ class Gateway:
             error = exc
             raise
         finally:
+            if watchdog is not None:
+                watchdog.cancel()
             elapsed = max(0.0, time.perf_counter() - start)
             if trace_entry is None:
                 self._latency.observe(elapsed)
@@ -697,15 +1094,43 @@ class Gateway:
                     )
                 )
 
+    def _schedule_flush(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        mode: Tuple,
+        deadline: Optional[float],
+    ) -> None:
+        """(Re)arm ``mode``'s flush timer.
+
+        Default delay is one coalesce window from the first request of
+        the batch.  A deadline shorter than the window would expire in
+        the coalescer, so a deadline-carrying request pulls the flush
+        forward to half its remaining budget — the batch loses some
+        coalescing in exchange for the request making its deadline.
+        """
+        delay = self.coalesce_window
+        if deadline is not None:
+            delay = min(delay, max(0.0, (deadline - time.monotonic()) / 2.0))
+        due = time.monotonic() + delay
+        handle = self._flush_handles.get(mode)
+        if handle is None:
+            self._flush_handles[mode] = loop.call_later(delay, self._flush, mode)
+            self._flush_due[mode] = due
+        elif due < self._flush_due.get(mode, float("inf")):
+            handle.cancel()
+            self._flush_handles[mode] = loop.call_later(delay, self._flush, mode)
+            self._flush_due[mode] = due
+
     def _flush(self, mode: Tuple) -> None:
         """Flush timer fired: group the window's requests per shard and
         dispatch one batched backend call per group."""
         self._flush_handles.pop(mode, None)
+        self._flush_due.pop(mode, None)
         batch = self._pending.pop(mode, [])
         if not batch:
             return
         now = time.time()
-        for seed, _, entry in batch:
+        for seed, _, entry, _ in batch:
             if entry is not None:
                 self.tracer.record(
                     tracing.make_record(
@@ -717,10 +1142,10 @@ class Gateway:
                         duration=max(0.0, now - entry["enqueued"]),
                     )
                 )
-        groups: Dict[str, List[Tuple[int, asyncio.Future, Any]]] = {}
-        for seed, future, entry in batch:
+        groups: Dict[str, List[Tuple[int, asyncio.Future, Any, Any]]] = {}
+        for seed, future, entry, deadline in batch:
             groups.setdefault(self.ring.route(seed), []).append(
-                (seed, future, entry)
+                (seed, future, entry, deadline)
             )
         for name, group in groups.items():
             asyncio.ensure_future(self._dispatch(mode, name, group))
@@ -769,73 +1194,280 @@ class Gateway:
         return sorted(chain, key=lambda n: (not self._is_healthy(n),
                                             chain.index(n)))
 
+    def _breaker_gauge(self, name: str):
+        return self.registry.gauge(
+            f"{telemetry.GATEWAY_BACKEND_PREFIX}{name}.breaker_state",
+            help="circuit breaker state: 0 closed, 1 half-open, 2 open",
+        )
+
+    def _breaker_allow(self, name: str) -> bool:
+        breaker = self.breakers[name]
+        state_before = breaker.state
+        allowed = breaker.allow()
+        if allowed and state_before == CircuitBreaker.HALF_OPEN:
+            self._breaker_probes.inc()
+        if not allowed:
+            self._breaker_rejected.inc()
+        self._breaker_gauge(name).set(float(breaker.state))
+        return allowed
+
+    def _breaker_success(self, name: str) -> None:
+        breaker = self.breakers[name]
+        if breaker.state != CircuitBreaker.CLOSED:
+            self._breaker_closed.inc()
+        breaker.record_success()
+        self._breaker_gauge(name).set(float(CircuitBreaker.CLOSED))
+
+    def _breaker_failure(self, name: str) -> None:
+        breaker = self.breakers[name]
+        state_before = breaker.state
+        breaker.record_failure()
+        state_after = breaker.state
+        if (
+            state_after == CircuitBreaker.OPEN
+            and state_before != CircuitBreaker.OPEN
+        ):
+            self._breaker_opened.inc()
+        self._breaker_gauge(name).set(float(state_after))
+
+    def _hedge_delay(self) -> Optional[float]:
+        """Seconds to wait for the primary before hedging, or None."""
+        if self._hedge_fixed is not None:
+            return self._hedge_fixed
+        if self._hedge_percentile is None:
+            return None
+        samples = sorted(self._attempt_latencies)
+        if len(samples) < 16:  # too little signal to call a tail
+            return None
+        index = min(
+            len(samples) - 1,
+            int(len(samples) * self._hedge_percentile / 100.0),
+        )
+        return samples[index]
+
+    @staticmethod
+    def _group_deadline(
+        group: List[Tuple[int, asyncio.Future, Any, Any]]
+    ) -> Optional[float]:
+        """The batch-level deadline of one coalesced shard group.
+
+        The batch serves every member, so it runs as long as *any* member
+        can still use the answer: members without a deadline make the
+        batch unbounded, otherwise the latest member deadline wins.
+        Members whose own (earlier) deadline passes mid-solve are
+        answered by their watchdog, not by aborting the shared solve.
+        """
+        latest: Optional[float] = None
+        for _, _, _, deadline in group:
+            if deadline is None:
+                return None
+            latest = deadline if latest is None else max(latest, deadline)
+        return latest
+
     async def _dispatch(
-        self, mode: Tuple, primary: str, group: List[Tuple[int, asyncio.Future, Any]]
+        self,
+        mode: Tuple,
+        primary: str,
+        group: List[Tuple[int, asyncio.Future, Any, Any]],
     ) -> None:
-        seeds = [seed for seed, _, _ in group]
+        seeds = [seed for seed, _, _, _ in group]
         self._batch_sizes.observe(len(seeds))
+        deadline = self._group_deadline(group)
         chain = self._failover_chain(primary)
         last_error: Optional[BaseException] = None
-        for attempt, name in enumerate(chain):
-            if attempt > 0:
+        attempts = 0
+        for position, name in enumerate(chain):
+            if deadline is not None and time.monotonic() >= deadline:
+                last_error = DeadlineExpired(
+                    "deadline spent before a replica answered"
+                )
+                break
+            if not self._breaker_allow(name):
+                if last_error is None:
+                    last_error = BackendError(
+                        f"backend {name}: circuit breaker open"
+                    )
+                continue
+            if attempts > 0:
+                if not self.retry_budget.try_spend():
+                    self._retry_exhausted.inc()
+                    if last_error is None:
+                        last_error = BackendError("retry budget exhausted")
+                    break
                 self._failovers.inc()
-            backend = self.backends[name]
-            # One backend span per traced origin request per attempt; the
-            # (trace_id, span_id) contexts ride on the backend call so the
-            # server's spans nest under them.
-            spans = [
-                (entry, tracing.mint_id())
-                for _, _, entry in group
-                if entry is not None
-            ]
-            contexts = [(entry["trace_id"], span_id) for entry, span_id in spans]
-            # Only traced batches pass the kwarg, so backend stubs without
-            # trace support keep working untraced.
-            kwargs = {"trace": contexts} if contexts else {}
-            started = time.time()
-            start = time.perf_counter()
+            attempts += 1
+            # Hedge only the first live attempt: a failover retry is
+            # already a duplicate send.
+            hedge_name: Optional[str] = None
+            hedge_delay = self._hedge_delay()
+            if attempts == 1 and hedge_delay is not None:
+                hedge_name = next(
+                    (
+                        n
+                        for n in chain[position + 1 :]
+                        if self.breakers[n].state == CircuitBreaker.CLOSED
+                    ),
+                    None,
+                )
             try:
-                if mode[0] == "dense":
-                    scores = await asyncio.wait_for(
-                        backend.query_many(seeds, **kwargs),
-                        self.request_timeout,
+                if hedge_name is None:
+                    rows = await self._attempt(
+                        mode, name, seeds, group, attempts - 1, deadline
                     )
-                    rows: List[Any] = [scores[i] for i in range(len(seeds))]
+                    winner = name
                 else:
-                    _, k, exclude_seed = mode
-                    rows = list(
-                        await asyncio.wait_for(
-                            backend.query_topk_many(
-                                seeds, k, exclude_seed, **kwargs
-                            ),
-                            self.request_timeout,
-                        )
+                    rows, winner = await self._attempt_hedged(
+                        mode, name, hedge_name, hedge_delay,
+                        seeds, group, deadline,
                     )
+            except DeadlineExpired as exc:
+                # The backend itself dropped the task as expired: no
+                # replica can beat the clock either — degrade.
+                last_error = exc
+                break
             except (BackendError, TimeoutError) as exc:
                 last_error = exc
-                self._backend_errors.inc()
-                self._mark_unhealthy(name)
-                self._record_backend_spans(
-                    spans, name, attempt, started, start, error=exc
-                )
                 continue
             except Exception as exc:  # QueryError, Overloaded, bugs
-                self._record_backend_spans(
-                    spans, name, attempt, started, start, error=exc
-                )
                 self._resolve(group, error=exc)
                 return
-            self._health_gauge(name).set(1.0)
-            self._record_backend_spans(spans, name, attempt, started, start)
-            self._resolve(group, rows=rows)
+            self._resolve(group, rows=rows, mode=mode, backend=winner)
             return
-        self._resolve(
+        await self._resolve_degraded(
+            mode,
             group,
-            error=BackendError(
-                f"all {len(chain)} replica(s) failed for this shard "
-                f"(last: {last_error})"
-            ),
+            BackendError(
+                f"no replica answered for this shard (last: {last_error})"
+            )
+            if not isinstance(last_error, DeadlineExpired)
+            else last_error,
         )
+
+    async def _attempt(
+        self,
+        mode: Tuple,
+        name: str,
+        seeds: List[int],
+        group: List[Tuple[int, asyncio.Future, Any, Any]],
+        attempt: int,
+        deadline: Optional[float],
+    ) -> List[Any]:
+        """One backend call: spans, breaker bookkeeping, deadline budget."""
+        backend = self.backends[name]
+        # One backend span per traced origin request per attempt; the
+        # (trace_id, span_id) contexts ride on the backend call so the
+        # server's spans nest under them.
+        spans = [
+            (entry, tracing.mint_id())
+            for _, _, entry, _ in group
+            if entry is not None
+        ]
+        contexts = [(entry["trace_id"], span_id) for entry, span_id in spans]
+        # Only traced batches pass the kwarg, so backend stubs without
+        # trace support keep working untraced; same for deadlines.
+        kwargs: Dict[str, Any] = {"trace": contexts} if contexts else {}
+        timeout = self.request_timeout
+        if deadline is not None:
+            # The wire carries *remaining* milliseconds, recomputed at
+            # send time so queue/coalesce latency is already charged.
+            remaining = deadline - time.monotonic()
+            kwargs["deadline_ms"] = max(remaining * 1000.0, 0.0)
+            timeout = min(timeout, max(remaining, 0.001))
+        started = time.time()
+        start = time.perf_counter()
+        try:
+            if mode[0] == "dense":
+                scores = await asyncio.wait_for(
+                    backend.query_many(seeds, **kwargs), timeout
+                )
+                rows: List[Any] = [scores[i] for i in range(len(seeds))]
+            else:
+                _, k, exclude_seed = mode
+                rows = list(
+                    await asyncio.wait_for(
+                        backend.query_topk_many(
+                            seeds, k, exclude_seed, **kwargs
+                        ),
+                        timeout,
+                    )
+                )
+        except (BackendError, TimeoutError) as exc:
+            self._backend_errors.inc()
+            self._mark_unhealthy(name)
+            self._breaker_failure(name)
+            self._record_backend_spans(
+                spans, name, attempt, started, start, error=exc
+            )
+            raise
+        except asyncio.CancelledError:
+            raise  # hedge loser or shutdown — no verdict on the backend
+        except Exception as exc:  # QueryError, Overloaded: transport worked
+            self._breaker_success(name)
+            self._record_backend_spans(
+                spans, name, attempt, started, start, error=exc
+            )
+            raise
+        self._health_gauge(name).set(1.0)
+        self._breaker_success(name)
+        self._attempt_latencies.append(max(0.0, time.perf_counter() - start))
+        self._record_backend_spans(spans, name, attempt, started, start)
+        return rows
+
+    async def _attempt_hedged(
+        self,
+        mode: Tuple,
+        name: str,
+        hedge_name: str,
+        hedge_delay: float,
+        seeds: List[int],
+        group: List[Tuple[int, asyncio.Future, Any, Any]],
+        deadline: Optional[float],
+    ) -> Tuple[List[Any], str]:
+        """Race the primary against a delayed duplicate on ``hedge_name``.
+
+        The hedge launches only if the primary is still unanswered after
+        ``hedge_delay`` seconds *and* the retry budget has a token (a
+        hedge is a duplicate send, exactly what the budget bounds).  The
+        first success wins and the loser is cancelled; replicas answer
+        bit-identically, so the caller cannot tell who won — except in
+        the ``rwr.gateway.hedge.*`` counters.
+        """
+        primary = asyncio.ensure_future(
+            self._attempt(mode, name, seeds, group, 0, deadline)
+        )
+        done, _ = await asyncio.wait({primary}, timeout=hedge_delay)
+        if done:
+            return await primary, name
+        if not self.retry_budget.try_spend():
+            self._retry_exhausted.inc()
+            return await primary, name
+        self._hedge_sent.inc()
+        hedge = asyncio.ensure_future(
+            self._attempt(mode, hedge_name, seeds, group, 1, deadline)
+        )
+        owners = {primary: name, hedge: hedge_name}
+        pending = {primary, hedge}
+        primary_error: Optional[BaseException] = None
+        other_error: Optional[BaseException] = None
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                error = task.exception()
+                if error is None:
+                    for loser in pending:
+                        loser.cancel()
+                    if pending:
+                        await asyncio.wait(pending)
+                    if task is hedge:
+                        self._hedge_wins.inc()
+                    return task.result(), owners[task]
+                if task is primary:
+                    primary_error = error
+                else:
+                    other_error = error
+        raise primary_error if primary_error is not None else other_error
 
     def _record_backend_spans(
         self,
@@ -869,18 +1501,154 @@ class Gateway:
 
     def _resolve(
         self,
-        group: List[Tuple[int, asyncio.Future, Any]],
+        group: List[Tuple[int, asyncio.Future, Any, Any]],
         rows: Optional[List[Any]] = None,
         error: Optional[BaseException] = None,
+        mode: Optional[Tuple] = None,
+        backend: Optional[str] = None,
     ) -> None:
-        for index, (_, future, _) in enumerate(group):
+        generation = self._generations.get(backend) if backend else None
+        for index, (seed, future, _, _) in enumerate(group):
             self._pending_total -= 1
-            if future.done():  # caller gave up (cancelled) — drop quietly
+            if rows is not None and mode is not None:
+                # Cache even when the future is already done (watchdog
+                # served a degraded answer): the exact late answer is the
+                # freshest thing the next degraded hit can get.
+                self._cache_answer(mode, seed, rows[index], generation)
+            if future.done():  # caller gave up, or watchdog answered
                 continue
             if error is not None:
                 future.set_exception(error)
             else:
-                future.set_result(rows[index])
+                future.set_result(GatewayResult(rows[index]))
+
+    # ------------------------------------------------------------------
+    # Graceful degradation
+    # ------------------------------------------------------------------
+    def _cache_answer(
+        self, mode: Tuple, seed: int, value: Any, generation: Any
+    ) -> None:
+        if self._answer_cache_size <= 0:
+            return
+        key = (mode, int(seed))
+        self._answer_cache[key] = (value, generation)
+        self._answer_cache.move_to_end(key)
+        while len(self._answer_cache) > self._answer_cache_size:
+            self._answer_cache.popitem(last=False)
+
+    async def _degraded_answer(
+        self, mode: Tuple, seed: int
+    ) -> Optional[GatewayResult]:
+        """The degradation ladder: stale cache hit, then Monte Carlo.
+
+        Returns ``None`` when neither rung can answer (no cache entry, no
+        answerer configured, or the answerer failed) — the caller falls
+        back to the error it was about to raise.
+        """
+        key = (mode, int(seed))
+        cached = self._answer_cache.get(key)
+        if cached is not None:
+            self._answer_cache.move_to_end(key)
+            value, _generation = cached
+            # A cache hit is an *exact* answer for a possibly stale
+            # generation: its error bound is zero by construction.
+            return GatewayResult(
+                value, degraded=True, error_bound=0.0, source="cache"
+            )
+        if self.degraded_answerer is None:
+            return None
+        loop = asyncio.get_running_loop()
+        try:
+            if mode[0] == "dense":
+                scores, bound = await loop.run_in_executor(
+                    None, partial(self.degraded_answerer.answer_many, [seed])
+                )
+                value = scores[0]
+            else:
+                _, k, exclude_seed = mode
+                result, bound = await loop.run_in_executor(
+                    None,
+                    partial(
+                        self.degraded_answerer.answer_topk,
+                        seed, k, exclude_seed,
+                    ),
+                )
+                value = to_pairs(result)
+        except Exception:  # noqa: BLE001 — degraded path must not crash serving
+            return None
+        return GatewayResult(
+            value, degraded=True, error_bound=float(bound), source="approx"
+        )
+
+    def _count_degraded(self, answer: GatewayResult) -> None:
+        """Count a degraded reply at the moment it is actually served.
+
+        The deadline watchdog and the terminal-error path race to compute
+        an answer for the same future; only the winner serves it, so the
+        loser must not count."""
+        self._degraded.inc()
+        if answer.source == "cache":
+            self._degraded_cache.inc()
+        else:
+            self._degraded_approx.inc()
+
+    async def _resolve_degraded(
+        self,
+        mode: Tuple,
+        group: List[Tuple[int, asyncio.Future, Any, Any]],
+        error: BaseException,
+    ) -> None:
+        """Resolve a group no replica answered: degraded where possible,
+        the terminal error where not."""
+        for seed, future, _, _ in group:
+            self._pending_total -= 1
+            if future.done():
+                continue
+            answer = await self._degraded_answer(mode, seed)
+            if future.done():  # the watchdog raced us and answered
+                continue
+            if answer is not None:
+                self._count_degraded(answer)
+                future.set_result(answer)
+            else:
+                future.set_exception(error)
+
+    def _deadline_watchdog(
+        self, mode: Tuple, seed: int, future: asyncio.Future, deadline: float
+    ) -> None:
+        if future.done():
+            return
+        asyncio.ensure_future(self._expire(mode, seed, future, deadline))
+
+    async def _expire(
+        self, mode: Tuple, seed: int, future: asyncio.Future, deadline: float
+    ) -> None:
+        """A request's deadline is (nearly) up and no exact answer landed:
+        serve a degraded one now rather than an exact one too late.
+
+        The future resolves here but the in-flight backend batch is left
+        to finish — its answer refreshes the cache, and
+        :meth:`_resolve` skips the already-done future (that is also
+        where ``_pending_total`` is decremented exactly once)."""
+        if future.done():
+            return
+        self._deadline_exceeded.inc()
+        self.registry.histogram(
+            telemetry.DEADLINE_DEGRADED_AT,
+            help="remaining budget (ms) when the deadline watchdog fired",
+        ).observe(max(0.0, (deadline - time.monotonic()) * 1000.0))
+        answer = await self._degraded_answer(mode, seed)
+        if future.done():  # the exact answer won the race after all
+            return
+        if answer is not None:
+            self._count_degraded(answer)
+            future.set_result(answer)
+        else:
+            future.set_exception(
+                DeadlineExpired(
+                    f"deadline spent before any replica answered seed {seed}"
+                )
+            )
 
     # ------------------------------------------------------------------
     # Health monitor
@@ -1023,8 +1791,12 @@ class _WireServer:
             while True:
                 try:
                     request = await wire.read_message(reader)
-                except wire.ProtocolError as exc:
-                    await wire.write_message(writer, wire.ErrorReply(str(exc)))
+                except wire.ProtocolError:
+                    # A frame that does not parse (bad version, truncated
+                    # body) is transport corruption, not an application
+                    # error: close instead of replying, so the peer's
+                    # failover/breaker machinery sees a dead link rather
+                    # than a poisoned answer.
                     break
                 if request is None:
                     break
@@ -1114,6 +1886,7 @@ class PoolServer(_WireServer):
                         self.pool.query_many,
                         [int(s) for s in request.seeds],
                         trace=list(request.trace) or None,
+                        deadline_ms=request.deadline_ms,
                     )
                 )
                 return wire.DenseReply(
@@ -1130,6 +1903,7 @@ class PoolServer(_WireServer):
                         request.k,
                         request.exclude_seed,
                         trace=list(request.trace) or None,
+                        deadline_ms=request.deadline_ms,
                     )
                 )
                 return wire.TopKReply(
@@ -1169,10 +1943,13 @@ class PoolServer(_WireServer):
         )
 
     def _overloaded(self) -> wire.OverloadedReply:
+        depth = self._depth()
         return wire.OverloadedReply(
-            pending=self._depth(),
+            pending=depth,
             limit=int(self.shed_queue_depth or 0),
-            retry_after=0.05,
+            retry_after=compute_retry_after(
+                depth, int(self.shed_queue_depth or 1), 0.05
+            ),
         )
 
 
@@ -1185,32 +1962,61 @@ class GatewayServer(_WireServer):
     requests that happen to arrive together.
     """
 
-    def __init__(self, gateway: Gateway, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        gateway: Gateway,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_deadline_ms: Optional[float] = None,
+    ):
         super().__init__(host, port)
         self.gateway = gateway
+        # Budget applied to requests arriving *without* a deadline trailer
+        # (v2 clients, or v3 clients that did not set one); None = no
+        # default, those requests run unbounded as before.
+        self.default_deadline_ms = default_deadline_ms
+
+    def _deadline_ms(self, request) -> Optional[float]:
+        if request.deadline_ms is not None:
+            return request.deadline_ms
+        return self.default_deadline_ms
 
     async def _answer(self, request: wire.Request) -> wire.Reply:
         try:
             if isinstance(request, wire.QueryRequest):
-                rows = await self._gather(
-                    [self.gateway.query(int(s)) for s in request.seeds]
+                results = await self._gather(
+                    [
+                        self.gateway.query_detailed(
+                            int(s), deadline_ms=self._deadline_ms(request)
+                        )
+                        for s in request.seeds
+                    ]
                 )
+                rows = [r.value for r in results]
                 scores = (
                     np.vstack(rows)
                     if rows
                     else np.empty((0, 0), dtype=np.float64)
                 )
-                return wire.DenseReply(scores=scores)
+                return wire.DenseReply(
+                    scores=scores, **self._degradation(results)
+                )
             if isinstance(request, wire.TopKRequest):
-                pairs = await self._gather(
+                results = await self._gather(
                     [
-                        self.gateway.query_topk(
-                            int(s), request.k, request.exclude_seed
+                        self.gateway.query_topk_detailed(
+                            int(s),
+                            request.k,
+                            request.exclude_seed,
+                            deadline_ms=self._deadline_ms(request),
                         )
                         for s in request.seeds
                     ]
                 )
-                return wire.TopKReply(pairs=list(pairs))
+                return wire.TopKReply(
+                    pairs=[r.value for r in results],
+                    **self._degradation(results),
+                )
             if isinstance(request, wire.StatsRequest):
                 return wire.StatsReply(stats=await self.gateway.stats())
             if isinstance(request, wire.MetricsRequest):
@@ -1219,11 +2025,23 @@ class GatewayServer(_WireServer):
             return wire.OverloadedReply(
                 pending=exc.pending, limit=exc.limit, retry_after=exc.retry_after
             )
-        except (QueryError, BackendError, InvalidParameterError) as exc:
+        except (
+            DeadlineExpired, QueryError, BackendError, InvalidParameterError
+        ) as exc:
             return wire.ErrorReply(f"{type(exc).__name__}: {exc}")
         return wire.ErrorReply(
             f"gateway cannot answer {type(request).__name__}"
         )
+
+    @staticmethod
+    def _degradation(results: List[GatewayResult]) -> Dict[str, Any]:
+        """The reply-level degradation tag of a multi-seed request: the
+        reply is degraded if *any* seed was, and carries the worst bound."""
+        degraded = any(r.degraded for r in results)
+        bound = max(
+            (r.error_bound for r in results if r.degraded), default=0.0
+        )
+        return {"degraded": degraded, "error_bound": bound}
 
     @staticmethod
     async def _gather(coros: List[Any]) -> List[Any]:

@@ -20,6 +20,7 @@ columns of a multi-right-hand-side solve.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Union
 
@@ -250,6 +251,7 @@ def _run_gmres(
     x0: Optional[np.ndarray],
     callback: Optional[Callable[[int, float], None]],
     workspace: GMRESWorkspace,
+    deadline: Optional[float] = None,
 ) -> GMRESResult:
     """Core restarted-GMRES loop on a normalized operator/preconditioner."""
     n = b.shape[0]
@@ -264,7 +266,9 @@ def _run_gmres(
     total_iterations = 0
     cycles = 0
 
-    while total_iterations < max_iterations:
+    while total_iterations < max_iterations and (
+        deadline is None or time.monotonic() < deadline
+    ):
         t = precondition(b - matvec(x))
         beta = float(np.linalg.norm(t))
         relative = beta / reference
@@ -326,7 +330,17 @@ def _run_gmres(
                 callback(total_iterations, relative)
 
             happy_breakdown = h_next <= 1e-14 * reference
-            if relative <= tol or happy_breakdown or total_iterations >= max_iterations:
+            out_of_time = deadline is not None and time.monotonic() >= deadline
+            if (
+                relative <= tol
+                or happy_breakdown
+                or total_iterations >= max_iterations
+                or out_of_time
+            ):
+                # Breaking here (including on a spent deadline) falls
+                # through to the least-squares back-substitution below, so
+                # the caller always gets the best iterate built so far
+                # with its residual attached.
                 break
             basis[j + 1] = w / h_next
 
@@ -369,6 +383,7 @@ def gmres(
     raise_on_stagnation: bool = False,
     callback: Optional[Callable[[int, float], None]] = None,
     workspace: Optional[GMRESWorkspace] = None,
+    deadline: Optional[float] = None,
 ) -> GMRESResult:
     """Solve ``A x = b`` (or the left-preconditioned ``M^{-1} A x = M^{-1} b``).
 
@@ -400,6 +415,11 @@ def gmres(
         Reusable :class:`GMRESWorkspace`; pass the same instance to several
         solves to share the Krylov allocation (and to inspect the peak
         basis size).  Default: a fresh workspace per call.
+    deadline:
+        Optional ``time.monotonic()`` instant.  Once passed, the solve
+        stops at the next iteration boundary and returns its best-effort
+        iterate (``converged`` reflects the residual actually reached) —
+        the serve tier's deadline budget, not an error.
 
     Returns
     -------
@@ -436,7 +456,8 @@ def gmres(
         )
     else:
         result = _run_gmres(
-            matvec, precondition, b, tol, max_iterations, restart, x0, callback, workspace
+            matvec, precondition, b, tol, max_iterations, restart, x0, callback,
+            workspace, deadline,
         )
     _record_solves([result])
     if raise_on_stagnation and not result.converged:
@@ -471,6 +492,7 @@ def _run_gmres_block(
     x0: Optional[np.ndarray],
     callback: Optional[Callable[[int, int, float], None]],
     initial_capacity: int,
+    deadline: Optional[float] = None,
 ) -> GMRESBatchResult:
     """Lockstep restarted GMRES on every column of ``b`` at once.
 
@@ -499,7 +521,11 @@ def _run_gmres_block(
     active = np.flatnonzero(reference > 0.0)
     completed = 0
 
-    while active.size and completed < max_iterations:
+    while (
+        active.size
+        and completed < max_iterations
+        and (deadline is None or time.monotonic() < deadline)
+    ):
         t = precondition(b[:, active] - matvec(x[:, active]))
         beta = np.linalg.norm(t, axis=0)
         at_start = beta / reference[active] <= tol
@@ -587,11 +613,16 @@ def _run_gmres_block(
 
             happy_breakdown = h_next <= 1e-14 * ref
             finished = live & ((relative <= tol) | happy_breakdown)
-            stop_cycle = inner_steps >= cycle or completed + inner_steps >= max_iterations
+            stop_cycle = (
+                inner_steps >= cycle
+                or completed + inner_steps >= max_iterations
+                or (deadline is not None and time.monotonic() >= deadline)
+            )
             if stop_cycle:
-                # Restart boundary or budget: every live column forms its
-                # solution; converged ones finalize, the rest re-enter the
-                # outer restart loop.
+                # Restart boundary, iteration budget or spent deadline:
+                # every live column forms its solution; converged ones
+                # finalize, the rest re-enter the outer restart loop
+                # (which also re-checks the deadline).
                 for idx in np.flatnonzero(live):
                     _form_block_solution(x, cols[idx], basis, hessenberg, g, idx, inner_steps)
                     if relative[idx] <= tol:
@@ -671,6 +702,7 @@ def gmres_multi(
     callback: Optional[Callable[[int, int, float], None]] = None,
     workspace: Optional[GMRESWorkspace] = None,
     mode: str = "auto",
+    deadline: Optional[float] = None,
 ) -> GMRESBatchResult:
     """Solve ``A X = B`` for a block of right-hand sides in one call.
 
@@ -715,6 +747,10 @@ def gmres_multi(
         forces the lockstep engine (requires a matrix operator and a
         block-capable preconditioner or none); ``"sequential"`` forces the
         column-by-column path.
+    deadline:
+        Optional ``time.monotonic()`` instant; when passed, both engines
+        stop at the next iteration boundary and return every column's
+        best-effort iterate (see :func:`gmres`).
 
     Other parameters match :func:`gmres` and apply to every column.
     """
@@ -790,6 +826,7 @@ def gmres_multi(
             x0,
             callback,
             workspace.initial_capacity,
+            deadline,
         )
         _record_solves(batch.columns)
         if raise_on_stagnation:
@@ -826,6 +863,7 @@ def gmres_multi(
                 raise_on_stagnation=raise_on_stagnation,
                 callback=column_callback,
                 workspace=workspace,
+                deadline=deadline,
             )
         except ConvergenceError as exc:
             raise ConvergenceError(

@@ -75,6 +75,18 @@ class WorkerError(RuntimeError):
     """A worker process reported a failure instead of a result."""
 
 
+class DeadlineExpired(WorkerError):
+    """The request's deadline budget was spent before it could be answered.
+
+    Raised by the pool when a task's budget is already spent at submit
+    time, and when a worker dequeues a task whose budget ran out while it
+    sat in the queue (both count ``rwr.serve.deadline_expired``).
+    Subclasses :class:`WorkerError` so existing error handling — the
+    ``PoolServer`` error reply, CLI exit paths — keeps working, while the
+    gateway can tell the two apart and degrade instead of failing.
+    """
+
+
 class TopKCache:
     """A small LRU cache of top-k replies, keyed by artifact generation.
 
@@ -185,6 +197,19 @@ def _trace_task_payload(trace: Sequence[Tuple[int, int]]) -> tuple:
     wall-clock timestamp (for the worker's queue-wait span — perf counters
     are not comparable across processes) plus the origin contexts."""
     return (time.time(), tuple((int(t), int(s)) for t, s in trace))
+
+
+def _task_deadline(message: tuple) -> Optional[float]:
+    """The optional wall-clock deadline element of a task tuple.
+
+    Task tuples are ``(op, wire_id, payload[, trace][, deadline])``; the
+    deadline is an absolute ``time.time()`` instant (monotonic readings
+    are not comparable across processes, mirroring the trace payload's
+    dispatch timestamp).
+    """
+    if len(message) > 4 and message[4] is not None:
+        return float(message[4])
+    return None
 
 
 def engine_for_bundle(bundle: SolverArtifacts) -> QueryEngine:
@@ -349,6 +374,29 @@ def _worker_main(worker_id, path, mmap, task_queue, result_queue, fault_plan=Non
                     else:
                         seeds, top_k, exclude_seed = message[2]
                     trace_payload = message[3] if len(message) > 3 else None
+                    deadline_wall = _task_deadline(message)
+                    engine_deadline: Optional[float] = None
+                    if deadline_wall is not None:
+                        remaining = deadline_wall - time.time()
+                        if remaining <= 0.0:
+                            # The budget ran out while the task sat in the
+                            # queue: drop it instead of burning a solve
+                            # nobody is waiting for.
+                            registry.counter(
+                                telemetry.DEADLINE_EXPIRED,
+                                help="tasks dropped with a spent deadline budget",
+                            ).inc()
+                            result_queue.put(
+                                (
+                                    "expired",
+                                    worker_id,
+                                    request_id,
+                                    "deadline spent {:.1f} ms before the solve "
+                                    "started".format(-remaining * 1000.0),
+                                )
+                            )
+                            continue
+                        engine_deadline = time.monotonic() + remaining
                     registry.counter("serve.requests", help="query batches served").inc()
                     registry.histogram(
                         "serve.batch.size",
@@ -358,7 +406,9 @@ def _worker_main(worker_id, path, mmap, task_queue, result_queue, fault_plan=Non
                     with _worker_trace(registry, trace_payload) as trace_records:
                         with registry.span("serve.batch"):
                             if command == "query_many":
-                                payload: Any = engine.query_many(seeds)
+                                payload: Any = engine.query_many(
+                                    seeds, deadline=engine_deadline
+                                )
                             else:
                                 # The payload shrink of the top-k path: k
                                 # packed (int64, float64) pairs per seed
@@ -367,7 +417,10 @@ def _worker_main(worker_id, path, mmap, task_queue, result_queue, fault_plan=Non
                                 payload = [
                                     to_pairs(result)
                                     for result in engine.query_topk_many(
-                                        seeds, top_k, exclude_seed=exclude_seed
+                                        seeds,
+                                        top_k,
+                                        exclude_seed=exclude_seed,
+                                        deadline=engine_deadline,
                                     )
                                 ]
                     # Injection window: the answer is computed but not yet
@@ -561,6 +614,10 @@ class WorkerPool:
             telemetry.WORKER_REROUTES,
             help="pinned requests rerouted off a disabled worker slot",
         )
+        self._registry.counter(
+            telemetry.DEADLINE_EXPIRED,
+            help="tasks dropped with a spent deadline budget",
+        )
         # Top-k result cache, keyed by the artifact generation the workers
         # serve.  A bare artifact directory is its own (only) generation;
         # a store root re-resolves its current pointer per top-k call.
@@ -621,6 +678,22 @@ class WorkerPool:
         process.start()
         return process
 
+    def _admit_deadline(self, deadline_ms: Optional[float]) -> Optional[float]:
+        """Convert a remaining-budget ``deadline_ms`` to an absolute
+        wall-clock deadline, dropping already-expired requests up front."""
+        if deadline_ms is None:
+            return None
+        if deadline_ms <= 0.0:
+            self._registry.counter(
+                telemetry.DEADLINE_EXPIRED,
+                help="tasks dropped with a spent deadline budget",
+            ).inc()
+            raise DeadlineExpired(
+                "request budget spent before dispatch "
+                f"({deadline_ms:.1f} ms remaining)"
+            )
+        return time.time() + deadline_ms / 1000.0
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -630,6 +703,7 @@ class WorkerPool:
         seeds: Sequence[int],
         worker: Optional[int] = None,
         trace: Optional[Sequence[Tuple[int, int]]] = None,
+        deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         """``(k, n)`` RWR scores for ``seeds``, answered by one worker.
 
@@ -645,10 +719,19 @@ class WorkerPool:
         one per traced origin request — across the spawn boundary; the
         worker's span records come back with the reply and land in this
         process's :func:`repro.tracing.get_tracer` ring.
+
+        ``deadline_ms`` is the request's remaining budget.  A spent budget
+        raises :class:`DeadlineExpired` before dispatch; otherwise the
+        deadline rides along in the task tuple and the worker drops the
+        batch (or hands the engine a best-effort solve budget) based on
+        how much remains when it dequeues.
         """
+        deadline_wall = self._admit_deadline(deadline_ms)
         self._ensure_current_generation()
         worker = self._route_worker(worker)
-        request_id = self._submit(worker, seeds, trace=trace)
+        request_id = self._submit(
+            worker, seeds, trace=trace, deadline_wall=deadline_wall
+        )
         result = self._collect({request_id})[request_id]
         self._maybe_write_metrics()
         return result
@@ -693,6 +776,7 @@ class WorkerPool:
         k: int,
         exclude_seed: bool = True,
         worker: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
     ) -> TopKResult:
         """Exact top-``k`` ``(id, score)`` pairs for one seed.
 
@@ -703,7 +787,8 @@ class WorkerPool:
         generation-keyed cache without any engine solve.
         """
         return self.query_topk_many(
-            [seed], k, exclude_seed=exclude_seed, worker=worker
+            [seed], k, exclude_seed=exclude_seed, worker=worker,
+            deadline_ms=deadline_ms,
         )[0]
 
     @_single_caller
@@ -714,6 +799,7 @@ class WorkerPool:
         exclude_seed: bool = True,
         worker: Optional[int] = None,
         trace: Optional[Sequence[Tuple[int, int]]] = None,
+        deadline_ms: Optional[float] = None,
     ) -> List[TopKResult]:
         """Top-``k`` answers for a batch of seeds from one worker.
 
@@ -735,10 +821,13 @@ class WorkerPool:
             else:
                 misses.append(index)
         if misses:
+            # Cache hits are free: only a dispatch to a worker spends the
+            # budget, so a fully cached batch is served even at zero.
+            deadline_wall = self._admit_deadline(deadline_ms)
             target = self._route_worker(worker)
             request_id = self._submit_topk(
                 target, [seed_list[i] for i in misses], k, exclude_seed,
-                trace=trace,
+                trace=trace, deadline_wall=deadline_wall,
             )
             replies = self._collect({request_id})[request_id]
             self._absorb_topk_replies(
@@ -1121,10 +1210,13 @@ class WorkerPool:
         k: int,
         exclude_seed: bool,
         trace: Optional[Sequence[Tuple[int, int]]] = None,
+        deadline_wall: Optional[float] = None,
     ) -> int:
         command: tuple = ("query_topk", (seeds, k, exclude_seed))
-        if trace:
-            command += (_trace_task_payload(trace),)
+        if trace or deadline_wall is not None:
+            command += (_trace_task_payload(trace) if trace else None,)
+        if deadline_wall is not None:
+            command += (deadline_wall,)
         request_id = self._dispatch(worker, command)
         with self._queries_lock:
             self._worker_queries[worker] += len(seeds)
@@ -1189,6 +1281,7 @@ class WorkerPool:
         worker: int,
         seeds: Sequence[int],
         trace: Optional[Sequence[Tuple[int, int]]] = None,
+        deadline_wall: Optional[float] = None,
     ) -> int:
         if not 0 <= worker < self.n_workers:
             raise InvalidParameterError(
@@ -1196,8 +1289,12 @@ class WorkerPool:
             )
         seed_list = list(seeds)
         command: tuple = ("query_many", seed_list)
-        if trace:
-            command += (_trace_task_payload(trace),)
+        # The deadline is the task tuple's 5th element, so an untraced
+        # deadline-carrying command pads the trace slot with None.
+        if trace or deadline_wall is not None:
+            command += (_trace_task_payload(trace) if trace else None,)
+        if deadline_wall is not None:
+            command += (deadline_wall,)
         request_id = self._dispatch(worker, command)
         with self._queries_lock:
             self._worker_queries[worker] += len(seed_list)
@@ -1255,6 +1352,10 @@ class WorkerPool:
                 origin = record["origin"]
                 if kind == "error":
                     raise WorkerError(f"worker {worker_id}: {payload}")
+                if kind == "expired":
+                    # The worker dropped the task on dequeue: its budget
+                    # ran out in the queue (already counted worker-side).
+                    raise DeadlineExpired(f"worker {worker_id}: {payload}")
                 if len(message) > 4 and message[4]:
                     # Worker-side span records for a traced query: fold
                     # them into this process's tracer so a PoolServer (or

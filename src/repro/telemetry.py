@@ -146,6 +146,26 @@ TRACE_DROPPED = "rwr.trace.dropped"
 TRACE_SLOW = "rwr.trace.slow_queries"
 TRACE_RING_SPANS = "rwr.trace.ring_spans"
 
+# Deadline-aware request lifecycle: per-hop deadline budgets dropped by
+# the worker pool before dispatch, gateway-side deadline misses, and the
+# resilience machinery that keeps a flaky replica from consuming them —
+# per-backend circuit breakers (``rwr.gateway.backend.<name>.breaker_state``
+# gauges 0=closed 1=half-open 2=open), hedged sends, the token-bucket
+# retry budget, and degraded (stale-cache / Monte Carlo) replies.
+DEADLINE_EXPIRED = "rwr.serve.deadline_expired"
+DEADLINE_EXCEEDED = "rwr.gateway.deadline.exceeded"
+DEADLINE_DEGRADED_AT = "rwr.gateway.deadline.degraded_at_ms"
+BREAKER_OPENED = "rwr.gateway.breaker.opened"
+BREAKER_CLOSED = "rwr.gateway.breaker.closed"
+BREAKER_REJECTED = "rwr.gateway.breaker.rejected"
+BREAKER_PROBES = "rwr.gateway.breaker.probes"
+HEDGE_SENT = "rwr.gateway.hedge.sent"
+HEDGE_WINS = "rwr.gateway.hedge.wins"
+RETRY_BUDGET_EXHAUSTED = "rwr.gateway.retry_budget.exhausted"
+DEGRADED_REPLIES = "rwr.gateway.degraded"
+DEGRADED_FROM_CACHE = "rwr.gateway.degraded.cache"
+DEGRADED_FROM_APPROX = "rwr.gateway.degraded.approx"
+
 
 class Counter:
     """A monotonically increasing counter."""

@@ -11,7 +11,7 @@ Frame layout
 Every message (request or reply) is one *frame*::
 
     u32  length      little-endian byte count of the payload that follows
-    u8   version     protocol version (currently 2; v1 frames still parse)
+    u8   version     protocol version (currently 3; v1/v2 frames still parse)
     u8   opcode      message type
     ...  body        opcode-specific, fixed little-endian layout
 
@@ -52,6 +52,26 @@ and ``REPLY_TOPK`` may end with ``u32 blob_len`` + UTF-8 JSON list of
 finished span records, carrying the server-side span tree back to the
 caller so the gateway can assemble one end-to-end trace.
 
+Deadline budget (protocol v3)
+-----------------------------
+After the trace trailer, ``OP_QUERY`` and ``OP_TOPK`` bodies may carry a
+deadline trailer::
+
+    f8   deadline_ms   remaining request budget, in milliseconds
+
+The budget is *relative* (remaining time, not a wall-clock instant) so
+it survives clock skew between hosts; each hop re-computes the remainder
+at send time.  Absent trailer (v1/v2 frames, or a v3 frame whose body
+ends at the trace trailer) means no deadline.  Symmetrically,
+``REPLY_DENSE`` and ``REPLY_TOPK`` may end, after the trace-record
+trailer, with a degraded-reply trailer::
+
+    u8   degraded      1 when the answer is approximate / stale
+    f8   error_bound   per-score bound the degraded answer satisfies
+
+The trailer is only written for degraded replies, so exact answers cost
+no extra bytes and v2 readers never see it.
+
 Replies
 -------
 ``REPLY_DENSE``
@@ -83,16 +103,20 @@ import asyncio
 import json
 import socket
 import struct
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-PROTOCOL_VERSION = 2
+from . import faults
+
+PROTOCOL_VERSION = 3
 
 #: Versions :func:`decode_message` accepts.  v1 frames carry no trace
-#: trailer; everything else is identical, so old clients keep working.
-SUPPORTED_VERSIONS = (1, 2)
+#: trailer, v2 frames no deadline/degraded trailer; everything else is
+#: identical, so old clients keep working.
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: Upper bound on a single frame; a corrupt length prefix must not make a
 #: reader allocate gigabytes.  1 GiB fits a ~16k-seed dense reply at
@@ -116,6 +140,8 @@ _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
 _TOPK_HEAD = struct.Struct("<IIB")  # n_seeds, k, exclude_seed
 _TRACE_CTX = struct.Struct("<QQ")  # trace_id, span_id
+_DEADLINE = struct.Struct("<d")  # remaining budget, milliseconds
+_DEGRADED = struct.Struct("<Bd")  # degraded flag, error bound
 
 #: Explicit little-endian layouts for the array payloads.
 WIRE_SEED_DTYPE = np.dtype("<i8")
@@ -137,6 +163,8 @@ class QueryRequest:
     seeds: np.ndarray  # (n,) int64
     #: ``(trace_id, span_id)`` pairs — one per traced origin request.
     trace: Tuple[Tuple[int, int], ...] = ()
+    #: Remaining request budget in milliseconds; ``None`` = no deadline.
+    deadline_ms: Optional[float] = None
 
     opcode = OP_QUERY
 
@@ -150,6 +178,8 @@ class TopKRequest:
     exclude_seed: bool = True
     #: ``(trace_id, span_id)`` pairs — one per traced origin request.
     trace: Tuple[Tuple[int, int], ...] = ()
+    #: Remaining request budget in milliseconds; ``None`` = no deadline.
+    deadline_ms: Optional[float] = None
 
     opcode = OP_TOPK
 
@@ -173,6 +203,10 @@ class DenseReply:
     scores: np.ndarray  # (rows, cols) float64
     #: Finished span records (JSON-able dicts) from the serving side.
     trace_records: Tuple[Dict[str, Any], ...] = ()
+    #: ``True`` when the answer is approximate/stale (degradation ladder).
+    degraded: bool = False
+    #: Per-score error bound a degraded answer satisfies (0.0 = exact).
+    error_bound: float = 0.0
 
     opcode = REPLY_DENSE
 
@@ -183,6 +217,10 @@ class TopKReply:
     pairs: List[np.ndarray] = field(default_factory=list)
     #: Finished span records (JSON-able dicts) from the serving side.
     trace_records: Tuple[Dict[str, Any], ...] = ()
+    #: ``True`` when the answer is approximate/stale (degradation ladder).
+    degraded: bool = False
+    #: Per-score error bound a degraded answer satisfies (0.0 = exact).
+    error_bound: float = 0.0
 
     opcode = REPLY_TOPK
 
@@ -235,6 +273,18 @@ def _encode_trace_records(records: Sequence[Dict[str, Any]]) -> bytes:
     return _U32.pack(len(blob)) + blob
 
 
+def _encode_deadline(deadline_ms: Optional[float]) -> bytes:
+    if deadline_ms is None:
+        return b""
+    return _DEADLINE.pack(float(deadline_ms))
+
+
+def _encode_degraded(degraded: bool, error_bound: float) -> bytes:
+    if not degraded:
+        return b""
+    return _DEGRADED.pack(1, float(error_bound))
+
+
 def encode_message(message: Union[Request, Reply]) -> bytes:
     """Serialize a request or reply into a frame payload (no length prefix)."""
     head = _HEADER.pack(PROTOCOL_VERSION, message.opcode)
@@ -243,6 +293,7 @@ def encode_message(message: Union[Request, Reply]) -> bytes:
         return (
             head + _U32.pack(len(seeds) // 8) + seeds
             + _encode_trace(message.trace)
+            + _encode_deadline(message.deadline_ms)
         )
     if isinstance(message, TopKRequest):
         seeds = _seed_bytes(message.seeds)
@@ -251,6 +302,7 @@ def encode_message(message: Union[Request, Reply]) -> bytes:
             + _TOPK_HEAD.pack(len(seeds) // 8, int(message.k), int(message.exclude_seed))
             + seeds
             + _encode_trace(message.trace)
+            + _encode_deadline(message.deadline_ms)
         )
     if isinstance(message, StatsRequest):
         return head
@@ -266,6 +318,7 @@ def encode_message(message: Union[Request, Reply]) -> bytes:
         return (
             head + _U32.pack(rows) + _U64.pack(cols) + scores.tobytes()
             + _encode_trace_records(message.trace_records)
+            + _encode_degraded(message.degraded, message.error_bound)
         )
     if isinstance(message, TopKReply):
         parts = [head, _U32.pack(len(message.pairs))]
@@ -274,6 +327,7 @@ def encode_message(message: Union[Request, Reply]) -> bytes:
             parts.append(_U32.pack(len(wire)))
             parts.append(wire.tobytes())
         parts.append(_encode_trace_records(message.trace_records))
+        parts.append(_encode_degraded(message.degraded, message.error_bound))
         return b"".join(parts)
     if isinstance(message, StatsReply):
         return head + json.dumps(message.stats).encode("utf-8")
@@ -305,15 +359,22 @@ def decode_message(payload: bytes) -> Union[Request, Reply]:
             (n,) = _U32.unpack_from(body)
             seeds = _read_array(body, _U32.size, n, WIRE_SEED_DTYPE)
             offset = _U32.size + n * WIRE_SEED_DTYPE.itemsize
-            trace = _decode_trace(body, offset) if version >= 2 else ()
-            return QueryRequest(seeds=seeds, trace=trace)
+            trace = ()
+            if version >= 2:
+                trace, offset = _decode_trace(body, offset)
+            deadline = _decode_deadline(body, offset) if version >= 3 else None
+            return QueryRequest(seeds=seeds, trace=trace, deadline_ms=deadline)
         if opcode == OP_TOPK:
             n, k, exclude = _TOPK_HEAD.unpack_from(body)
             seeds = _read_array(body, _TOPK_HEAD.size, n, WIRE_SEED_DTYPE)
             offset = _TOPK_HEAD.size + n * WIRE_SEED_DTYPE.itemsize
-            trace = _decode_trace(body, offset) if version >= 2 else ()
+            trace = ()
+            if version >= 2:
+                trace, offset = _decode_trace(body, offset)
+            deadline = _decode_deadline(body, offset) if version >= 3 else None
             return TopKRequest(
-                seeds=seeds, k=int(k), exclude_seed=bool(exclude), trace=trace
+                seeds=seeds, k=int(k), exclude_seed=bool(exclude),
+                trace=trace, deadline_ms=deadline,
             )
         if opcode == OP_STATS:
             return StatsRequest()
@@ -326,8 +387,16 @@ def decode_message(payload: bytes) -> Union[Request, Reply]:
                 body, _U32.size + _U64.size, rows * cols, WIRE_SCORE_DTYPE
             )
             offset = _U32.size + _U64.size + rows * cols * WIRE_SCORE_DTYPE.itemsize
-            records = _decode_trace_records(body, offset) if version >= 2 else ()
-            return DenseReply(scores=flat.reshape(rows, cols), trace_records=records)
+            records = ()
+            if version >= 2:
+                records, offset = _decode_trace_records(body, offset)
+            degraded, bound = (
+                _decode_degraded(body, offset) if version >= 3 else (False, 0.0)
+            )
+            return DenseReply(
+                scores=flat.reshape(rows, cols), trace_records=records,
+                degraded=degraded, error_bound=bound,
+            )
         if opcode == REPLY_TOPK:
             (n,) = _U32.unpack_from(body)
             offset = _U32.size
@@ -338,8 +407,16 @@ def decode_message(payload: bytes) -> Union[Request, Reply]:
                 packed = _read_array(body, offset, n_pairs, WIRE_PAIR_DTYPE)
                 offset += n_pairs * WIRE_PAIR_DTYPE.itemsize
                 pairs.append(packed)
-            records = _decode_trace_records(body, offset) if version >= 2 else ()
-            return TopKReply(pairs=pairs, trace_records=records)
+            records = ()
+            if version >= 2:
+                records, offset = _decode_trace_records(body, offset)
+            degraded, bound = (
+                _decode_degraded(body, offset) if version >= 3 else (False, 0.0)
+            )
+            return TopKReply(
+                pairs=pairs, trace_records=records,
+                degraded=degraded, error_bound=bound,
+            )
         if opcode == REPLY_STATS:
             return StatsReply(stats=json.loads(body.decode("utf-8")))
         if opcode == REPLY_ERROR:
@@ -358,10 +435,16 @@ def decode_message(payload: bytes) -> Union[Request, Reply]:
     raise ProtocolError(f"unknown opcode {opcode}")
 
 
-def _decode_trace(body: bytes, offset: int) -> Tuple[Tuple[int, int], ...]:
-    """The optional trace trailer; absent (body ends) means untraced."""
+def _decode_trace(
+    body: bytes, offset: int
+) -> Tuple[Tuple[Tuple[int, int], ...], int]:
+    """The optional trace trailer; absent (body ends) means untraced.
+
+    Returns ``(trace, end_offset)`` so later trailers know where they
+    start.
+    """
     if offset >= len(body):
-        return ()
+        return (), offset
     (n_ctx,) = _U32.unpack_from(body, offset)
     offset += _U32.size
     end = offset + n_ctx * _TRACE_CTX.size
@@ -369,16 +452,23 @@ def _decode_trace(body: bytes, offset: int) -> Tuple[Tuple[int, int], ...]:
         raise ProtocolError(
             f"truncated trace trailer: need {end} body bytes, have {len(body)}"
         )
-    return tuple(
+    trace = tuple(
         _TRACE_CTX.unpack_from(body, offset + i * _TRACE_CTX.size)
         for i in range(n_ctx)
     )
+    return trace, end
 
 
-def _decode_trace_records(body: bytes, offset: int) -> Tuple[Dict[str, Any], ...]:
-    """The optional span-record trailer on replies; absent means none."""
+def _decode_trace_records(
+    body: bytes, offset: int
+) -> Tuple[Tuple[Dict[str, Any], ...], int]:
+    """The optional span-record trailer on replies; absent means none.
+
+    Returns ``(records, end_offset)`` so later trailers know where they
+    start.
+    """
     if offset >= len(body):
-        return ()
+        return (), offset
     (blob_len,) = _U32.unpack_from(body, offset)
     offset += _U32.size
     if offset + blob_len > len(body):
@@ -389,7 +479,33 @@ def _decode_trace_records(body: bytes, offset: int) -> Tuple[Dict[str, Any], ...
     records = json.loads(body[offset:offset + blob_len].decode("utf-8"))
     if not isinstance(records, list):
         raise ProtocolError("trace-record trailer must be a JSON list")
-    return tuple(records)
+    return tuple(records), offset + blob_len
+
+
+def _decode_deadline(body: bytes, offset: int) -> Optional[float]:
+    """The optional deadline trailer on requests; absent means no budget."""
+    if offset >= len(body):
+        return None
+    if offset + _DEADLINE.size > len(body):
+        raise ProtocolError(
+            f"truncated deadline trailer: need {offset + _DEADLINE.size} body "
+            f"bytes, have {len(body)}"
+        )
+    (deadline_ms,) = _DEADLINE.unpack_from(body, offset)
+    return float(deadline_ms)
+
+
+def _decode_degraded(body: bytes, offset: int) -> Tuple[bool, float]:
+    """The optional degraded trailer on replies; absent means exact."""
+    if offset >= len(body):
+        return False, 0.0
+    if offset + _DEGRADED.size > len(body):
+        raise ProtocolError(
+            f"truncated degraded trailer: need {offset + _DEGRADED.size} body "
+            f"bytes, have {len(body)}"
+        )
+    flag, bound = _DEGRADED.unpack_from(body, offset)
+    return bool(flag), float(bound)
 
 
 def _read_array(body: bytes, offset: int, count: int, dtype: np.dtype) -> np.ndarray:
@@ -415,20 +531,75 @@ def pack_frame(payload: bytes) -> bytes:
     return _LEN.pack(len(payload)) + payload
 
 
+def _corrupt_payload(payload: bytes) -> bytes:
+    # Flip the version byte: deterministic, and guaranteed to surface as
+    # a ProtocolError at the peer instead of a silent score bit-flip.
+    return bytes([payload[0] ^ 0xFF]) + payload[1:]
+
+
 async def write_message(
-    writer: asyncio.StreamWriter, message: Union[Request, Reply]
+    writer: asyncio.StreamWriter,
+    message: Union[Request, Reply],
+    *,
+    endpoint: Optional[str] = None,
 ) -> None:
-    """Encode, frame and flush one message on an asyncio stream."""
-    writer.write(pack_frame(encode_message(message)))
+    """Encode, frame and flush one message on an asyncio stream.
+
+    ``endpoint`` labels the link for network fault injection; the label
+    is matched against :class:`repro.faults.ConnectionDrop` /
+    :class:`~repro.faults.SlowLink` / :class:`~repro.faults.FrameCorrupt`
+    specs of the installed plan (no plan → zero overhead).
+    """
+    actions = faults.wire_actions(endpoint) if endpoint is not None else None
+    payload = encode_message(message)
+    if actions is not None:
+        if actions.delay:
+            await asyncio.sleep(actions.delay)
+        if actions.drop:
+            raise ConnectionResetError(
+                f"fault injection: connection to {endpoint!r} dropped"
+            )
+        if actions.corrupt:
+            payload = _corrupt_payload(payload)
+    writer.write(pack_frame(payload))
     await writer.drain()
 
 
 async def read_message(
     reader: asyncio.StreamReader,
+    *,
+    timeout: Optional[float] = None,
+    endpoint: Optional[str] = None,
 ) -> Optional[Union[Request, Reply]]:
-    """Read one framed message; ``None`` on a clean EOF between frames."""
+    """Read one framed message; ``None`` on a clean EOF between frames.
+
+    ``timeout`` bounds *every* partial read — a peer that accepts the
+    connection but trickles (or never finishes) a frame cannot hold the
+    reader past the budget; expiry raises :class:`ProtocolError`.
+    """
+    actions = faults.wire_actions(endpoint) if endpoint is not None else None
+    if actions is not None:
+        if actions.delay:
+            await asyncio.sleep(actions.delay)
+        if actions.drop:
+            raise ConnectionResetError(
+                f"fault injection: connection to {endpoint!r} dropped"
+            )
+    deadline = None if timeout is None else time.monotonic() + timeout
+
+    async def _readexactly(count: int, what: str) -> bytes:
+        if deadline is None:
+            return await reader.readexactly(count)
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise ProtocolError(f"read timed out {what}")
+        try:
+            return await asyncio.wait_for(reader.readexactly(count), remaining)
+        except asyncio.TimeoutError as exc:
+            raise ProtocolError(f"read timed out {what}") from exc
+
     try:
-        prefix = await reader.readexactly(_LEN.size)
+        prefix = await _readexactly(_LEN.size, "waiting for a frame")
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None  # clean close between frames
@@ -437,40 +608,92 @@ async def read_message(
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame length {length} exceeds MAX_FRAME_BYTES")
     try:
-        payload = await reader.readexactly(length)
+        payload = await _readexactly(length, "mid-frame")
     except asyncio.IncompleteReadError as exc:
         raise ProtocolError("connection closed mid-frame") from exc
     return decode_message(payload)
 
 
-def send_message(sock: socket.socket, message: Union[Request, Reply]) -> None:
+def send_message(
+    sock: socket.socket,
+    message: Union[Request, Reply],
+    *,
+    endpoint: Optional[str] = None,
+) -> None:
     """Blocking-socket counterpart of :func:`write_message`."""
-    sock.sendall(pack_frame(encode_message(message)))
+    actions = faults.wire_actions(endpoint) if endpoint is not None else None
+    payload = encode_message(message)
+    if actions is not None:
+        if actions.delay:
+            time.sleep(actions.delay)
+        if actions.drop:
+            raise ConnectionResetError(
+                f"fault injection: connection to {endpoint!r} dropped"
+            )
+        if actions.corrupt:
+            payload = _corrupt_payload(payload)
+    sock.sendall(pack_frame(payload))
 
 
-def recv_message(sock: socket.socket) -> Optional[Union[Request, Reply]]:
-    """Blocking-socket counterpart of :func:`read_message`."""
-    prefix = _recv_exactly(sock, _LEN.size)
+def recv_message(
+    sock: socket.socket,
+    *,
+    timeout: Optional[float] = None,
+    endpoint: Optional[str] = None,
+) -> Optional[Union[Request, Reply]]:
+    """Blocking-socket counterpart of :func:`read_message`.
+
+    ``timeout`` bounds every partial read of the frame (see
+    :func:`read_message`); expiry raises :class:`ProtocolError`.
+    """
+    actions = faults.wire_actions(endpoint) if endpoint is not None else None
+    if actions is not None:
+        if actions.delay:
+            time.sleep(actions.delay)
+        if actions.drop:
+            raise ConnectionResetError(
+                f"fault injection: connection to {endpoint!r} dropped"
+            )
+    deadline = None if timeout is None else time.monotonic() + timeout
+    prefix = _recv_exactly(sock, _LEN.size, deadline, "waiting for a frame")
     if prefix is None:
         return None
     (length,) = _LEN.unpack(prefix)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame length {length} exceeds MAX_FRAME_BYTES")
-    payload = _recv_exactly(sock, length)
+    payload = _recv_exactly(sock, length, deadline, "mid-frame")
     if payload is None:
         raise ProtocolError("connection closed mid-frame")
     return decode_message(payload)
 
 
-def _recv_exactly(sock: socket.socket, count: int) -> Optional[bytes]:
+def _recv_exactly(
+    sock: socket.socket,
+    count: int,
+    deadline: Optional[float] = None,
+    what: str = "mid-frame",
+) -> Optional[bytes]:
     chunks: List[bytes] = []
     remaining = count
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            if remaining == count:
-                return None  # clean close between frames
-            raise ProtocolError("connection closed mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
+    original_timeout = sock.gettimeout() if deadline is not None else None
+    try:
+        while remaining:
+            if deadline is not None:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    raise ProtocolError(f"read timed out {what}")
+                sock.settimeout(budget)
+            try:
+                chunk = sock.recv(remaining)
+            except socket.timeout as exc:
+                raise ProtocolError(f"read timed out {what}") from exc
+            if not chunk:
+                if remaining == count:
+                    return None  # clean close between frames
+                raise ProtocolError("connection closed mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+    finally:
+        if deadline is not None:
+            sock.settimeout(original_timeout)
     return b"".join(chunks)

@@ -168,3 +168,44 @@ class TestMetrics:
         assert "served 3 queries across 2 workers" in out
         snapshot = json.load(open(snapshot_path))
         assert snapshot["counters"]["rwr.queries"]["value"] == 3
+
+
+class TestTopReconnect:
+    """``repro top`` must survive an unreachable gateway (satellite: no
+    raw tracebacks, a reconnecting banner plus bounded backoff)."""
+
+    def test_once_fails_fast_on_unreachable_target(self, capsys):
+        # Port 1 refuses connections; --once keeps the scripting contract.
+        assert main(["top", "127.0.0.1:1", "--once"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot fetch fleet snapshot" in err
+
+    def test_bad_endpoint_is_a_usage_error_not_a_retry(self, capsys):
+        assert main(["top", "not-an-endpoint"]) == 2
+        err = capsys.readouterr().err
+        assert "HOST:PORT" in err
+        assert "reconnecting" not in err
+
+    def test_reconnect_banner_then_recovery(self, tmp_path, capsys,
+                                            monkeypatch):
+        """First fetch fails, second succeeds: one banner, then a page."""
+        import repro.cli as cli_mod
+
+        calls = {"n": 0}
+        real_fetch = cli_mod._fetch_fleet
+
+        def flaky_fetch(target):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ConnectionRefusedError("injected outage")
+            return {"counters": {}, "gauges": {}, "histograms": {}}
+
+        monkeypatch.setattr(cli_mod, "_fetch_fleet", flaky_fetch)
+        monkeypatch.setattr("time.sleep", lambda s: None)
+        code = main(["top", "127.0.0.1:59999", "--frames", "1",
+                     "--interval", "0.01", "--no-clear"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "reconnecting to 127.0.0.1:59999" in captured.err
+        assert "attempt 1" in captured.err
+        assert calls["n"] == 2

@@ -168,3 +168,83 @@ class TestGMRESStagnationHook:
             retry = gmres(dd_matrix, b, tol=1e-10)
         assert retry.converged
         np.testing.assert_allclose(dd_matrix @ retry.x, b, atol=1e-8)
+
+
+class TestNetworkFaultSpecs:
+    """The wire-level fault specs: serialization and injector sequencing."""
+
+    def network_plan(self) -> FaultPlan:
+        from repro.faults import ConnectionDrop, FrameCorrupt, SlowLink
+
+        return FaultPlan(
+            connection_drops=(
+                ConnectionDrop(endpoint="b1", after_frames=2, count=3),
+            ),
+            slow_links=(SlowLink(endpoint="*", seconds=0.25),),
+            frame_corrupts=(FrameCorrupt(endpoint="b2", at_frame=1, count=1),),
+        )
+
+    def test_json_round_trip(self):
+        plan = self.network_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_dict_round_trip(self):
+        plan = self.network_plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_network_plan_is_not_empty(self):
+        assert not self.network_plan().empty
+
+    def test_without_worker_keeps_network_faults(self):
+        narrowed = self.network_plan().without_worker(0)
+        assert narrowed.connection_drops == self.network_plan().connection_drops
+        assert narrowed.slow_links == self.network_plan().slow_links
+        assert narrowed.frame_corrupts == self.network_plan().frame_corrupts
+
+    def test_wire_actions_sequencing_and_budgets(self):
+        from repro.faults import ConnectionDrop, FaultPlan, SlowLink
+
+        faults.install(FaultPlan(
+            connection_drops=(
+                ConnectionDrop(endpoint="b1", after_frames=1, count=2),
+            ),
+            slow_links=(SlowLink(endpoint="b1", seconds=0.5),),
+        ))
+        # Frame 0: delay only (drop starts after_frames=1).
+        first = faults.wire_actions("b1")
+        assert first is not None and not first.drop
+        assert first.delay == pytest.approx(0.5)
+        # Frames 1-2: the two budgeted drops.
+        assert faults.wire_actions("b1").drop
+        assert faults.wire_actions("b1").drop
+        # Frame 3: budget spent — the link has recovered (delay remains).
+        recovered = faults.wire_actions("b1")
+        assert recovered is not None and not recovered.drop
+
+    def test_wire_actions_endpoints_count_independently(self):
+        from repro.faults import ConnectionDrop, FaultPlan
+
+        faults.install(FaultPlan(
+            connection_drops=(
+                ConnectionDrop(endpoint="b1", after_frames=1, count=1),
+            ),
+        ))
+        assert faults.wire_actions("b2") is None  # frame 0 on b2
+        assert faults.wire_actions("b1") is None  # frame 0 on b1
+        assert faults.wire_actions("b1").drop    # frame 1 on b1
+        assert faults.wire_actions("b2") is None  # frame 1 on b2: no match
+
+    def test_corrupt_skipped_on_dropped_frame(self):
+        from repro.faults import ConnectionDrop, FaultPlan, FrameCorrupt
+
+        faults.install(FaultPlan(
+            connection_drops=(ConnectionDrop(endpoint="b1", count=1),),
+            frame_corrupts=(FrameCorrupt(endpoint="b1", count=1),),
+        ))
+        first = faults.wire_actions("b1")
+        assert first.drop and not first.corrupt
+        second = faults.wire_actions("b1")
+        assert second.corrupt and not second.drop
+
+    def test_no_actions_without_plan(self):
+        assert faults.wire_actions("anything") is None

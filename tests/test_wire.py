@@ -274,3 +274,324 @@ class TestTraceTrailers:
         )
         with pytest.raises(wire.ProtocolError, match="trace"):
             wire.decode_message(encoded[:-4])
+
+
+class TestDeadlineTrailers:
+    """Protocol v3: optional deadline budget on requests, degraded flag +
+    error bound on replies, and back-compat with trailer-less v2 frames."""
+
+    def test_query_request_deadline_round_trip(self):
+        decoded = _roundtrip(
+            wire.QueryRequest(
+                seeds=np.array([1, 2], dtype=np.int64), deadline_ms=123.5
+            )
+        )
+        assert decoded.deadline_ms == pytest.approx(123.5)
+
+    def test_topk_request_deadline_round_trip(self):
+        decoded = _roundtrip(
+            wire.TopKRequest(
+                seeds=np.array([4], dtype=np.int64), k=3, deadline_ms=0.25
+            )
+        )
+        assert decoded.deadline_ms == pytest.approx(0.25)
+        assert decoded.k == 3
+
+    def test_deadline_composes_with_trace_trailer(self):
+        trace = ((2**62 + 5, 7),)
+        decoded = _roundtrip(
+            wire.QueryRequest(
+                seeds=np.array([1], dtype=np.int64),
+                trace=trace,
+                deadline_ms=50.0,
+            )
+        )
+        assert decoded.trace == trace
+        assert decoded.deadline_ms == pytest.approx(50.0)
+
+    def test_unbounded_request_decodes_with_none(self):
+        decoded = _roundtrip(
+            wire.QueryRequest(seeds=np.array([1], dtype=np.int64))
+        )
+        assert decoded.deadline_ms is None
+
+    def test_dense_reply_degraded_round_trip(self):
+        decoded = _roundtrip(
+            wire.DenseReply(
+                scores=np.ones((1, 2)), degraded=True, error_bound=0.125
+            )
+        )
+        assert decoded.degraded is True
+        assert decoded.error_bound == pytest.approx(0.125)
+
+    def test_topk_reply_degraded_round_trip(self):
+        from repro.core.topk import PAIR_DTYPE
+
+        pairs = [np.array([(3, 0.5)], dtype=PAIR_DTYPE)]
+        decoded = _roundtrip(
+            wire.TopKReply(pairs=pairs, degraded=True, error_bound=0.25)
+        )
+        assert decoded.degraded is True
+        assert decoded.error_bound == pytest.approx(0.25)
+
+    def test_exact_reply_decodes_undegraded(self):
+        decoded = _roundtrip(wire.DenseReply(scores=np.ones((1, 2))))
+        assert decoded.degraded is False
+        assert decoded.error_bound == 0.0
+
+    def test_degraded_composes_with_trace_records(self):
+        records = ({"name": "serve.batch", "duration": 0.5},)
+        decoded = _roundtrip(
+            wire.DenseReply(
+                scores=np.ones((1, 2)),
+                trace_records=records,
+                degraded=True,
+                error_bound=0.5,
+            )
+        )
+        assert decoded.trace_records == records
+        assert decoded.degraded is True
+
+    def test_v2_query_frame_without_deadline_still_parses(self):
+        # A v2 client sends seeds + trace trailer and nothing else.
+        seeds = np.array([5, 9], dtype=np.int64)
+        body = (
+            struct.pack("<I", 2)
+            + seeds.astype("<i8").tobytes()
+            + struct.pack("<I", 1)
+            + struct.pack("<QQ", 10, 20)
+        )
+        frame = bytes([2, wire.OP_QUERY]) + body
+        decoded = wire.decode_message(frame)
+        assert isinstance(decoded, wire.QueryRequest)
+        assert np.array_equal(decoded.seeds, seeds)
+        assert decoded.trace == ((10, 20),)
+        assert decoded.deadline_ms is None
+
+    def test_v2_dense_reply_decodes_undegraded(self):
+        scores = np.ones((1, 2))
+        body = (
+            struct.pack("<I", 1)
+            + struct.pack("<Q", 2)
+            + scores.astype("<f8").tobytes()
+        )
+        frame = bytes([2, wire.REPLY_DENSE]) + body
+        decoded = wire.decode_message(frame)
+        assert isinstance(decoded, wire.DenseReply)
+        assert decoded.degraded is False
+        assert decoded.error_bound == 0.0
+
+    def test_truncated_deadline_trailer_rejected(self):
+        encoded = wire.encode_message(
+            wire.QueryRequest(
+                seeds=np.array([1], dtype=np.int64), deadline_ms=99.0
+            )
+        )
+        with pytest.raises(wire.ProtocolError, match="deadline"):
+            wire.decode_message(encoded[:-4])
+
+    def test_truncated_degraded_trailer_rejected(self):
+        encoded = wire.encode_message(
+            wire.DenseReply(
+                scores=np.ones((1, 1)), degraded=True, error_bound=0.5
+            )
+        )
+        with pytest.raises(wire.ProtocolError, match="degraded"):
+            wire.decode_message(encoded[:-4])
+
+
+class TestPartialFrameTimeouts:
+    """A peer that accepts but never completes a frame must not hang the
+    reader forever: ``timeout`` bounds every partial read."""
+
+    def test_sync_recv_times_out_mid_frame(self):
+        left, right = socket.socketpair()
+        try:
+            frame = wire.pack_frame(
+                wire.encode_message(wire.StatsRequest()) + b"padding"
+            )
+            left.sendall(frame[:5])  # length prefix + 1 byte, then silence
+            with pytest.raises(wire.ProtocolError, match="timed out"):
+                wire.recv_message(right, timeout=0.2)
+        finally:
+            left.close()
+            right.close()
+
+    def test_sync_recv_times_out_on_missing_length_prefix(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"\x01")  # 1 of 4 length-prefix bytes
+            with pytest.raises(wire.ProtocolError, match="timed out"):
+                wire.recv_message(right, timeout=0.2)
+        finally:
+            left.close()
+            right.close()
+
+    def test_sync_recv_restores_socket_timeout(self):
+        left, right = socket.socketpair()
+        try:
+            right.settimeout(7.5)
+            wire.send_message(left, wire.StatsRequest())
+            wire.recv_message(right, timeout=1.0)
+            assert right.gettimeout() == pytest.approx(7.5)
+        finally:
+            left.close()
+            right.close()
+
+    def test_async_read_times_out_mid_frame(self):
+        import asyncio
+
+        async def scenario():
+            async def handler(reader, writer):
+                frame = wire.pack_frame(
+                    wire.encode_message(wire.StatsRequest()) + b"pad"
+                )
+                writer.write(frame[:5])
+                await writer.drain()
+                await asyncio.sleep(5.0)  # never completes the frame
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            async with server:
+                reader, writer = await asyncio.open_connection(host, port)
+                with pytest.raises(wire.ProtocolError, match="timed out"):
+                    await wire.read_message(reader, timeout=0.2)
+                writer.close()
+
+        asyncio.run(scenario())
+
+    def test_async_complete_frame_unaffected_by_timeout(self):
+        import asyncio
+
+        async def scenario():
+            async def handler(reader, writer):
+                request = await wire.read_message(reader, timeout=1.0)
+                await wire.write_message(
+                    writer, wire.DenseReply(scores=np.ones((1, 2)))
+                )
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            async with server:
+                reader, writer = await asyncio.open_connection(host, port)
+                await wire.write_message(
+                    writer,
+                    wire.QueryRequest(seeds=np.array([1], dtype=np.int64)),
+                )
+                reply = await wire.read_message(reader, timeout=1.0)
+                writer.close()
+                return reply
+
+        reply = asyncio.run(scenario())
+        assert np.array_equal(reply.scores, np.ones((1, 2)))
+
+
+class TestWireFaultInjection:
+    """Network fault specs act on endpoint-tagged transport calls."""
+
+    def setup_method(self):
+        from repro import faults
+
+        faults.clear()
+
+    def teardown_method(self):
+        from repro import faults
+
+        faults.clear()
+
+    def test_connection_drop_raises_reset(self):
+        from repro import faults
+        from repro.faults import ConnectionDrop, FaultPlan
+
+        left, right = socket.socketpair()
+        try:
+            with faults.active(FaultPlan(
+                connection_drops=(ConnectionDrop(endpoint="b1", count=1),)
+            )):
+                with pytest.raises(ConnectionResetError):
+                    wire.send_message(
+                        left, wire.StatsRequest(), endpoint="b1"
+                    )
+                # Budget spent: the next send goes through.
+                wire.send_message(left, wire.StatsRequest(), endpoint="b1")
+                assert isinstance(
+                    wire.recv_message(right), wire.StatsRequest
+                )
+        finally:
+            left.close()
+            right.close()
+
+    def test_drop_only_matches_its_endpoint(self):
+        from repro import faults
+        from repro.faults import ConnectionDrop, FaultPlan
+
+        left, right = socket.socketpair()
+        try:
+            with faults.active(FaultPlan(
+                connection_drops=(ConnectionDrop(endpoint="other", count=1),)
+            )):
+                wire.send_message(left, wire.StatsRequest(), endpoint="b1")
+                assert isinstance(
+                    wire.recv_message(right), wire.StatsRequest
+                )
+        finally:
+            left.close()
+            right.close()
+
+    def test_frame_corrupt_breaks_decode_at_the_peer(self):
+        from repro import faults
+        from repro.faults import FaultPlan, FrameCorrupt
+
+        left, right = socket.socketpair()
+        try:
+            with faults.active(FaultPlan(
+                frame_corrupts=(FrameCorrupt(endpoint="b1", count=1),)
+            )):
+                wire.send_message(left, wire.StatsRequest(), endpoint="b1")
+            with pytest.raises(wire.ProtocolError, match="version"):
+                wire.recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_slow_link_delays_but_delivers(self):
+        import time as _time
+
+        from repro import faults
+        from repro.faults import FaultPlan, SlowLink
+
+        left, right = socket.socketpair()
+        try:
+            with faults.active(FaultPlan(
+                slow_links=(SlowLink(endpoint="b1", seconds=0.05),)
+            )):
+                started = _time.perf_counter()
+                wire.send_message(left, wire.StatsRequest(), endpoint="b1")
+                elapsed = _time.perf_counter() - started
+            assert elapsed >= 0.05
+            assert isinstance(wire.recv_message(right), wire.StatsRequest)
+        finally:
+            left.close()
+            right.close()
+
+    def test_drop_after_frames_lets_earlier_frames_through(self):
+        from repro import faults
+        from repro.faults import ConnectionDrop, FaultPlan
+
+        left, right = socket.socketpair()
+        try:
+            with faults.active(FaultPlan(
+                connection_drops=(
+                    ConnectionDrop(endpoint="b1", after_frames=2, count=1),
+                )
+            )):
+                wire.send_message(left, wire.StatsRequest(), endpoint="b1")
+                wire.send_message(left, wire.StatsRequest(), endpoint="b1")
+                with pytest.raises(ConnectionResetError):
+                    wire.send_message(
+                        left, wire.StatsRequest(), endpoint="b1"
+                    )
+        finally:
+            left.close()
+            right.close()
